@@ -1,0 +1,107 @@
+"""Shared machinery for the Table VI / Table VII timing-breakdown benches.
+
+Each case runs the MRHS and original drivers on identical noise,
+collects (a) the host wall-clock per-phase breakdown and (b) the
+measured iteration counts, then projects (c) the per-step time at the
+paper's 300,000-particle scale on the paper's WSM machine via the
+calibrated cost model (Eq. 9 with measured counts).  The wall-clock
+columns are honest host numbers (NumPy cannot reproduce Xeon SIMD
+timings); the projection carries the paper-scale comparison, and its
+speedup must land in the paper's 10-40% band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from benchmarks._cases import default_params, sd_system
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.core.optimal_m import solver_counts_from_run
+from repro.core.timing import PAPER_PHASES, average_breakdown
+from repro.perfmodel.machine import WESTMERE
+from repro.perfmodel.mrhs_model import MrhsCostModel
+from repro.perfmodel.roofline import GspmvTimeModel, MatrixShape
+from repro.stokesian.dynamics import StokesianDynamics
+from repro.util.tables import format_table
+
+M = 16
+PAPER_NB = 300_000
+
+
+@dataclass
+class CaseResult:
+    n: int
+    phi: float
+    host_mrhs: Dict[str, float]
+    host_orig: Dict[str, float]
+    projected_mrhs: float
+    projected_orig: float
+    blocks_per_row: float
+
+    @property
+    def projected_speedup(self) -> float:
+        return self.projected_orig / self.projected_mrhs
+
+
+def run_case(n: int, phi: float, *, seed: int = 7) -> CaseResult:
+    system = sd_system(n, phi, seed=seed)
+    params = default_params()
+    mrhs = MrhsStokesianDynamics(system, params, MrhsParameters(m=M), rng=seed)
+    mrhs.run(1)
+    orig = StokesianDynamics(system, params, rng=seed)
+    orig.run(M)
+
+    counts = solver_counts_from_run(mrhs, orig.history)
+    R = mrhs.sd.build_matrix()
+    # Paper-scale projection: same blocks-per-row and machine, nb=300k.
+    shape = MatrixShape(nb=PAPER_NB, blocks_per_row=R.blocks_per_row)
+    # k(m) from our matrix's structure against WSM's cache.
+    model = MrhsCostModel(
+        R,
+        WESTMERE,
+        counts,
+        time_model=_paper_scale_time_model(R, shape),
+    )
+    return CaseResult(
+        n=n,
+        phi=phi,
+        host_mrhs=average_breakdown(chunks=mrhs.chunks),
+        host_orig=average_breakdown(steps=orig.history),
+        projected_mrhs=model.average_step_time(M),
+        projected_orig=model.original_step_time(),
+        blocks_per_row=R.blocks_per_row,
+    )
+
+
+def _paper_scale_time_model(R, shape) -> GspmvTimeModel:
+    """A GspmvTimeModel whose shape is the paper-scale matrix but whose
+    k(m) comes from our (structurally similar) matrix."""
+    base = GspmvTimeModel(R, WESTMERE)
+    model = GspmvTimeModel(R, WESTMERE, k_override=base.k)
+    model.shape = shape
+    return model
+
+
+def breakdown_table(results, title: str) -> str:
+    rows = []
+    for phase in PAPER_PHASES + ("Average",):
+        row = [phase]
+        for res in results:
+            row.append(round(res.host_mrhs.get(phase, 0.0), 4))
+            orig_v = res.host_orig.get(phase, 0.0)
+            row.append("-" if orig_v == 0.0 and phase in
+                       ("Cheb vectors", "Calc guesses") else round(orig_v, 4))
+        rows.append(row)
+    proj = ["WSM@300k (model)"]
+    for res in results:
+        proj.append(round(res.projected_mrhs, 3))
+        proj.append(round(res.projected_orig, 3))
+    rows.append(proj)
+    header = ["phase [s/step]"]
+    for res in results:
+        tag = f"n={res.n},phi={res.phi}"
+        header += [f"MRHS {tag}", f"orig {tag}"]
+    return format_table(header, rows, title=title)

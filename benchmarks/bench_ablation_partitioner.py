@@ -1,0 +1,86 @@
+"""Ablation — coordinate partitioning vs graph partitioning.
+
+The paper: "Coordinate-based partitioning resulted in communication
+volume and load balance comparable to that of a METIS partitioning",
+while being cheap enough to fold into neighbor-list construction.  We
+compare the coordinate partitioner against recursive spectral bisection
+(the METIS stand-in) and a naive contiguous split on communication
+volume, message count, nnz balance, and partitioning time.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks._cases import emit, scaled_paper_case
+from repro.distributed.comm import build_comm_plan
+from repro.distributed.graphpart import spectral_partition
+from repro.distributed.partition import contiguous_partition, coordinate_partition
+from repro.util.tables import format_table
+
+P = 8
+
+
+def evaluate():
+    system, A = scaled_paper_case("mat2")
+    results = {}
+
+    t0 = time.perf_counter()
+    coord = coordinate_partition(system, A, P)
+    t_coord = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    spect = spectral_partition(A, P)
+    t_spect = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    contig = contiguous_partition(A, P)
+    t_contig = time.perf_counter() - t0
+
+    for name, part, t in (
+        ("coordinate", coord, t_coord),
+        ("spectral", spect, t_spect),
+        ("contiguous", contig, t_contig),
+    ):
+        plan = build_comm_plan(A, part)
+        results[name] = dict(
+            volume=plan.total_volume_bytes(m=1),
+            messages=plan.total_messages(),
+            imbalance=part.load_imbalance(A),
+            seconds=t,
+        )
+    return results
+
+
+def test_ablation_partitioner(benchmark):
+    results = evaluate()
+    rows = [
+        [
+            name,
+            r["volume"],
+            r["messages"],
+            round(r["imbalance"], 2),
+            round(r["seconds"], 4),
+        ]
+        for name, r in results.items()
+    ]
+    report = format_table(
+        ["partitioner", "comm bytes (m=1)", "messages", "nnz imbalance", "seconds"],
+        rows,
+        title=f"Ablation: partitioners on mat2 analog, p={P}",
+    )
+    coord, spect, contig = (
+        results["coordinate"],
+        results["spectral"],
+        results["contiguous"],
+    )
+    # The paper's claim: coordinate comm volume comparable to the graph
+    # partitioner's (within 2.5x), with good balance...
+    assert coord["volume"] <= 2.5 * spect["volume"]
+    assert coord["imbalance"] < 1.5
+    # ...at a fraction of the partitioning cost.
+    assert coord["seconds"] < spect["seconds"]
+
+    system, A = scaled_paper_case("mat2")
+    benchmark(lambda: coordinate_partition(system, A, P))
+    emit("ablation_partitioner", report)

@@ -1,0 +1,105 @@
+"""Extension — distributed MRHS: the paper's own 'future work'.
+
+Section V.A: "We do not currently have a distributed memory SD
+simulation code.  Such a code would be very complex ... In any case,
+the performance results for GSPMV on shared memory and distributed
+systems ... are qualitatively similar, and thus we expect similar
+conclusions for distributed memory machines."
+
+This bench *implements and checks that expectation*: the solvers run on
+the simulated cluster through :class:`DistributedOperator` (verifying
+correctness en route), and the measured iteration counts are combined
+with the multi-node GSPMV time model to project the MRHS-vs-original
+speedup at each node count.  The paper's prediction — conclusions carry
+over, and improve with node count as communication latency (amortized
+by m) grows relative to compute — is asserted.
+"""
+
+import numpy as np
+
+from benchmarks._cases import default_params, emit, sd_system
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.core.optimal_m import solver_counts_from_run
+from repro.distributed.netmodel import INFINIBAND
+from repro.distributed.operator import DistributedOperator
+from repro.distributed.partition import coordinate_partition
+from repro.distributed.simcluster import MultiNodeTimeModel
+from repro.perfmodel.machine import CLUSTER_NODE
+from repro.solvers.block_cg import block_conjugate_gradient
+from repro.stokesian.dynamics import StokesianDynamics
+from repro.util.tables import format_table
+
+N_PARTICLES = 200
+M = 8
+NODE_COUNTS = [1, 4, 16, 64]
+
+
+def measured_counts():
+    system = sd_system(N_PARTICLES, 0.5, seed=60)
+    params = default_params()
+    mrhs = MrhsStokesianDynamics(system, params, MrhsParameters(m=M), rng=61)
+    mrhs.run(1)
+    orig = StokesianDynamics(system, params, rng=61)
+    orig.run(M)
+    counts = solver_counts_from_run(mrhs, orig.history)
+    R = mrhs.sd.build_matrix()
+    block_iters = mrhs.chunks[0].block_iterations
+    return system, R, counts, block_iters
+
+
+def projected_speedups(system, R, counts, block_iters):
+    rows = []
+    for p in NODE_COUNTS:
+        part = coordinate_partition(system, R, p)
+        model = MultiNodeTimeModel(R, part, CLUSTER_NODE, INFINIBAND)
+        t1, tm = model.time(1), model.time(M)
+        cheb = counts.cheb_order
+        # Per-step costs in cluster time (Eq. 9 structure).
+        mrhs_step = (
+            (block_iters + 1) * tm  # Calc guesses (block CG, GSPMV)
+            + cheb * tm  # Cheb vectors
+            + (M - 1) * counts.n_first * t1
+            + M * counts.n_second * t1
+            + (M - 1) * cheb * t1
+        ) / M
+        orig_step = (counts.n_noguess + counts.n_second + cheb) * t1
+        rows.append((p, orig_step / mrhs_step))
+    return rows
+
+
+def test_extension_cluster_mrhs(benchmark):
+    system, R, counts, block_iters = measured_counts()
+
+    # Correctness anchor: block CG through the simulated cluster gives
+    # the single-node solution.
+    part = coordinate_partition(system, R, 4)
+    op = DistributedOperator(R, part)
+    Z = np.random.default_rng(0).standard_normal((R.n_rows, 4))
+    dist = block_conjugate_gradient(op, Z, tol=1e-7)
+    single = block_conjugate_gradient(R, Z, tol=1e-7)
+    assert dist.converged
+    scale = np.abs(single.X).max()
+    np.testing.assert_allclose(dist.X, single.X, atol=1e-6 * scale)
+
+    rows = projected_speedups(system, R, counts, block_iters)
+    report = format_table(
+        ["nodes", "projected MRHS speedup"],
+        [[p, round(s, 3)] for p, s in rows],
+        title=(
+            "Extension: distributed MRHS projection "
+            f"(n={N_PARTICLES}, phi=0.5, m={M}; measured N={counts.n_noguess}, "
+            f"N1={counts.n_first}, N2={counts.n_second}, "
+            f"block iters={block_iters})"
+        ),
+    )
+    speedups = dict(rows)
+    # MRHS wins at every node count...
+    assert all(s > 1.0 for s in speedups.values())
+    # ...and the paper's expectation holds: the win at 64 nodes is at
+    # least as large as on one node (latency amortization).
+    assert speedups[64] >= speedups[1] - 0.02
+
+    benchmark(lambda: op.modelled_solve_time(
+        CLUSTER_NODE, INFINIBAND, iterations=50, m=M
+    ))
+    emit("extension_cluster_mrhs", report)

@@ -1,0 +1,52 @@
+"""Figure 1 — vectors multipliable in 2x single-vector time.
+
+The paper's contour plot over nnzb/nb in [6, 84] and B/F in
+[0.02, 0.6] with k(m) = 0: the count grows with matrix density and
+shrinks with machine byte-per-flop, spanning ~10 to ~60 over the box.
+
+This bench prints the grid (a coarse sample of the same axes) and
+checks its monotonicity and range; the fixture times the grid
+evaluation.
+"""
+
+import numpy as np
+
+from benchmarks._cases import emit
+from repro.perfmodel.profile import profile_grid, vectors_within_ratio
+from repro.util.tables import format_table
+
+BPR_VALUES = np.array([6.0, 12.0, 24.0, 36.0, 48.0, 60.0, 72.0, 84.0])
+BF_VALUES = np.array([0.02, 0.06, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6])
+
+
+def _report() -> str:
+    grid = profile_grid(BPR_VALUES, BF_VALUES)
+    rows = []
+    for i, bf in enumerate(BF_VALUES):
+        rows.append([f"B/F={bf:.2f}"] + [int(v) for v in grid[i]])
+    return format_table(
+        ["", *[f"q={int(q)}" for q in BPR_VALUES]],
+        rows,
+        title=(
+            "Figure 1: vectors multipliable within 2x single-vector time "
+            "(k=0), rows = B/F, columns = nnzb/nb"
+        ),
+    )
+
+
+def test_fig1_profile(benchmark):
+    report = _report()
+    grid = profile_grid(BPR_VALUES, BF_VALUES)
+    # Shape checks matching the paper's contour plot:
+    # - counts fall as B/F rises (down each column);
+    assert np.all(grid[:-1] >= grid[1:])
+    # - the box spans roughly 10..60 vectors;
+    assert grid.max() >= 40
+    assert grid.min() <= 15
+    # - the paper's WSM point (q ~ 25, B/F ~ 0.5) sits in the teens,
+    #   consistent with its measured 12 vectors for mat2.
+    wsm_point = vectors_within_ratio(24.9, 0.51)
+    assert 8 <= wsm_point <= 24
+
+    benchmark(lambda: profile_grid(BPR_VALUES, BF_VALUES))
+    emit("fig1_profile", report)

@@ -1,0 +1,73 @@
+"""Figure 3 — multi-node relative time r(m, p) for mat1 and mat2.
+
+Paper observations to reproduce:
+
+* for small node counts (4, 16) the curves sit slightly *above* the
+  single-node curve (boundary-gather cost);
+* for large node counts (64) the curves sit *below* it — latency
+  dominates communication, so extra vectors are nearly free.
+
+Workload: mat1/mat2 analogs, coordinate-partitioned; per-node machine
+is the paper's 2.9 GHz cluster WSM; network is the published
+InfiniBand alpha-beta model.  The benchmark times the exact distributed
+execution (mpi_sim) at p=8, m=8.
+"""
+
+import numpy as np
+
+from benchmarks._cases import emit, scaled_paper_case
+from repro.distributed.netmodel import INFINIBAND
+from repro.distributed.partition import coordinate_partition
+from repro.distributed.simcluster import DistributedGspmv, MultiNodeTimeModel
+from repro.perfmodel.machine import CLUSTER_NODE
+from repro.util.tables import format_table
+
+M_VALUES = [1, 2, 4, 8, 16, 32]
+NODE_COUNTS = [1, 4, 16, 64]
+
+
+def models_for(name):
+    system, A = scaled_paper_case(name)
+    out = {}
+    for p in NODE_COUNTS:
+        part = coordinate_partition(system, A, p)
+        out[p] = MultiNodeTimeModel(A, part, CLUSTER_NODE, INFINIBAND)
+    return out
+
+
+def _report() -> str:
+    sections = []
+    for name in ("mat1", "mat2"):
+        models = models_for(name)
+        rows = []
+        for p in NODE_COUNTS:
+            rows.append(
+                [f"p={p}"]
+                + [round(models[p].relative_time(m), 2) for m in M_VALUES]
+            )
+        sections.append(
+            format_table(
+                ["nodes", *[f"m={m}" for m in M_VALUES]],
+                rows,
+                title=f"Figure 3: r(m, p) for {name} analog",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def test_fig3_multinode(benchmark):
+    report = _report()
+    models = models_for("mat1")
+    # Large-p curves sit below the single-node curve (latency dominance).
+    assert models[64].relative_time(16) < models[1].relative_time(16)
+    # r is monotone in m for every p.
+    for p in NODE_COUNTS:
+        rs = [models[p].relative_time(m) for m in M_VALUES]
+        assert all(b >= a - 1e-12 for a, b in zip(rs, rs[1:]))
+
+    # Time the exact distributed execution at p=8, m=8.
+    system, A = scaled_paper_case("mat1")
+    dist = DistributedGspmv(A, coordinate_partition(system, A, 8))
+    X = np.random.default_rng(0).standard_normal((A.n_cols, 8))
+    benchmark(lambda: dist.multiply(X))
+    emit("fig3_multinode", report)

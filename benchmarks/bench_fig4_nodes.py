@@ -1,0 +1,70 @@
+"""Figure 4 — relative time as a function of node count.
+
+The paper's summary trend: at fixed m, r(m, p) "increases slightly and
+then decreases" as p grows — boundary gathering raises the cost a bit
+at small p, then latency dominance flattens the m dependence entirely
+at large p.  "These results show preliminarily that the use of GSPMV
+is particularly effective when using large numbers of nodes."
+"""
+
+from benchmarks._cases import emit, scaled_paper_case
+from repro.distributed.netmodel import INFINIBAND
+from repro.distributed.partition import coordinate_partition
+from repro.distributed.simcluster import MultiNodeTimeModel
+from repro.perfmodel.machine import CLUSTER_NODE
+from repro.util.tables import format_table
+
+NODE_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+M_SHOWN = [4, 8, 16]
+
+
+def _curves(name="mat2"):
+    system, A = scaled_paper_case(name)
+    curves = {m: [] for m in M_SHOWN}
+    for p in NODE_COUNTS:
+        model = MultiNodeTimeModel(
+            A, coordinate_partition(system, A, p), CLUSTER_NODE, INFINIBAND
+        )
+        for m in M_SHOWN:
+            curves[m].append(model.relative_time(m))
+    return curves
+
+
+def _report() -> str:
+    curves = _curves()
+    rows = [
+        [f"m={m}"] + [round(v, 2) for v in curves[m]] for m in M_SHOWN
+    ]
+    return format_table(
+        ["", *[f"p={p}" for p in NODE_COUNTS]],
+        rows,
+        title="Figure 4: relative time vs node count (mat2 analog)",
+    )
+
+
+def test_fig4_nodes(benchmark):
+    report = _report()
+    curves = _curves()
+    for m in M_SHOWN:
+        series = curves[m]
+        # The paper's "increases slightly and then decreases" shape:
+        # a strict interior peak, with the 64-node value well below it.
+        peak = max(range(len(series)), key=lambda i: series[i])
+        assert 0 < peak < len(series) - 1
+        assert series[-1] < max(series)
+        # Decline is monotone past the peak (latency dominance sets in).
+        tail = series[peak:]
+        assert all(b <= a + 1e-12 for a, b in zip(tail, tail[1:]))
+        assert series[-1] > 0.99  # r can never drop below 1
+    # At our scale the surface/volume ratio is far worse than the
+    # paper's 395k-row matrices, so the 64-node curve need not drop
+    # below the single-node one for mat2; that stronger property is
+    # asserted for the sparser mat1 in bench_fig3_multinode.
+
+    system, A = scaled_paper_case("mat2")
+    benchmark(
+        lambda: MultiNodeTimeModel(
+            A, coordinate_partition(system, A, 16), CLUSTER_NODE, INFINIBAND
+        ).relative_time(8)
+    )
+    emit("fig4_nodes", report)

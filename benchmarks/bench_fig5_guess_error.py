@@ -1,0 +1,81 @@
+"""Figure 5 — accuracy of the block-solve initial guesses over time.
+
+The paper plots ||u_k - u'_k|| / ||u_k|| against the step index k when
+all guesses come from the system at the *first* step, and observes
+square-root growth: "the discrepancy between the initial guesses and
+the solutions appear to increase as the square root of time.  This
+result is consistent with the fact that the particle configurations
+due to Brownian motion also diverge as the square root of time."
+(3,000 particles, 50% occupancy; proportionality ~0.006 sqrt(step).)
+
+We run one long MRHS chunk (m = 24) on a scaled 50%-occupancy system
+and fit c * sqrt(k) to the recorded guess errors; the bench asserts
+sub-linear (sqrt-like) growth.
+"""
+
+import numpy as np
+
+from benchmarks._cases import default_params, emit, sd_system
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.util.tables import format_table
+
+N_PARTICLES = 200
+M = 24
+
+
+def run_chunk():
+    system = sd_system(N_PARTICLES, 0.5, seed=2)
+    driver = MrhsStokesianDynamics(
+        system, default_params(), MrhsParameters(m=M), rng=0
+    )
+    return driver.run_chunk()
+
+
+def sqrt_fit(errors):
+    """Least-squares c for e_k ~ c sqrt(k) over k >= 1."""
+    k = np.arange(1, len(errors))
+    e = np.asarray(errors[1:])
+    return float((e * np.sqrt(k)).sum() / k.sum())
+
+
+def _report(chunk) -> str:
+    errs = [e if e is not None else float("nan") for e in chunk.guess_errors]
+    c = sqrt_fit(errs)
+    rows = [
+        [k, f"{errs[k]:.2e}", f"{c * np.sqrt(k):.2e}"]
+        for k in range(0, M, 2)
+    ]
+    title = (
+        "Figure 5: guess error vs step (n=%d, phi=0.5, m=%d); "
+        "sqrt fit constant c=%.3g (paper: ~0.006 at its scale)"
+        % (N_PARTICLES, M, c)
+    )
+    return format_table(["step", "||u-u'||/||u||", "c*sqrt(step)"], rows, title=title)
+
+
+def test_fig5_guess_error(benchmark):
+    chunk = run_chunk()
+    report = _report(chunk)
+    errs = np.array(
+        [e if e is not None else np.nan for e in chunk.guess_errors]
+    )
+    # Growth: later guesses are worse than early ones...
+    assert np.nanmean(errs[M // 2 :]) > np.nanmean(errs[1 : M // 2])
+    # ...but sub-linearly: the error at step 4k is much less than 4x the
+    # error at step k (sqrt growth doubles it).
+    assert errs[16] < 3.0 * errs[4]
+    # The sqrt fit explains the series: correlation of e^2 with k is
+    # strongly positive (Brownian-displacement variance is linear in t).
+    k = np.arange(1, M)
+    corr = np.corrcoef(errs[1:] ** 2, k)[0, 1]
+    assert corr > 0.5
+
+    # Benchmark the auxiliary block solve that produces the guesses.
+    system = sd_system(N_PARTICLES, 0.5, seed=2)
+    driver = MrhsStokesianDynamics(
+        system, default_params(), MrhsParameters(m=8), rng=1
+    )
+    R0 = driver.sd.build_matrix()
+    Z = driver.sd.draw_noise(8)
+    benchmark(lambda: driver.solve_auxiliary(R0, Z))
+    emit("fig5_guess_error", report)

@@ -1,0 +1,59 @@
+"""Figure 6 — CG iterations vs time step, with initial guesses.
+
+The paper (3 system sizes at 50% occupancy) shows per-step 1st-solve
+iteration counts that (a) grow only slowly with the step index inside a
+chunk, and (b) are essentially independent of the particle count —
+conditioning is set by the closest pairs' gaps, not by n.
+
+We run one m=16 chunk on three scaled sizes and print the per-step
+counts.
+"""
+
+import numpy as np
+
+from benchmarks._cases import default_params, emit, sd_system
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.util.tables import format_table
+
+SIZES = [100, 200, 400]
+M = 16
+
+
+def iteration_series(n):
+    system = sd_system(n, 0.5, seed=3)
+    driver = MrhsStokesianDynamics(
+        system, default_params(), MrhsParameters(m=M), rng=4
+    )
+    chunk = driver.run_chunk()
+    return chunk.first_solve_iterations
+
+
+def _report(series_by_n) -> str:
+    rows = []
+    for k in range(1, M):
+        rows.append([k] + [series_by_n[n][k] for n in SIZES])
+    return format_table(
+        ["step", *[f"n={n}" for n in SIZES]],
+        rows,
+        title="Figure 6: 1st-solve CG iterations vs step with guesses "
+        "(phi=0.5; paper sizes 3k/30k/300k)",
+    )
+
+
+def test_fig6_iterations(benchmark):
+    series_by_n = {n: iteration_series(n) for n in SIZES}
+    report = _report(series_by_n)
+    for n in SIZES:
+        its = series_by_n[n][1:]  # step 0's solve is the block solution
+        # Slow growth: the last step needs at most ~2x the first's
+        # iterations over a 16-step chunk (paper: ~10% growth over 24).
+        assert its[-1] <= 2.0 * its[0] + 3
+        # Weakly monotone trend overall.
+        assert np.mean(its[len(its) // 2 :]) >= np.mean(its[: len(its) // 2]) - 1
+    # Size-independence: mean iterations across a 4x size range stay
+    # within ~60% of each other.
+    means = [np.mean(series_by_n[n][1:]) for n in SIZES]
+    assert max(means) <= 1.6 * min(means) + 2
+
+    benchmark(lambda: iteration_series(100))
+    emit("fig6_iterations", report)

@@ -1,0 +1,67 @@
+"""Table II — performance and bandwidth usage of SPMV (m = 1).
+
+Paper: mat1/WSM 17.8 GB/s & 3.6 Gflops, mat2/WSM 18.3 & 4.2,
+mat3/SNB 32.0 & 7.4 — i.e. single-vector SPMV runs at (near) the
+machine's bandwidth limit and far below its flop limit.
+
+We reproduce by feeding the exactly counted traffic/flops of each
+scaled matrix into the machine roofline (the achieved GB/s equals the
+STREAM limit when bandwidth-bound; the Gflops follow from the matrix's
+arithmetic intensity).  The benchmark times host SPMV on the mat2
+analog for a wall-clock anchor.
+"""
+
+from benchmarks._cases import emit, scaled_paper_matrix
+from repro.perfmodel.cost import achieved_rates
+from repro.perfmodel.machine import SANDY_BRIDGE, WESTMERE
+from repro.sparse.spmv import spmv
+from repro.sparse.traffic import estimate_k, memory_traffic_bytes
+from repro.util.tables import format_table
+
+import numpy as np
+
+PAPER_ROWS = {
+    ("mat1", "WSM"): (17.8, 3.6),
+    ("mat2", "WSM"): (18.3, 4.2),
+    ("mat3", "SNB"): (32.0, 7.4),
+}
+
+
+def _report() -> str:
+    rows = []
+    for (name, arch), (p_gb, p_gf) in PAPER_ROWS.items():
+        machine = WESTMERE if arch == "WSM" else SANDY_BRIDGE
+        A = scaled_paper_matrix(name)
+        k = estimate_k(A, 1, machine.llc_bytes)
+        rates = achieved_rates(memory_traffic_bytes(A, 1, k=k), machine)
+        rows.append(
+            [
+                f"{name}/{arch}",
+                round(rates.gbytes_per_s, 1),
+                p_gb,
+                round(rates.gflops, 1),
+                p_gf,
+                rates.bound,
+            ]
+        )
+    return format_table(
+        ["case", "GB/s (model)", "GB/s (paper)", "Gflops (model)",
+         "Gflops (paper)", "bound"],
+        rows,
+        title="Table II: SPMV (m=1) achieved rates, simulated machines",
+    )
+
+
+def test_table2_spmv(benchmark):
+    report = _report()
+    # Shape checks: SPMV is bandwidth-bound everywhere; Gflops well
+    # under the kernel peak; SNB beats WSM on bandwidth.
+    A2 = scaled_paper_matrix("mat2")
+    k = estimate_k(A2, 1, WESTMERE.llc_bytes)
+    r_wsm = achieved_rates(memory_traffic_bytes(A2, 1, k=k), WESTMERE)
+    assert r_wsm.bound == "bandwidth"
+    assert r_wsm.gflops < WESTMERE.kernel_gflops / 3
+
+    x = np.random.default_rng(0).standard_normal(A2.n_cols)
+    benchmark(lambda: spmv(A2, x))
+    emit("table2_spmv", report)

@@ -1,0 +1,72 @@
+"""Table III — GSPMV communication time fractions (mat1).
+
+Paper (mat1, nnzb/nb = 5.6):
+
+    nodes \\ m      1     8     32
+    32 nodes      88%   76%   52%
+    64 nodes      97%   90%   67%
+
+Two trends must reproduce: the fraction grows with node count at fixed
+m, and falls with m at fixed node count (the added vectors are compute,
+the latency they amortize is not).
+"""
+
+from benchmarks._cases import emit, scaled_paper_case
+from repro.distributed.netmodel import INFINIBAND
+from repro.distributed.partition import coordinate_partition
+from repro.distributed.simcluster import MultiNodeTimeModel
+from repro.perfmodel.machine import CLUSTER_NODE
+from repro.util.tables import format_table
+
+M_VALUES = [1, 8, 32]
+NODE_COUNTS = [32, 64]
+PAPER = {32: [88, 76, 52], 64: [97, 90, 67]}
+
+
+def _models():
+    system, A = scaled_paper_case("mat1")
+    return {
+        p: MultiNodeTimeModel(
+            A, coordinate_partition(system, A, p), CLUSTER_NODE, INFINIBAND
+        )
+        for p in NODE_COUNTS
+    }
+
+
+def _report() -> str:
+    models = _models()
+    rows = []
+    for p in NODE_COUNTS:
+        ours = [
+            round(100 * models[p].communication_fraction(m)) for m in M_VALUES
+        ]
+        rows.append(
+            [f"{p} nodes"]
+            + [f"{o}% ({pp}%)" for o, pp in zip(ours, PAPER[p])]
+        )
+    return format_table(
+        ["", *[f"m={m}" for m in M_VALUES]],
+        rows,
+        title="Table III: communication time fraction, ours (paper), mat1 analog",
+    )
+
+
+def test_table3_commfrac(benchmark):
+    report = _report()
+    models = _models()
+    f = {
+        p: [models[p].communication_fraction(m) for m in M_VALUES]
+        for p in NODE_COUNTS
+    }
+    # Fractions fall with m at fixed node count...
+    for p in NODE_COUNTS:
+        assert f[p][0] > f[p][1] > f[p][2]
+    # ...grow with node count at fixed m...
+    for j in range(len(M_VALUES)):
+        assert f[64][j] > f[32][j]
+    # ...and communication dominates at m=1 on many nodes (paper: 88-97%).
+    assert f[32][0] > 0.5
+    assert f[64][0] > 0.6
+
+    benchmark(lambda: models[64].communication_fraction(8))
+    emit("table3_commfrac", report)

@@ -1,0 +1,83 @@
+"""Table V — iterations with and without initial guesses vs occupancy.
+
+Paper (300,000 particles; steps 2..24):
+
+    occupancy     with guesses   without guesses
+    10%           ~8-9           16
+    30%           ~12-15         30
+    50%           ~80-89         162
+
+Two effects must reproduce: iteration counts rise steeply with volume
+occupancy (ill-conditioning from near-touching pairs), and initial
+guesses cut them by roughly 30-50%.
+"""
+
+import numpy as np
+
+from benchmarks._cases import default_params, emit, sd_system
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.stokesian.dynamics import StokesianDynamics
+from repro.util.tables import format_table
+
+N_PARTICLES = 200
+M = 12
+OCCUPANCIES = [0.1, 0.3, 0.5]
+PAPER_WITHOUT = {0.1: 16, 0.3: 30, 0.5: 162}
+
+
+def run_pair(phi):
+    system = sd_system(N_PARTICLES, phi, seed=5)
+    params = default_params()
+    mrhs = MrhsStokesianDynamics(system, params, MrhsParameters(m=M), rng=6)
+    chunk = mrhs.run_chunk()
+    orig = StokesianDynamics(system, params, rng=6)
+    orig.run(M)
+    with_g = chunk.first_solve_iterations
+    without = [s.iterations_first for s in orig.history]
+    return with_g, without
+
+
+def _report(results) -> str:
+    rows = []
+    for k in range(2, M, 2):
+        row = [k]
+        for phi in OCCUPANCIES:
+            w, wo = results[phi]
+            row += [w[k], wo[k]]
+        rows.append(row)
+    header = ["step"]
+    for phi in OCCUPANCIES:
+        header += [f"with {phi:.1f}", f"w/o {phi:.1f}"]
+    means = ["mean"]
+    for phi in OCCUPANCIES:
+        w, wo = results[phi]
+        means += [round(float(np.mean(w[1:])), 1), round(float(np.mean(wo)), 1)]
+    return format_table(
+        header,
+        rows + [means],
+        title=(
+            "Table V: 1st-solve iterations with/without guesses "
+            f"(n={N_PARTICLES}; paper 'without' at 300k: 16/30/162)"
+        ),
+    )
+
+
+def test_table5_iterations(benchmark):
+    results = {phi: run_pair(phi) for phi in OCCUPANCIES}
+    report = _report(results)
+
+    means_with = {
+        phi: float(np.mean(results[phi][0][1:])) for phi in OCCUPANCIES
+    }
+    means_without = {
+        phi: float(np.mean(results[phi][1])) for phi in OCCUPANCIES
+    }
+    # Iterations rise steeply with occupancy (both columns).
+    assert means_without[0.5] > 2.5 * means_without[0.1]
+    assert means_with[0.5] > 2.0 * means_with[0.1]
+    # Guesses reduce iterations by at least the paper's ~30%.
+    for phi in OCCUPANCIES:
+        assert means_with[phi] <= 0.7 * means_without[phi]
+
+    benchmark(lambda: run_pair(0.3))
+    emit("table5_iterations", report)

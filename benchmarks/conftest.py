@@ -1,0 +1,51 @@
+"""Benchmark harness configuration.
+
+Benches both *measure* (the ``benchmark`` fixture times the kernel or
+driver underlying each experiment) and *report* (each module prints the
+table/figure rows the paper reports, and persists them under
+``benchmarks/out/``).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import sys
+from pathlib import Path
+
+# Make `benchmarks._cases` importable when pytest runs with rootdir tricks.
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Stitch every experiment's printed output into one results file.
+
+    ``benchmarks/out/ALL_RESULTS.md`` ends up holding the full set of
+    regenerated tables and figures from the last bench session, in the
+    paper's order — the artifact EXPERIMENTS.md summarizes.
+    """
+    if not OUT_DIR.exists():
+        return
+    order = [
+        "table1_matrices", "table2_spmv", "fig1_profile",
+        "fig2_relative_time", "fig3_multinode", "table3_commfrac",
+        "fig4_nodes", "fig5_guess_error", "fig6_iterations",
+        "table5_iterations", "table6_timings_size",
+        "table7_timings_occupancy", "table8_moptimal", "fig7_tmrhs",
+        "fig8_threads",
+    ]
+    names = [n for n in order if (OUT_DIR / f"{n}.txt").exists()]
+    names += sorted(
+        p.stem
+        for p in OUT_DIR.glob("*.txt")
+        if p.stem not in order
+    )
+    if not names:
+        return
+    parts = ["# Regenerated tables and figures (last bench session)\n"]
+    for name in names:
+        parts.append(f"## {name}\n")
+        parts.append("```")
+        parts.append((OUT_DIR / f"{name}.txt").read_text().rstrip())
+        parts.append("```\n")
+    (OUT_DIR / "ALL_RESULTS.md").write_text("\n".join(parts))

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Distributed GSPMV on the simulated cluster.
+
+Reproduces the paper's Section IV.A2/IV.D3 workflow end to end:
+
+1. partition an SD matrix across ranks with the paper's coordinate-
+   based scheme;
+2. execute the distributed GSPMV *numerically* on the simulated
+   message-passing engine and verify it equals the single-node result;
+3. evaluate the multi-node time model (paper cluster node + InfiniBand)
+   for r(m, p) and the communication fractions of Table III.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+import numpy as np
+
+from repro.distributed.comm import build_comm_plan
+from repro.distributed.netmodel import INFINIBAND
+from repro.distributed.partition import coordinate_partition
+from repro.distributed.simcluster import DistributedGspmv, MultiNodeTimeModel
+from repro.perfmodel.machine import CLUSTER_NODE
+from repro.sparse.gspmv import gspmv
+from repro.stokesian.packing import random_configuration
+from repro.stokesian.resistance import build_resistance_matrix
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    system = random_configuration(600, 0.3, rng=0)
+    A = build_resistance_matrix(system)
+    print(f"matrix: {A}")
+
+    # 1-2. Exact distributed execution on 8 simulated ranks.
+    p = 8
+    part = coordinate_partition(system, A, p)
+    plan = build_comm_plan(A, part)
+    dist = DistributedGspmv(A, part)
+    X = np.random.default_rng(1).standard_normal((A.n_cols, 8))
+    Y = dist.multiply(X)
+    err = np.abs(Y - gspmv(A, X)).max()
+    print(f"\np={p} distributed GSPMV max deviation from single node: {err:.1e}")
+    print(
+        f"exchange: {plan.total_messages()} messages, "
+        f"{plan.total_volume_bytes(m=8)/1e3:.1f} kB on the wire "
+        f"(metered: {dist.last_traffic.bytes_sent/1e3:.1f} kB)"
+    )
+    print(f"nnz load imbalance: {part.load_imbalance(A):.2f}")
+
+    # 3. The time model across node counts.
+    m_values = [1, 4, 8, 16, 32]
+    node_counts = [1, 4, 16, 64]
+    rows = []
+    for nodes in node_counts:
+        model = MultiNodeTimeModel(
+            A,
+            coordinate_partition(system, A, nodes),
+            CLUSTER_NODE,
+            INFINIBAND,
+        )
+        rows.append(
+            [f"p={nodes}"]
+            + [f"{model.relative_time(m):.2f}" for m in m_values]
+            + [f"{model.communication_fraction(1):.0%}"]
+        )
+    print()
+    print(
+        format_table(
+            ["nodes", *[f"r({m})" for m in m_values], "comm frac (m=1)"],
+            rows,
+            title="Multi-node relative time (cluster WSM + InfiniBand model)",
+        )
+    )
+    print(
+        "\nAt large node counts message latency dominates, so extra"
+        "\nvectors are nearly free - GSPMV is *more* attractive on"
+        "\nclusters, the paper's Figure 4 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Macromolecular crowding study: the paper's motivating application.
+
+The intro motivates SD with "the simulation of the motion of proteins
+and other macromolecules in their cellular environment" — crowded
+(up to ~40% occupied) cytoplasm where lubrication forces dominate and
+Brownian dynamics fails.  This example:
+
+1. builds E. coli-like suspensions at 10%, 30% and 50% occupancy;
+2. shows how crowding produces near-contact pairs, a contact peak in
+   g(r), ill-conditioned resistance matrices (the paper's Table V
+   driver), and suppressed self-diffusion;
+3. contrasts SD with the Brownian-dynamics baseline, which lets
+   crowded particles interpenetrate (the reason SD exists).
+
+Run:  python examples/ecoli_cytoplasm.py
+"""
+
+import numpy as np
+
+from repro import SDParameters, StokesianDynamics, random_configuration
+from repro.stokesian.analysis import (
+    TrajectoryAnalyzer,
+    contact_pairs,
+    radial_distribution,
+)
+from repro.stokesian.brownian_dynamics import BDParameters, BrownianDynamics
+from repro.stokesian.resistance import build_resistance_matrix
+from repro.util.tables import format_table
+
+N_PARTICLES = 80
+N_STEPS = 6
+DT = 0.05
+
+
+def main() -> None:
+    rows = []
+    for phi in (0.1, 0.3, 0.5):
+        system = random_configuration(N_PARTICLES, phi, rng=1)
+        R = build_resistance_matrix(system)
+        cond = np.linalg.cond(R.to_dense())
+        sd = StokesianDynamics(system, SDParameters(dt=DT), rng=2)
+        analyzer = TrajectoryAnalyzer(sd.system)
+        for _ in range(N_STEPS):
+            sd.step()
+            analyzer.record(sd.system)
+        iters = np.mean([r.iterations_first for r in sd.history])
+        rows.append(
+            [
+                f"{phi:.0%}",
+                contact_pairs(system),
+                round(R.blocks_per_row, 1),
+                f"{cond:.1e}",
+                round(iters, 1),
+                f"{analyzer.diffusion_estimate(N_STEPS * DT):.3g}",
+            ]
+        )
+    print(
+        format_table(
+            ["occupancy", "contacts", "nnzb/nb", "cond(R)", "CG iters", "D"],
+            rows,
+            title=f"Crowding study ({N_PARTICLES} E. coli-distributed proteins); "
+            f"dilute-limit D0 for the median radius ~ "
+            f"{TrajectoryAnalyzer.stokes_einstein(27.77):.3g}",
+        )
+    )
+    print(
+        "\nCrowding multiplies near-contact pairs, densifies and"
+        "\nill-conditions R (more CG iterations - exactly what the MRHS"
+        "\nguesses attack), and suppresses diffusion below D0."
+    )
+
+    # Structure: the contact peak of g(r) at 50% occupancy.
+    dense = random_configuration(150, 0.5, radii=np.full(150, 25.0), rng=5)
+    r, g = radial_distribution(dense, n_bins=24)
+    peak_r = r[np.argmax(g)]
+    print(
+        f"\ng(r) at 50% occupancy (equal 25-radius spheres): peak "
+        f"g={g.max():.2f} at r={peak_r:.0f} (~contact diameter 50): the"
+        "\nnear-touching pairs whose lubrication stiffens the matrix."
+    )
+
+    # SD vs BD at high occupancy: BD has no lubrication to stop overlap.
+    system = random_configuration(N_PARTICLES, 0.4, rng=3)
+    bd = BrownianDynamics(system, BDParameters(dt=DT), rng=4)
+    bd.run(N_STEPS)
+    sd = StokesianDynamics(system, SDParameters(dt=DT), rng=4)
+    sd.run(N_STEPS)
+    print(
+        f"\nAfter {N_STEPS} steps at 40% occupancy:"
+        f"\n  Brownian dynamics overlapping pairs: {bd.overlap_count()}"
+        f"\n  Stokesian dynamics max overlap:      {sd.system.max_overlap():.3g}"
+        "\nBD lets crowded particles interpenetrate; SD's lubrication +"
+        "\noverlap-safe midpoint keeps the configuration physical."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""GSPMV performance study: how many vectors are "free"?
+
+Reproduces the paper's Section IV analysis for any matrix/machine pair:
+
+1. counts the exact memory traffic and flops of GSPMV at several m;
+2. evaluates the roofline model on WSM and SNB (the paper's machines)
+   to find the relative time r(m) and the bandwidth->compute crossover;
+3. measures the host's actual wall-clock r(m) with the blocked kernel;
+4. prints the "vectors within 2x" headline for each machine.
+
+Run:  python examples/gspmv_roofline.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.perfmodel.machine import SANDY_BRIDGE, WESTMERE, host_machine
+from repro.perfmodel.roofline import GspmvTimeModel
+from repro.sparse.gspmv import gspmv
+from repro.sparse.traffic import memory_traffic_bytes
+from repro.stokesian.packing import random_configuration
+from repro.stokesian.resistance import build_resistance_matrix
+from repro.util.tables import format_table
+
+M_VALUES = [1, 2, 4, 8, 16, 32]
+
+
+def main() -> None:
+    # An SD resistance matrix with ~25 blocks per row (mat2-like).
+    system = random_configuration(800, 0.4, rng=0)
+    cutoff = 2.6 * float(np.mean(system.radii))
+    A = build_resistance_matrix(system, cutoff_gap=cutoff)
+    print(f"matrix: {A}")
+
+    # 1-2. Model on the paper's machines.
+    rows = []
+    for machine in (WESTMERE, SANDY_BRIDGE):
+        model = GspmvTimeModel(A, machine)
+        rs = [model.relative_time(m) for m in M_VALUES]
+        at2x = max(m for m, r in zip(M_VALUES, rs) if r <= 2.0)
+        ms = model.crossover_m()
+        rows.append(
+            [machine.name]
+            + [f"{r:.2f}" for r in rs]
+            + [at2x, ms if ms else "-"]
+        )
+    print()
+    print(
+        format_table(
+            ["machine", *[f"r({m})" for m in M_VALUES], "at 2x", "m_s"],
+            rows,
+            title="Modelled relative time (paper machines)",
+        )
+    )
+
+    # Traffic accounting detail at m=8.
+    counts = memory_traffic_bytes(A, 8, cache_bytes=WESTMERE.llc_bytes)
+    print(
+        f"\nGSPMV(m=8) moves {counts.total_bytes/1e6:.1f} MB "
+        f"({counts.vector_bytes/1e6:.1f} vectors + "
+        f"{counts.block_bytes/1e6:.1f} blocks + "
+        f"{counts.index_bytes/1e6:.2f} index) for "
+        f"{counts.flops/1e6:.1f} Mflops "
+        f"(k(8) = {counts.k:.2f} extra X passes)"
+    )
+
+    # 3. Host wall-clock with the blocked (fused single-pass) kernel.
+    times = {}
+    for m in M_VALUES[:4]:
+        X = np.random.default_rng(m).standard_normal((A.n_cols, m))
+        gspmv(A, X, engine="blocked")
+        best = np.inf
+        for _ in range(3):
+            t0 = time.perf_counter()
+            gspmv(A, X, engine="blocked")
+            best = min(best, time.perf_counter() - t0)
+        times[m] = best
+    host_r = {m: times[m] / times[1] for m in times}
+    print("\nhost wall-clock (blocked kernel):")
+    for m, r in host_r.items():
+        print(f"  r({m}) = {r:.2f}")
+
+    host = host_machine(quick=True)
+    print(
+        f"\nhost calibration: B = {host.stream_bw/1e9:.1f} GB/s, "
+        f"F = {host.kernel_gflops:.1f} Gflop/s "
+        f"(B/F = {host.byte_per_flop:.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: run a Stokesian dynamics simulation with the MRHS algorithm.
+
+Builds a small crowded suspension of E. coli-sized proteins, runs one
+chunk of the Multiple Right-Hand Sides algorithm (Algorithm 2 of the
+paper) and the original algorithm (Algorithm 1) on identical noise, and
+prints the iteration counts that make MRHS faster.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    MrhsParameters,
+    MrhsStokesianDynamics,
+    SDParameters,
+    StokesianDynamics,
+    random_configuration,
+)
+
+
+def main() -> None:
+    # 1. A periodic box of 150 polydisperse spheres at 40% occupancy
+    #    (radii drawn from the paper's Table IV E. coli distribution).
+    system = random_configuration(150, volume_fraction=0.4, rng=0)
+    print(f"system: {system}")
+
+    params = SDParameters(dt=0.05, cheb_degree=30, tol=1e-6)
+    m = 8  # right-hand sides per chunk
+
+    # 2. MRHS: one augmented block solve seeds the next m steps.
+    mrhs = MrhsStokesianDynamics(system, params, MrhsParameters(m=m), rng=42)
+    chunk = mrhs.run_chunk()
+    print(f"\nMRHS chunk of {m} steps:")
+    print(f"  block solve: {chunk.block_iterations} iterations "
+          f"({chunk.block_gspmv_calls} GSPMVs with {m} vectors)")
+    print(f"  1st-solve iterations per step: {chunk.first_solve_iterations}")
+    errs = ["-" if e is None else f"{e:.1e}" for e in chunk.guess_errors]
+    print(f"  guess errors per step:         {errs}")
+
+    # 3. The original algorithm on the same noise, for comparison.
+    orig = StokesianDynamics(system, params, rng=42)
+    orig.run(m)
+    orig_iters = [r.iterations_first for r in orig.history]
+    print(f"\nOriginal algorithm, same noise:")
+    print(f"  1st-solve iterations per step: {orig_iters}")
+
+    saved = np.mean(orig_iters) - np.mean(chunk.first_solve_iterations)
+    print(f"\nMRHS saves {saved:.0f} CG iterations per step on average;")
+    print("each block-solve iteration costs only ~2x a single SPMV on")
+    print("bandwidth-bound hardware, which is the paper's 10-30% speedup.")
+
+    # 4. Physics still matches: both drivers end in the same place.
+    drift = np.abs(mrhs.system.positions - orig.system.positions).max()
+    print(f"\nmax trajectory deviation between algorithms: {drift:.2e} "
+          "(solver-tolerance level)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one command.
+
+Thin wrapper over the benchmark harness: runs the full bench suite
+(which asserts every experiment's shape properties and persists each
+table/figure under ``benchmarks/out/``) and then prints the stitched
+results file.
+
+Run from the repository root:  python examples/reproduce_paper.py
+(equivalent to ``pytest benchmarks/ --benchmark-only`` + reading
+``benchmarks/out/ALL_RESULTS.md``; takes a couple of minutes.)
+"""
+
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    if not (root / "benchmarks").is_dir():
+        print("run from a checkout containing benchmarks/", file=sys.stderr)
+        return 2
+    code = subprocess.call(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/",
+            "--benchmark-only",
+            "--benchmark-disable-gc",
+            "-q",
+        ],
+        cwd=root,
+    )
+    results = root / "benchmarks" / "out" / "ALL_RESULTS.md"
+    if results.exists():
+        print(results.read_text())
+        print(f"(persisted at {results})")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

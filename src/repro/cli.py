@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, scriptable entry points over the library's main workflows:
+
+``simulate``
+    Run a matched MRHS-vs-original comparison and print the iteration
+    and timing summary (the paper's headline experiment, any size).
+``roofline``
+    Evaluate the GSPMV performance model for a matrix shape on the
+    paper's machines (or a host-calibrated one).
+``pack``
+    Build and save a packed configuration (reusable workload).
+``sweep``
+    Sweep the number of right-hand sides and report the best m.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MRHS Stokesian dynamics reproduction (IPDPS 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="MRHS vs original comparison")
+    sim.add_argument("--n", type=int, default=100, help="particles")
+    sim.add_argument("--phi", type=float, default=0.4, help="volume occupancy")
+    sim.add_argument("--m", type=int, default=8, help="right-hand sides")
+    sim.add_argument("--chunks", type=int, default=1, help="MRHS chunks to run")
+    sim.add_argument("--seed", type=int, default=0)
+
+    roof = sub.add_parser("roofline", help="GSPMV model for a matrix shape")
+    roof.add_argument("--nb", type=int, default=300_000, help="block rows")
+    roof.add_argument("--bpr", type=float, default=25.0, help="blocks per row")
+    roof.add_argument(
+        "--machine", choices=["wsm", "snb", "host"], default="wsm"
+    )
+    roof.add_argument("--m-max", type=int, default=32)
+
+    pack = sub.add_parser("pack", help="build and save a configuration")
+    pack.add_argument("--n", type=int, default=300)
+    pack.add_argument("--phi", type=float, default=0.3)
+    pack.add_argument("--seed", type=int, default=0)
+    pack.add_argument("--out", required=True, help="output .npz path")
+
+    sweep = sub.add_parser("sweep", help="sweep m for a system")
+    sweep.add_argument("--n", type=int, default=100)
+    sweep.add_argument("--phi", type=float, default=0.4)
+    sweep.add_argument(
+        "--m-values", type=int, nargs="+", default=[2, 4, 8, 16]
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    from repro import SDParameters, random_configuration, run_comparison
+    from repro.core.timing import average_breakdown
+    from repro.util.tables import format_table
+
+    system = random_configuration(args.n, args.phi, rng=args.seed)
+    result = run_comparison(
+        system,
+        SDParameters(),
+        n_steps=args.chunks * args.m,
+        m=args.m,
+        rng=args.seed + 1,
+    )
+    it = result.iteration_comparison()
+    bm = average_breakdown(chunks=result.mrhs_chunks)
+    bo = average_breakdown(steps=result.original_steps)
+    rows = [
+        ["1st-solve iterations", round(it["with_guesses"], 1),
+         round(it["without_guesses"], 1)],
+        ["avg step time [s]", round(result.mrhs_average_step_time(), 4),
+         round(result.original_average_step_time(), 4)],
+        ["  of which 1st solve", round(bm["1st solve"], 4),
+         round(bo["1st solve"], 4)],
+    ]
+    print(
+        format_table(
+            ["", "MRHS", "original"],
+            rows,
+            title=f"n={args.n}, phi={args.phi}, m={args.m}, "
+            f"{args.chunks * args.m} steps",
+        )
+    )
+    print(f"speedup (host wall-clock): {result.speedup():.2f}x")
+    return 0
+
+
+def _cmd_roofline(args) -> int:
+    from repro.perfmodel.machine import SANDY_BRIDGE, WESTMERE, host_machine
+    from repro.perfmodel.roofline import MatrixShape, relative_time, time_gspmv
+    from repro.util.tables import format_table
+
+    machine = {
+        "wsm": WESTMERE,
+        "snb": SANDY_BRIDGE,
+    }.get(args.machine) or host_machine(quick=True)
+    shape = MatrixShape(nb=args.nb, blocks_per_row=args.bpr)
+    ms = [m for m in (1, 2, 4, 8, 16, 32, 64) if m <= args.m_max]
+    rows = [
+        [m, f"{1e3 * time_gspmv(shape, m, machine):.3f}",
+         round(relative_time(shape, m, machine), 2)]
+        for m in ms
+    ]
+    print(
+        format_table(
+            ["m", "T(m) [ms]", "r(m)"],
+            rows,
+            title=f"GSPMV model: nb={args.nb}, nnzb/nb={args.bpr}, "
+            f"machine={machine.name} (B/F={machine.byte_per_flop:.2f})",
+        )
+    )
+    at2x = max(m for m in ms if relative_time(shape, m, machine) <= 2.0)
+    print(f"vectors within 2x of single-vector time: {at2x}")
+    return 0
+
+
+def _cmd_pack(args) -> int:
+    from repro import random_configuration
+    from repro.io import save_system
+
+    system = random_configuration(args.n, args.phi, rng=args.seed)
+    save_system(args.out, system)
+    print(
+        f"saved {system.n} particles at phi={system.volume_fraction:.3f} "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro import SDParameters, random_configuration
+    from repro.core.optimal_m import sweep_m
+    from repro.perfmodel.machine import WESTMERE
+    from repro.util.tables import format_table
+
+    system = random_configuration(args.n, args.phi, rng=args.seed)
+    result = sweep_m(
+        system,
+        SDParameters(),
+        m_values=args.m_values,
+        machine=WESTMERE,
+        rng_seed=args.seed + 1,
+    )
+    rows = [[m, round(t, 4)] for m, t in result.as_rows()]
+    print(
+        format_table(
+            ["m", "avg step time [s]"],
+            rows,
+            title=f"m sweep: n={args.n}, phi={args.phi}",
+        )
+    )
+    print(
+        f"measured m_optimal={result.m_optimal}; "
+        f"model m_s={result.m_s} (WSM)"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "roofline": _cmd_roofline,
+    "pack": _cmd_pack,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The paper's contribution: the Multiple Right-Hand Sides algorithm.
+
+* :mod:`repro.core.mrhs` — Algorithm 2: at the start of every chunk of
+  ``m`` time steps, one *augmented* system with ``m`` right-hand sides
+  is solved by block CG (cheap, because its iterations use GSPMV); its
+  solutions are the first step's velocity and initial guesses for the
+  remaining ``m - 1`` steps;
+* :mod:`repro.core.original` — the side-by-side comparison runner
+  (Algorithm 1 vs Algorithm 2 on identical noise streams);
+* :mod:`repro.core.timing` — aggregation of per-step records into the
+  Tables V/VI/VII rows;
+* :mod:`repro.core.schedule` — policies choosing the number of
+  right-hand sides ``m`` (fixed, model-driven via ``m_s``, adaptive);
+* :mod:`repro.core.optimal_m` — the empirical ``m`` sweep behind
+  Table VIII and Figure 7.
+"""
+
+from repro.core.mrhs import MrhsParameters, ChunkRecord, MrhsStokesianDynamics
+from repro.core.auto import AutoMrhsStokesianDynamics
+from repro.core.original import ComparisonResult, run_comparison
+from repro.core.timing import (
+    average_breakdown,
+    iterations_table,
+    guess_error_series,
+)
+from repro.core.schedule import FixedM, ModelDrivenM, AdaptiveM
+from repro.core.optimal_m import MSweepResult, sweep_m
+
+__all__ = [
+    "MrhsParameters",
+    "ChunkRecord",
+    "MrhsStokesianDynamics",
+    "AutoMrhsStokesianDynamics",
+    "ComparisonResult",
+    "run_comparison",
+    "average_breakdown",
+    "iterations_table",
+    "guess_error_series",
+    "FixedM",
+    "ModelDrivenM",
+    "AdaptiveM",
+    "MSweepResult",
+    "sweep_m",
+]

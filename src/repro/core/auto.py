@@ -1,0 +1,87 @@
+"""Self-tuning MRHS: choose the chunk size per chunk with a policy.
+
+"The above procedure is of course extended to as many right-hand sides
+as is profitable.  The parameter m may be larger or smaller depending
+on how R_k evolves and on the incremental cost of GSPMV for additional
+vectors." (Section III.)  :class:`AutoMrhsStokesianDynamics` closes the
+loop: before each chunk it asks an m-selection policy
+(:mod:`repro.core.schedule`) for the chunk size — model-driven policies
+see the current resistance matrix, adaptive policies see the measured
+amortized step times — and runs the chunk at that size.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.mrhs import ChunkRecord, MrhsParameters, MrhsStokesianDynamics
+from repro.core.schedule import AdaptiveM
+from repro.stokesian.dynamics import SDParameters
+from repro.stokesian.particles import ParticleSystem
+from repro.util.rng import RngLike
+
+__all__ = ["AutoMrhsStokesianDynamics"]
+
+
+class AutoMrhsStokesianDynamics:
+    """MRHS with per-chunk m selection.
+
+    Parameters
+    ----------
+    system, params, rng, forces:
+        As for :class:`MrhsStokesianDynamics`.
+    policy:
+        Any object with ``choose(matrix) -> int`` (``FixedM``,
+        ``ModelDrivenM``, ``AdaptiveM``).  If it also has ``observe``,
+        it is fed each chunk's measured amortized step time.
+    m_cap:
+        Hard upper bound on the chunk size regardless of policy.
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        params: SDParameters = SDParameters(),
+        *,
+        policy=None,
+        m_cap: int = 64,
+        rng: RngLike = None,
+        forces=None,
+    ) -> None:
+        if m_cap < 1:
+            raise ValueError("m_cap must be >= 1")
+        self.policy = policy if policy is not None else AdaptiveM(m=4, m_max=m_cap)
+        self.m_cap = int(m_cap)
+        self._driver = MrhsStokesianDynamics(
+            system, params, MrhsParameters(m=1), rng=rng, forces=forces
+        )
+        self.chosen_ms: List[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> ParticleSystem:
+        return self._driver.system
+
+    @property
+    def chunks(self) -> List[ChunkRecord]:
+        return self._driver.chunks
+
+    def run_chunk(self) -> ChunkRecord:
+        """Choose m for the current state, then advance one chunk."""
+        R = self._driver.sd.build_matrix()
+        m = int(self.policy.choose(R))
+        m = max(1, min(self.m_cap, m))
+        self.chosen_ms.append(m)
+        record = self._driver.run_chunk(m=m)
+        observe = getattr(self.policy, "observe", None)
+        if observe is not None:
+            observe(record.average_step_time())
+        return record
+
+    def run(self, n_chunks: int) -> List[ChunkRecord]:
+        if n_chunks < 0:
+            raise ValueError("n_chunks must be non-negative")
+        return [self.run_chunk() for _ in range(n_chunks)]
+
+    def total_steps(self) -> int:
+        return sum(c.m for c in self.chunks)

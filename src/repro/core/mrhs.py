@@ -1,0 +1,236 @@
+"""Algorithm 2: Stokesian dynamics with Multiple Right-Hand Sides.
+
+The key obstacle the paper overcomes: in a dynamical simulation the
+right-hand sides arrive *sequentially* — step k+1's system cannot be
+formed until step k is done — so a block solver seems inapplicable.
+The trick (Section III): at two consecutive steps the systems
+
+    R_k     u_k     = -f^B_k     = -S(R_k) z_k
+    R_{k+1} u_{k+1} = -f^B_{k+1} = -S(R_{k+1}) z_{k+1}
+
+have *different* right-hand sides but *nearly identical* matrices
+(particles move slowly).  All the noise vectors z_k are available up
+front, so one can solve the **augmented system**
+
+    R_0 [u_0, u'_1, ..., u'_{m-1}] = -S(R_0) [z_0, z_1, ..., z_{m-1}]
+
+with a block method.  Column 0 is the exact solution for step 0; the
+other columns are the solutions the later steps *would* have if the
+matrix did not change — excellent initial guesses, degrading only as
+sqrt(step) like the Brownian displacement itself (Figure 5).
+
+The block solve and the block Chebyshev application are cheap because
+every iteration is one GSPMV with ``m`` vectors (~2x a single SPMV for
+m = 8-16), while the saved CG iterations are full single-vector solves.
+
+One chunk of ``m`` steps:
+
+    1. Construct R_0
+    2. F^B = S(R_0) Z                       (Cheb vectors,  GSPMV)
+    3. Solve R_0 U = -F^B by block CG       (Calc guesses,  GSPMV)
+    4-6.  advance step 0 using u_0
+    7-14. for k = 1 .. m-1: advance step k, seeding the first solve
+          with u'_k  (Cheb single / 1st solve / 2nd solve)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.solvers.block_cg import BlockCGResult, block_conjugate_gradient
+from repro.stokesian.dynamics import SDParameters, StepRecord, StokesianDynamics
+from repro.stokesian.particles import ParticleSystem
+from repro.util.rng import RngLike
+from repro.util.timer import Stopwatch, TimingRecord
+
+__all__ = ["MrhsParameters", "ChunkRecord", "MrhsStokesianDynamics"]
+
+
+@dataclass(frozen=True)
+class MrhsParameters:
+    """MRHS-specific knobs on top of :class:`SDParameters`."""
+
+    m: int = 16
+    """Number of right-hand sides per chunk (the paper's experiments use
+    16; the best value sits near the GSPMV bandwidth/compute crossover,
+    see Table VIII)."""
+    block_tol: Optional[float] = None
+    """Relative tolerance of the auxiliary block solve (defaults to the
+    in-step solver tolerance)."""
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError("m must be >= 1")
+        if self.block_tol is not None and not 0 < self.block_tol < 1:
+            raise ValueError("block_tol must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """Everything that happened in one chunk of ``m`` steps."""
+
+    chunk_index: int
+    m: int
+    block_iterations: int
+    block_gspmv_calls: int
+    block_converged: bool
+    steps: List[StepRecord]
+    chunk_timings: TimingRecord
+    """Phases amortized over the chunk: "Construct R0", "Cheb vectors",
+    "Calc guesses"."""
+
+    @property
+    def guess_errors(self) -> List[Optional[float]]:
+        """Per-step relative error of the block-solve initial guess
+        (the Figure 5 observable)."""
+        return [s.guess_error for s in self.steps]
+
+    @property
+    def first_solve_iterations(self) -> List[int]:
+        """Per-step 1st-solve iterations (the Figure 6 observable)."""
+        return [s.iterations_first for s in self.steps]
+
+    def total_time(self) -> float:
+        return self.chunk_timings.total() + sum(
+            s.timings.total() for s in self.steps
+        )
+
+    def average_step_time(self) -> float:
+        """The Tables VI/VII bottom row: chunk cost amortized per step."""
+        return self.total_time() / self.m
+
+
+class MrhsStokesianDynamics:
+    """Algorithm 2 driver.
+
+    Owns a :class:`StokesianDynamics` instance and reuses all of its
+    components — same matrix assembly, same Brownian generator, same CG
+    — changing only where the first solve's initial guess comes from.
+
+    Parameters
+    ----------
+    system:
+        Initial configuration.
+    params:
+        Shared SD parameters.
+    mrhs:
+        MRHS parameters (chunk size ``m``).
+    rng:
+        Noise stream (same semantics as the original driver, so the two
+        algorithms can be run on identical noise).
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        params: SDParameters = SDParameters(),
+        mrhs: MrhsParameters = MrhsParameters(),
+        *,
+        rng: RngLike = None,
+        forces=None,
+    ) -> None:
+        self.sd = StokesianDynamics(system, params, rng=rng, forces=forces)
+        self.mrhs = mrhs
+        self.chunks: List[ChunkRecord] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> ParticleSystem:
+        return self.sd.system
+
+    @property
+    def params(self) -> SDParameters:
+        return self.sd.params
+
+    # ------------------------------------------------------------------
+    def solve_auxiliary(
+        self, R0, Z: np.ndarray
+    ) -> tuple[np.ndarray, BlockCGResult, np.ndarray]:
+        """Steps 2-3 of Algorithm 2: Brownian block + augmented solve.
+
+        Returns ``(F_B, block_result, U)`` where ``U[:, k]`` is the
+        initial guess for in-chunk step ``k`` (column 0 being step 0's
+        exact solution up to solver tolerance).
+        """
+        gen = self.sd.brownian_generator(R0)
+        F_B = gen.generate(Z)
+        tol = self.mrhs.block_tol or self.params.tol
+        rhs = -F_B + self.sd.external_forces()[:, None]
+        result = block_conjugate_gradient(
+            R0,
+            rhs,
+            tol=tol,
+            max_iter=self.params.max_iter,
+            preconditioner=self.sd.make_preconditioner(R0),
+        )
+        return F_B, result, result.X
+
+    def run_chunk(self, m: Optional[int] = None) -> ChunkRecord:
+        """Advance one full Algorithm 2 chunk of ``m`` time steps.
+
+        ``m`` defaults to the driver's :class:`MrhsParameters`; passing
+        a value overrides it for this chunk only (the hook the adaptive
+        scheduling driver uses).
+        """
+        m = self.mrhs.m if m is None else int(m)
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        sw = Stopwatch()
+        with sw.phase("Construct R0"):
+            R0 = self.sd.build_matrix()
+        Z = self.sd.draw_noise(m)
+        if Z.ndim == 1:
+            Z = Z[:, None]
+        with sw.phase("Cheb vectors"):
+            gen = self.sd.brownian_generator(R0)
+            F_B = gen.generate(Z)
+        with sw.phase("Calc guesses"):
+            tol = self.mrhs.block_tol or self.params.tol
+            # The deterministic force at the chunk-start configuration
+            # seeds every column (f^P drifts as slowly as R does).
+            rhs = -F_B + self.sd.external_forces()[:, None]
+            block = block_conjugate_gradient(
+                R0,
+                rhs,
+                tol=tol,
+                max_iter=self.params.max_iter,
+                preconditioner=self.sd.make_preconditioner(R0),
+            )
+        U = block.X
+
+        steps = [
+            self.sd.step(z=Z[:, k], u_guess=U[:, k].copy()) for k in range(m)
+        ]
+        record = ChunkRecord(
+            chunk_index=len(self.chunks),
+            m=m,
+            block_iterations=block.iterations,
+            block_gspmv_calls=block.gspmv_calls,
+            block_converged=block.converged,
+            steps=steps,
+            chunk_timings=sw.record(),
+        )
+        self.chunks.append(record)
+        return record
+
+    def run(self, n_chunks: int) -> List[ChunkRecord]:
+        """Advance ``n_chunks * m`` time steps."""
+        if n_chunks < 0:
+            raise ValueError("n_chunks must be non-negative")
+        return [self.run_chunk() for _ in range(n_chunks)]
+
+    # ------------------------------------------------------------------
+    def step_records(self) -> List[StepRecord]:
+        """All per-step records across chunks, in time order."""
+        return [s for c in self.chunks for s in c.steps]
+
+    def average_step_time(self) -> float:
+        """Amortized wall-clock seconds per time step so far."""
+        if not self.chunks:
+            return 0.0
+        total = sum(c.total_time() for c in self.chunks)
+        steps = sum(c.m for c in self.chunks)
+        return total / steps

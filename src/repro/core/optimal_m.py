@@ -1,0 +1,105 @@
+"""Empirical m sweep: the Table VIII / Figure 7 experiment.
+
+For each candidate ``m``, run the MRHS driver for one or more chunks
+from the same initial state and record the amortized per-step time.
+The sweep's argmin is the empirical ``m_optimal``; alongside it we
+report the model's crossover ``m_s`` for the same matrix, which the
+paper shows (Table VIII) to be within 1-3 of the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.mrhs_model import MrhsCostModel, SolverCounts
+from repro.perfmodel.roofline import GspmvTimeModel
+from repro.stokesian.dynamics import SDParameters
+from repro.stokesian.particles import ParticleSystem
+from repro.stokesian.resistance import build_resistance_matrix
+
+__all__ = ["MSweepResult", "sweep_m", "solver_counts_from_run"]
+
+
+@dataclass(frozen=True)
+class MSweepResult:
+    """Outcome of an m sweep on one physical system."""
+
+    m_values: List[int]
+    measured_step_times: List[float]
+    m_optimal: int
+    m_s: Optional[int]
+    """Model crossover for the same matrix/machine (None = never
+    compute-bound up to the sweep maximum)."""
+
+    def as_rows(self) -> List[tuple[int, float]]:
+        return list(zip(self.m_values, self.measured_step_times))
+
+
+def sweep_m(
+    system: ParticleSystem,
+    params: SDParameters,
+    m_values: Sequence[int],
+    *,
+    machine: MachineSpec,
+    chunks_per_m: int = 1,
+    rng_seed: int = 0,
+) -> MSweepResult:
+    """Measure the amortized step time of MRHS for each ``m``.
+
+    Every candidate starts from the same configuration and noise seed,
+    so times are comparable.  ``machine`` is only used for the model's
+    ``m_s`` column (measurements are host wall-clock).
+    """
+    if not m_values:
+        raise ValueError("m_values must be non-empty")
+    times: List[float] = []
+    for m in m_values:
+        driver = MrhsStokesianDynamics(
+            system, params, MrhsParameters(m=int(m)), rng=rng_seed
+        )
+        driver.run(chunks_per_m)
+        times.append(driver.average_step_time())
+    best = int(np.argmin(times))
+    R = build_resistance_matrix(
+        system, viscosity=params.viscosity, cutoff_gap=params.cutoff_gap
+    )
+    ms = GspmvTimeModel(R, machine).crossover_m(int(max(m_values)) * 4)
+    return MSweepResult(
+        m_values=[int(m) for m in m_values],
+        measured_step_times=times,
+        m_optimal=int(m_values[best]),
+        m_s=ms,
+    )
+
+
+def solver_counts_from_run(
+    driver: MrhsStokesianDynamics, original_steps
+) -> SolverCounts:
+    """Extract the (N, N1, N2, Cmax) of an actual simulation pair.
+
+    Feeds the analytic :class:`MrhsCostModel` with iteration counts
+    measured from real runs — how Figure 7's predicted curve is
+    parameterized (the paper uses N=162, N1=80, N2=63, Cmax=30 from its
+    300k/50% system).
+    """
+    guessed = [
+        s.iterations_first for c in driver.chunks for s in c.steps[1:]
+    ]
+    second = [s.iterations_second for c in driver.chunks for s in c.steps]
+    unguessed = [s.iterations_first for s in original_steps]
+    if not (guessed and second and unguessed):
+        raise ValueError("need at least one chunk of both runs")
+    n = int(round(float(np.mean(unguessed))))
+    n1 = int(round(float(np.mean(guessed))))
+    n2 = int(round(float(np.mean(second))))
+    return SolverCounts(
+        n_noguess=max(n, 1),
+        n_first=min(n1, max(n, 1)),
+        n_second=n2,
+        cheb_order=driver.params.cheb_degree,
+    )

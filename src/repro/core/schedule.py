@@ -1,0 +1,101 @@
+"""Policies for choosing the number of right-hand sides ``m``.
+
+"The parameter m may be larger or smaller depending on how R_k evolves
+and on the incremental cost of GSPMV for additional vectors."
+(Section III.)  Three policies:
+
+* :class:`FixedM` — a constant (the paper's experiments use 16);
+* :class:`ModelDrivenM` — the Section V.B.3 result: pick ``m`` at the
+  GSPMV bandwidth->compute crossover ``m_s`` predicted by the
+  performance model for the actual matrix and machine;
+* :class:`AdaptiveM` — measurement-driven hill climbing on the observed
+  average step time, for when no machine model is trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.roofline import GspmvTimeModel
+from repro.sparse.bcrs import BCRSMatrix
+
+__all__ = ["FixedM", "ModelDrivenM", "AdaptiveM"]
+
+
+@dataclass(frozen=True)
+class FixedM:
+    """Always use the same chunk size."""
+
+    m: int = 16
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError("m must be >= 1")
+
+    def choose(self, A: Optional[BCRSMatrix] = None) -> int:
+        return self.m
+
+
+@dataclass(frozen=True)
+class ModelDrivenM:
+    """Pick ``m = m_s`` (the roofline crossover) for a given machine.
+
+    Table VIII shows the empirically best m sits at or just below m_s;
+    ``offset`` lets callers bias accordingly (the paper's measured
+    m_optimal is m_s - 1 ... m_s - 2).
+    """
+
+    machine: MachineSpec
+    offset: int = -1
+    m_min: int = 1
+    m_max: int = 64
+
+    def choose(self, A: BCRSMatrix) -> int:
+        model = GspmvTimeModel(A, self.machine)
+        ms = model.crossover_m(self.m_max)
+        if ms is None:
+            # Never compute-bound: every extra vector is nearly free;
+            # cap at m_max (guess quality decay is the only limit).
+            return self.m_max
+        return max(self.m_min, min(self.m_max, ms + self.offset))
+
+
+@dataclass
+class AdaptiveM:
+    """Hill-climb ``m`` on measured average step times.
+
+    Feed each chunk's measured per-step time to :meth:`observe`; the
+    policy doubles ``m`` while times improve and backs off (and pins)
+    when they regress — a pragmatic scheme for machines without a
+    calibrated model.
+    """
+
+    m: int = 4
+    m_max: int = 64
+    _last_time: Optional[float] = field(default=None, repr=False)
+    _direction: int = field(default=+1, repr=False)
+    _pinned: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.m_max < self.m:
+            raise ValueError("need 1 <= m <= m_max")
+
+    def choose(self, A: Optional[BCRSMatrix] = None) -> int:
+        return self.m
+
+    def observe(self, avg_step_time: float) -> None:
+        """Report the measured amortized step time of the last chunk."""
+        if avg_step_time <= 0:
+            raise ValueError("avg_step_time must be positive")
+        if self._pinned:
+            return
+        if self._last_time is None or avg_step_time < self._last_time:
+            self._last_time = avg_step_time
+            nxt = self.m * 2 if self._direction > 0 else max(1, self.m // 2)
+            self.m = min(self.m_max, nxt)
+        else:
+            # Regression: step back once and stop exploring.
+            self.m = max(1, self.m // 2 if self._direction > 0 else self.m * 2)
+            self._pinned = True

@@ -1,0 +1,57 @@
+"""Simulated distributed-memory substrate.
+
+The paper's multi-node results come from a 64-node InfiniBand cluster;
+this reproduction has one machine, so the cluster is *built* rather
+than assumed (see DESIGN.md, "Substitutions"):
+
+* :mod:`repro.distributed.mpi_sim` — a deterministic cooperative
+  message-passing engine: rank programs are Python generators, message
+  matching is by (source, tag), traffic is metered exactly;
+* :mod:`repro.distributed.partition` — the paper's coordinate-based
+  row-partitioning ("bins each particle using a 3D grid and attempts to
+  balance the number of non-zeros in each partition") plus a contiguous
+  nnz-balanced fallback;
+* :mod:`repro.distributed.graphpart` — a spectral/KL graph partitioner
+  standing in for METIS (the paper's comparison baseline);
+* :mod:`repro.distributed.comm` — boundary-exchange plans extracted
+  from a partitioned BCRS matrix: who needs which vector blocks from
+  whom, giving exact communication volumes and message counts;
+* :mod:`repro.distributed.netmodel` — an alpha-beta network model with
+  the published InfiniBand figures (1.5 us latency, 3380 MiB/s
+  uni-directional bandwidth) and compute/communication overlap;
+* :mod:`repro.distributed.simcluster` — multi-node GSPMV: numerically
+  exact distributed execution on the mpi_sim engine, and the timing
+  model producing r(m, p), strong-scaling curves, and communication
+  fractions (Figures 3-4, Table III).
+"""
+
+from repro.distributed.mpi_sim import MpiSim, RankContext
+from repro.distributed.partition import (
+    Partition,
+    coordinate_partition,
+    contiguous_partition,
+)
+from repro.distributed.graphpart import spectral_partition
+from repro.distributed.comm import CommunicationPlan, build_comm_plan
+from repro.distributed.netmodel import NetworkSpec, INFINIBAND
+from repro.distributed.simcluster import (
+    DistributedGspmv,
+    MultiNodeTimeModel,
+)
+from repro.distributed.operator import DistributedOperator
+
+__all__ = [
+    "MpiSim",
+    "RankContext",
+    "Partition",
+    "coordinate_partition",
+    "contiguous_partition",
+    "spectral_partition",
+    "CommunicationPlan",
+    "build_comm_plan",
+    "NetworkSpec",
+    "INFINIBAND",
+    "DistributedGspmv",
+    "MultiNodeTimeModel",
+    "DistributedOperator",
+]

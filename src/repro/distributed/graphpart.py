@@ -1,0 +1,83 @@
+"""Graph partitioning via recursive spectral bisection (METIS stand-in).
+
+The paper compares its cheap coordinate partitioner against METIS
+(Karypis & Kumar 1999) and finds "communication volume and load balance
+comparable".  METIS is not available offline, so the comparison
+baseline here is the classical recursive spectral bisection: split the
+block connectivity graph by the sign pattern (median) of the Fiedler
+vector of its Laplacian, recursively, until ``p`` parts exist.
+
+This is slower but typically yields cuts of similar quality to
+multilevel partitioners at these problem sizes, which is all the
+comparison bench needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.distributed.partition import Partition
+from repro.sparse.bcrs import BCRSMatrix
+
+__all__ = ["spectral_partition"]
+
+
+def _fiedler_split(adj: sp.csr_matrix, nodes: np.ndarray, n_left: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``nodes`` into (left, right) with ``n_left`` nodes on the
+    left, ordered by the Fiedler vector of the induced subgraph."""
+    sub = adj[nodes][:, nodes]
+    n = len(nodes)
+    if n <= 1:
+        return nodes[:n_left], nodes[n_left:]
+    degree = np.asarray(sub.sum(axis=1)).ravel()
+    lap = sp.diags(degree) - sub
+    try:
+        # Smallest two eigenpairs; the second is the Fiedler vector.
+        vals, vecs = spla.eigsh(
+            lap.asfptype(), k=min(2, n - 1), sigma=-1e-8, which="LM", tol=1e-4
+        )
+        fiedler = vecs[:, np.argsort(vals)[-1]]
+    except Exception:
+        # Disconnected or tiny subgraph: fall back to index order.
+        fiedler = np.arange(n, dtype=float)
+    order = np.argsort(fiedler, kind="stable")
+    return nodes[order[:n_left]], nodes[order[n_left:]]
+
+
+def spectral_partition(A: BCRSMatrix, p: int) -> Partition:
+    """Partition the block rows of a structurally symmetric matrix into
+    ``p`` parts by recursive spectral bisection.
+
+    Parts are balanced by row count (each recursion splits
+    proportionally), which for SD matrices is a good proxy for nnz
+    balance; the comparison bench reports both metrics.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if p > A.nb_rows:
+        raise ValueError("cannot make more parts than block rows")
+    nb = A.nb_rows
+    structure = sp.csr_matrix(
+        (np.ones(A.nnzb), A.col_ind, A.row_ptr), shape=(nb, A.nb_cols)
+    )
+    adj = ((structure + structure.T) > 0).astype(np.float64)
+    adj.setdiag(0)
+    adj.eliminate_zeros()
+
+    part_of_row = np.zeros(nb, dtype=np.int64)
+
+    def recurse(nodes: np.ndarray, parts: int, first_part: int) -> None:
+        if parts == 1:
+            part_of_row[nodes] = first_part
+            return
+        left_parts = parts // 2
+        n_left = int(round(len(nodes) * left_parts / parts))
+        n_left = max(left_parts, min(n_left, len(nodes) - (parts - left_parts)))
+        left, right = _fiedler_split(adj, nodes, n_left)
+        recurse(left, left_parts, first_part)
+        recurse(right, parts - left_parts, first_part + left_parts)
+
+    recurse(np.arange(nb), p, 0)
+    return Partition(part_of_row=part_of_row, n_parts=p)

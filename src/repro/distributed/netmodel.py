@@ -1,0 +1,49 @@
+"""The alpha-beta network model with the paper's InfiniBand figures.
+
+Section IV.C2: "The nodes are connected via an InfiniBand interconnect
+that supports a one-way latency of 1.5 usecs for 4 bytes, a
+uni-directional bandwidth of up to 3380 MiB/s".
+
+A rank's exchange of ``k`` messages totalling ``V`` bytes is modelled
+as ``T = alpha * k + V / beta``.  The paper's implementation overlaps
+communication with the local multiply ("we overlap computation with
+communication, using nonblocking communication MPI calls"), dedicating
+a small thread subset to communication; with overlap the step time is
+``max(T_compute, T_comm) + gather`` instead of their sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkSpec", "INFINIBAND"]
+
+MiB = 2**20
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Point-to-point network characteristics."""
+
+    name: str
+    latency: float
+    """One-way small-message latency, seconds (``alpha``)."""
+    bandwidth: float
+    """Uni-directional bandwidth, bytes/second (``beta``)."""
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+
+    def transfer_time(self, messages: int, volume_bytes: float) -> float:
+        """``alpha * messages + volume / beta``."""
+        if messages < 0 or volume_bytes < 0:
+            raise ValueError("messages and volume must be non-negative")
+        return self.latency * messages + volume_bytes / self.bandwidth
+
+
+INFINIBAND = NetworkSpec(
+    name="InfiniBand-DDR",
+    latency=1.5e-6,
+    bandwidth=3380 * MiB,
+)

@@ -1,0 +1,167 @@
+"""Row partitioning of block matrices across ranks.
+
+The paper's scheme (Section IV.A2): "a simple, coordinate-based
+row-partitioning scheme.  This partitioning bins each particle using a
+3D grid and attempts to balance the number of non-zeros in each
+partition.  The entire operation is inexpensive, and can be done during
+neighbor list construction ... Coordinate-based partitioning resulted
+in communication volume and load balance comparable to that of a METIS
+partitioning."
+
+:func:`coordinate_partition` implements exactly that: particles are
+binned on a 3-D grid, bins are walked in raster order, and consecutive
+bins are greedily grouped so each part holds ~1/p of the matrix
+non-zeros.  :func:`contiguous_partition` is the coordinate-free variant
+(contiguous block-row ranges balanced by nnz) for matrices without
+particle geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.sparse.bcrs import BCRSMatrix
+from repro.stokesian.particles import ParticleSystem
+
+__all__ = ["Partition", "coordinate_partition", "contiguous_partition"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Assignment of block rows to ``p`` parts.
+
+    Attributes
+    ----------
+    part_of_row:
+        ``(nb,)`` array mapping block row -> owning part.
+    n_parts:
+        Number of parts ``p``.
+    """
+
+    part_of_row: np.ndarray
+    n_parts: int
+
+    def __post_init__(self) -> None:
+        part_of_row = np.ascontiguousarray(self.part_of_row, dtype=np.int64)
+        if self.n_parts < 1:
+            raise ValueError("n_parts must be >= 1")
+        if part_of_row.size and (
+            part_of_row.min() < 0 or part_of_row.max() >= self.n_parts
+        ):
+            raise ValueError("part indices out of range")
+        object.__setattr__(self, "part_of_row", part_of_row)
+
+    @property
+    def nb(self) -> int:
+        return int(len(self.part_of_row))
+
+    def rows_of(self, part: int) -> np.ndarray:
+        """Block rows owned by ``part``."""
+        if not 0 <= part < self.n_parts:
+            raise ValueError(f"invalid part {part}")
+        return np.flatnonzero(self.part_of_row == part)
+
+    def rows_per_part(self) -> np.ndarray:
+        return np.bincount(self.part_of_row, minlength=self.n_parts)
+
+    def nnz_per_part(self, A: BCRSMatrix) -> np.ndarray:
+        """Stored non-zero blocks owned by each part (by row ownership)."""
+        if A.nb_rows != self.nb:
+            raise ValueError("matrix size does not match partition")
+        row_nnz = np.diff(A.row_ptr)
+        out = np.zeros(self.n_parts, dtype=np.int64)
+        np.add.at(out, self.part_of_row, row_nnz)
+        return out
+
+    def load_imbalance(self, A: BCRSMatrix) -> float:
+        """``max(part nnz) / mean(part nnz)`` — 1.0 is perfect balance."""
+        nnz = self.nnz_per_part(A)
+        mean = nnz.mean()
+        return float(nnz.max() / mean) if mean > 0 else 1.0
+
+
+def _greedy_prefix_split(weights: np.ndarray, p: int) -> np.ndarray:
+    """Split an ordered weight sequence into ``p`` consecutive non-empty
+    groups of roughly equal total weight; returns each element's group.
+
+    Two closing rules keep the split valid *and* balanced:
+
+    * **must close** — when the remaining elements exactly suffice to
+      give every remaining group one element, each must start a group;
+    * **may close** — when adding the element would overshoot the
+      (re-normalized) per-group target, provided enough elements remain
+      for the groups after this one.
+    """
+    n = len(weights)
+    total = float(weights.sum())
+    target = total / p if p else total
+    group = np.empty(n, dtype=np.int64)
+    g, acc = 0, 0.0
+    remaining_weight = total
+    for idx, w in enumerate(weights):
+        remaining_elems = n - idx
+        groups_after = p - g - 1
+        must_close = groups_after > 0 and remaining_elems == groups_after
+        may_close = (
+            groups_after > 0
+            and acc > 0
+            and acc + float(w) > target
+            and remaining_elems - 1 >= groups_after - 1
+        )
+        if must_close or may_close:
+            remaining_weight -= acc
+            g += 1
+            target = remaining_weight / (p - g)
+            acc = 0.0
+        group[idx] = g
+        acc += float(w)
+    return group
+
+
+def contiguous_partition(A: BCRSMatrix, p: int) -> Partition:
+    """Contiguous block-row ranges, balanced by stored non-zeros."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if p > A.nb_rows:
+        raise ValueError("cannot make more parts than block rows")
+    weights = np.diff(A.row_ptr).astype(np.float64)
+    # Guard zero-weight rows so each group is non-empty.
+    weights = np.maximum(weights, 1e-9)
+    return Partition(part_of_row=_greedy_prefix_split(weights, p), n_parts=p)
+
+
+def coordinate_partition(
+    system: ParticleSystem,
+    A: BCRSMatrix,
+    p: int,
+    *,
+    cells_per_side: int | None = None,
+) -> Partition:
+    """The paper's coordinate-based partitioner.
+
+    Particles are binned on a 3-D grid (raster-ordered), then bins are
+    grouped greedily so parts carry ~equal non-zeros.  Particle order
+    within a bin is preserved, so the mapping is deterministic.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if A.nb_rows != system.n:
+        raise ValueError("matrix must have one block row per particle")
+    if p > system.n:
+        raise ValueError("cannot make more parts than particles")
+    if cells_per_side is None:
+        # Enough bins for ~8 bins per part, at least 2 per side.
+        cells_per_side = max(2, int(np.ceil((8 * p) ** (1.0 / 3.0))))
+    frac = np.mod(system.positions / system.box, 1.0)
+    cell = np.minimum(
+        (frac * cells_per_side).astype(np.int64), cells_per_side - 1
+    )
+    key = (cell[:, 0] * cells_per_side + cell[:, 1]) * cells_per_side + cell[:, 2]
+    order = np.argsort(key, kind="stable")
+    row_nnz = np.diff(A.row_ptr).astype(np.float64)
+    ordered_weights = np.maximum(row_nnz[order], 1e-9)
+    groups_in_order = _greedy_prefix_split(ordered_weights, p)
+    part_of_row = np.empty(system.n, dtype=np.int64)
+    part_of_row[order] = groups_in_order
+    return Partition(part_of_row=part_of_row, n_parts=p)

@@ -1,0 +1,245 @@
+"""Multi-node GSPMV: exact distributed execution plus the time model.
+
+Two layers, deliberately separate:
+
+* :class:`DistributedGspmv` — *numerical* distributed GSPMV on the
+  :class:`~repro.distributed.mpi_sim.MpiSim` engine: every rank owns
+  its partition's rows of the matrix and vectors, exchanges boundary
+  vector blocks per the communication plan, multiplies its local
+  submatrix, and the gathered result is verified (in tests) to equal
+  the single-node kernel bitwise.  This proves the substrate is real,
+  not just a formula.
+
+* :class:`MultiNodeTimeModel` — the *performance* model behind
+  Figures 3-4 and Table III: per-rank compute time from the single-node
+  roofline on the local submatrix, communication from the alpha-beta
+  network model on the plan's exact message counts and volumes, with
+  optional compute/communication overlap (the paper's nonblocking-MPI
+  implementation), giving
+
+      T(m, p) = max over ranks of combine(T_compute, T_comm)
+      r(m, p) = T(m, p) / T(1, p).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.distributed.comm import CommunicationPlan, build_comm_plan
+from repro.distributed.mpi_sim import MpiSim
+from repro.distributed.netmodel import NetworkSpec
+from repro.distributed.partition import Partition
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.roofline import MatrixShape, time_compute, time_bandwidth
+from repro.sparse.bcrs import BCRSMatrix
+from repro.sparse.gspmv import gspmv
+
+__all__ = ["DistributedGspmv", "MultiNodeTimeModel"]
+
+
+def _local_submatrix(
+    A: BCRSMatrix, own_rows: np.ndarray, local_col_of: dict[int, int], n_local_cols: int
+) -> BCRSMatrix:
+    """Extract the rows ``own_rows`` of ``A`` with columns remapped into
+    the rank's compact local index space."""
+    rows_out: List[int] = []
+    cols_out: List[int] = []
+    blocks_out: List[np.ndarray] = []
+    for local_r, global_r in enumerate(own_rows):
+        cols, blks = A.block_row(int(global_r))
+        for c, blk in zip(cols, blks):
+            rows_out.append(local_r)
+            cols_out.append(local_col_of[int(c)])
+            blocks_out.append(blk)
+    blocks_arr = (
+        np.stack(blocks_out)
+        if blocks_out
+        else np.zeros((0, A.block_size, A.block_size))
+    )
+    return BCRSMatrix.from_block_coo(
+        len(own_rows), n_local_cols, rows_out, cols_out, blocks_arr,
+        sum_duplicates=False,
+    )
+
+
+class DistributedGspmv:
+    """Numerically exact GSPMV distributed over simulated ranks."""
+
+    def __init__(self, A: BCRSMatrix, partition: Partition) -> None:
+        if A.nb_rows != A.nb_cols:
+            raise ValueError("matrix must be block-square")
+        self.A = A
+        self.partition = partition
+        self.plan: CommunicationPlan = build_comm_plan(A, partition)
+        self.block_size = A.block_size
+        p = partition.n_parts
+
+        self._own_rows: List[np.ndarray] = [partition.rows_of(r) for r in range(p)]
+        self._col_maps: List[dict[int, int]] = []
+        self._ext_order: List[np.ndarray] = []
+        self._locals: List[BCRSMatrix] = []
+        for r in range(p):
+            own = self._own_rows[r]
+            ext = (
+                np.concatenate(
+                    [self.plan.recv_cols[r][s] for s in sorted(self.plan.recv_cols[r])]
+                )
+                if self.plan.recv_cols[r]
+                else np.empty(0, dtype=np.int64)
+            )
+            local_cols = np.concatenate([own, ext])
+            col_map = {int(c): i for i, c in enumerate(local_cols)}
+            self._col_maps.append(col_map)
+            self._ext_order.append(ext)
+            self._locals.append(
+                _local_submatrix(A, own, col_map, len(local_cols))
+            )
+
+    # ------------------------------------------------------------------
+    def multiply(self, X: np.ndarray) -> np.ndarray:
+        """Compute ``Y = A @ X`` across simulated ranks.
+
+        ``X`` is the logically global ``(n, m)`` multivector; each rank
+        only ever touches its own rows plus received boundary blocks.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        squeeze = X.ndim == 1
+        if squeeze:
+            X = X[:, None]
+        if X.shape[0] != self.A.n_rows:
+            raise ValueError("X row count does not match matrix")
+        m = X.shape[1]
+        b = self.block_size
+        Xb = X.reshape(self.A.nb_rows, b, m)
+        plan = self.plan
+        p = self.partition.n_parts
+        locals_ = self._locals
+        own_rows = self._own_rows
+        col_maps = self._col_maps
+
+        def program(ctx):
+            r = ctx.rank
+            own = own_rows[r]
+            # Post all sends first (nonblocking style).
+            for dest in sorted(plan.send_cols[r]):
+                cols = plan.send_cols[r][dest]
+                ctx.send(dest, tag=0, payload=Xb[cols])
+            # Local X blocks land at the front of the local numbering.
+            n_local_cols = len(col_maps[r])
+            X_local = np.zeros((n_local_cols, b, m))
+            X_local[: len(own)] = Xb[own]
+            # Receive boundary blocks in deterministic source order.
+            offset = len(own)
+            for src in sorted(plan.recv_cols[r]):
+                payload = yield ctx.recv(src, tag=0)
+                k = payload.shape[0]
+                X_local[offset : offset + k] = payload
+                offset += k
+            Y_local = gspmv(locals_[r], X_local.reshape(n_local_cols * b, m))
+            ctx.result = Y_local
+
+        sim = MpiSim(p)
+        contexts = sim.run(program)
+        self.last_traffic = sim.total_traffic()
+
+        Y = np.empty((self.A.n_rows, m))
+        for r in range(p):
+            own = own_rows[r]
+            Yr = contexts[r].result.reshape(len(own), b, m)
+            Y.reshape(self.A.nb_rows, b, m)[own] = Yr
+        return Y[:, 0] if squeeze else Y
+
+
+@dataclass
+class MultiNodeTimeModel:
+    """The Figures 3-4 / Table III performance model.
+
+    Parameters
+    ----------
+    A:
+        The (global) matrix.
+    partition:
+        Row partition over ``p`` ranks.
+    machine:
+        Per-node machine spec (the paper's cluster node: WSM at 2.9 GHz).
+    network:
+        Interconnect alpha-beta model.
+    overlap:
+        Overlap communication with local compute (the paper's
+        implementation does; set False for the ablation).
+    k:
+        The cache-miss function value used in per-rank compute bounds
+        (0 by default: per-node working sets shrink with p, so cache
+        pressure is lower than single-node).
+    """
+
+    A: BCRSMatrix
+    partition: Partition
+    machine: MachineSpec
+    network: NetworkSpec
+    overlap: bool = True
+    k: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.plan = build_comm_plan(self.A, self.partition)
+        row_nnz = np.diff(self.A.row_ptr)
+        self._rank_shapes: List[MatrixShape] = []
+        for r in range(self.partition.n_parts):
+            rows = self.partition.rows_of(r)
+            nb_r = max(1, len(rows))
+            nnzb_r = float(row_nnz[rows].sum()) if len(rows) else 0.0
+            self._rank_shapes.append(
+                MatrixShape(
+                    nb=nb_r,
+                    blocks_per_row=max(nnzb_r / nb_r, 1e-12),
+                    block_size=self.A.block_size,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def compute_time(self, rank: int, m: int) -> float:
+        """Local GSPMV roofline time, plus the boundary-gather traffic
+        (packing sent blocks reads them once more from memory)."""
+        shape = self._rank_shapes[rank]
+        t_kernel = max(
+            time_bandwidth(shape, m, self.machine, self.k),
+            time_compute(shape, m, self.machine),
+        )
+        gather_bytes = self.plan.send_volume_bytes(rank, m)
+        return t_kernel + gather_bytes / self.machine.stream_bw
+
+    def comm_time(self, rank: int, m: int) -> float:
+        return self.network.transfer_time(
+            self.plan.messages_received(rank),
+            self.plan.recv_volume_bytes(rank, m),
+        )
+
+    def rank_time(self, rank: int, m: int) -> float:
+        tc = self.compute_time(rank, m)
+        tm = self.comm_time(rank, m)
+        return max(tc, tm) if self.overlap else tc + tm
+
+    def time(self, m: int) -> float:
+        """``T(m, p)``: the slowest rank bounds the step."""
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        return max(
+            self.rank_time(r, m) for r in range(self.partition.n_parts)
+        )
+
+    def relative_time(self, m: int) -> float:
+        """``r(m, p) = T(m, p) / T(1, p)`` — the Figure 3 observable."""
+        return self.time(m) / self.time(1)
+
+    def communication_fraction(self, m: int) -> float:
+        """Comm share of (comm + compute) on the critical rank
+        (the Table III observable)."""
+        crit = max(
+            range(self.partition.n_parts), key=lambda r: self.rank_time(r, m)
+        )
+        tc = self.compute_time(crit, m)
+        tm = self.comm_time(crit, m)
+        return tm / (tc + tm) if tc + tm > 0 else 0.0

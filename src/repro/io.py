@@ -1,0 +1,74 @@
+"""Persistence: save/load matrices, particle systems, and run records.
+
+NPZ-based, dependency-free serialization so workloads (e.g. the Table I
+matrices, packed configurations that took minutes to relax) can be
+built once and reused across benchmark sessions or shared between
+machines.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.sparse.bcrs import BCRSMatrix
+from repro.stokesian.particles import ParticleSystem
+
+__all__ = [
+    "save_bcrs",
+    "load_bcrs",
+    "save_system",
+    "load_system",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_bcrs(path: PathLike, A: BCRSMatrix) -> None:
+    """Serialize a BCRS matrix to ``.npz``."""
+    np.savez_compressed(
+        path,
+        kind="bcrs",
+        row_ptr=A.row_ptr,
+        col_ind=A.col_ind,
+        blocks=A.blocks,
+        nb_cols=np.int64(A.nb_cols),
+    )
+
+
+def load_bcrs(path: PathLike) -> BCRSMatrix:
+    """Load a BCRS matrix saved by :func:`save_bcrs`."""
+    with np.load(path) as data:
+        if str(data.get("kind", "")) != "bcrs":
+            raise ValueError(f"{path} does not contain a BCRS matrix")
+        return BCRSMatrix(
+            row_ptr=data["row_ptr"],
+            col_ind=data["col_ind"],
+            blocks=data["blocks"],
+            nb_cols=int(data["nb_cols"]),
+        )
+
+
+def save_system(path: PathLike, system: ParticleSystem) -> None:
+    """Serialize a particle system to ``.npz``."""
+    np.savez_compressed(
+        path,
+        kind="particle_system",
+        positions=system.positions,
+        radii=system.radii,
+        box=system.box,
+    )
+
+
+def load_system(path: PathLike) -> ParticleSystem:
+    """Load a particle system saved by :func:`save_system`."""
+    with np.load(path) as data:
+        if str(data.get("kind", "")) != "particle_system":
+            raise ValueError(f"{path} does not contain a particle system")
+        return ParticleSystem(
+            positions=data["positions"],
+            radii=data["radii"],
+            box=data["box"],
+        )

@@ -1,0 +1,66 @@
+"""Analytical performance model of (G)SPMV and the MRHS algorithm.
+
+This package is the reproduction's stand-in for the paper's Intel
+hardware (see DESIGN.md, "Substitutions").  It contains:
+
+* :mod:`repro.perfmodel.machine` — machine descriptions (STREAM
+  bandwidth ``B``, achievable basic-kernel flop rate ``F``, last-level
+  cache) for the paper's Westmere (WSM) and Sandy Bridge (SNB) systems,
+  with thread-count scaling;
+* :mod:`repro.perfmodel.roofline` — the GSPMV time model
+  ``T(m) = max(Tbw(m), Tcomp(m))`` and relative time ``r(m)`` (Eq. 8);
+* :mod:`repro.perfmodel.profile` — the Figure 1 profile: how many
+  vectors can be multiplied within a given multiple of single-vector
+  time, as a function of ``nnzb/nb`` and ``B/F``;
+* :mod:`repro.perfmodel.mrhs_model` — the Section V.B.3 analysis:
+  average per-step time ``Tmrhs(m)`` (Eq. 9), its bandwidth/compute
+  regimes (Eqs. 11–12), the crossover ``m_s`` and the optimum
+  ``m_optimal``;
+* :mod:`repro.perfmodel.cost` — converts exactly counted kernel traffic
+  and flops into simulated seconds on a chosen machine;
+* :mod:`repro.perfmodel.stream` — STREAM-triad and block-kernel
+  micro-benchmarks to calibrate a :class:`MachineSpec` for the host.
+"""
+
+from repro.perfmodel.machine import (
+    MachineSpec,
+    WESTMERE,
+    SANDY_BRIDGE,
+    CLUSTER_NODE,
+    host_machine,
+)
+from repro.perfmodel.roofline import (
+    GspmvTimeModel,
+    MatrixShape,
+    relative_time,
+    time_bandwidth,
+    time_compute,
+    time_gspmv,
+)
+from repro.perfmodel.profile import vectors_within_ratio, profile_grid
+from repro.perfmodel.mrhs_model import (
+    MrhsCostModel,
+    SolverCounts,
+)
+from repro.perfmodel.cost import simulated_seconds, achieved_rates
+from repro.perfmodel.stream import measure_stream_bandwidth, measure_kernel_flops
+
+__all__ = [
+    "MachineSpec",
+    "WESTMERE",
+    "SANDY_BRIDGE",
+    "CLUSTER_NODE",
+    "host_machine",
+    "GspmvTimeModel",
+    "MatrixShape",
+    "relative_time",
+    "time_bandwidth",
+    "time_compute",
+    "time_gspmv",
+    "vectors_within_ratio",
+    "profile_grid",
+    "MrhsCostModel",
+    "SolverCounts",
+    "simulated_seconds",
+    "achieved_rates",
+]

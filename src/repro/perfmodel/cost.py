@@ -1,0 +1,54 @@
+"""Turning counted traffic and flops into simulated machine time.
+
+The reproduction cannot run on the paper's Xeons, so Table II-style
+numbers ("SPMV achieves 17.8 GB/s and 3.6 Gflops on WSM") are produced
+by feeding the *exactly counted* bytes and flops of a kernel invocation
+(:mod:`repro.sparse.traffic`) into the machine's roofline:
+
+    T = max(bytes / B, flops / F)
+
+The achieved bandwidth is then ``bytes / T`` and the achieved flop rate
+``flops / T`` — by construction one of the two equals the machine's
+limit and the other is derated, exactly as on real hardware at the
+roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.machine import MachineSpec
+from repro.sparse.traffic import TrafficCounts
+
+__all__ = ["simulated_seconds", "achieved_rates", "AchievedRates"]
+
+
+@dataclass(frozen=True)
+class AchievedRates:
+    """Simulated performance of one kernel invocation on a machine."""
+
+    seconds: float
+    gbytes_per_s: float
+    gflops: float
+    bound: str
+    """``"bandwidth"`` or ``"compute"`` — which roofline limb binds."""
+
+
+def simulated_seconds(counts: TrafficCounts, machine: MachineSpec) -> float:
+    """Roofline time of an operation with the given byte/flop counts."""
+    t_bw = counts.total_bytes / machine.stream_bw
+    t_comp = counts.flops / machine.flop_rate
+    return max(t_bw, t_comp)
+
+
+def achieved_rates(counts: TrafficCounts, machine: MachineSpec) -> AchievedRates:
+    """Simulated seconds plus the achieved GB/s and Gflop/s (Table II)."""
+    t_bw = counts.total_bytes / machine.stream_bw
+    t_comp = counts.flops / machine.flop_rate
+    seconds = max(t_bw, t_comp)
+    return AchievedRates(
+        seconds=seconds,
+        gbytes_per_s=counts.total_bytes / seconds / 1e9,
+        gflops=counts.flops / seconds / 1e9,
+        bound="bandwidth" if t_bw >= t_comp else "compute",
+    )

@@ -1,0 +1,78 @@
+"""The Figure 1 profile.
+
+Figure 1 of the paper plots, as a function of the matrix density
+``nnzb/nb`` (x, 6..84) and the machine balance ``B/F`` (y, 0.02..0.6),
+the number of vectors that can be multiplied within **2x** the time of
+a single-vector SPMV, optimistically assuming ``k(m) = 0``.
+
+With ``k = 0`` the bound is closed-form.  Writing ``q = nnzb/nb``,
+``C = 4 + q*(4 + sa)`` (bytes per block row that do not depend on m) and
+``D = 3*sx + C`` (single-vector bytes per block row), Eq. 8 gives
+
+    bandwidth bound:  m <= (ratio*D - C) / (3*sx)
+    compute bound:    m <= ratio*D / (fa * q * (B/F))
+
+and the profile value is the floor of the smaller bound (at least 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.traffic import INDEX_BYTES
+
+__all__ = ["vectors_within_ratio", "profile_grid"]
+
+
+def vectors_within_ratio(
+    blocks_per_row: float,
+    byte_per_flop: float,
+    *,
+    ratio: float = 2.0,
+    k: float = 0.0,
+    block_size: int = 3,
+    sx: int = 8,
+) -> int:
+    """Largest ``m`` with ``r(m) <= ratio`` under the Eq. 8 model.
+
+    Parameters mirror Figure 1's axes: ``blocks_per_row`` is ``nnzb/nb``
+    and ``byte_per_flop`` is ``B/F``.  ``k`` is applied to both the
+    ``m``-vector numerator and the single-vector denominator (the
+    figure uses ``k = 0``).
+    """
+    if blocks_per_row <= 0:
+        raise ValueError("blocks_per_row must be positive")
+    if byte_per_flop <= 0:
+        raise ValueError("byte_per_flop must be positive")
+    if ratio < 1.0:
+        raise ValueError("ratio must be >= 1")
+    sa = block_size**2 * 8
+    fa = 2 * block_size**2
+    q = blocks_per_row
+    c = INDEX_BYTES + q * (INDEX_BYTES + sa)
+    d = (3.0 + k) * sx + c
+    m_bw = (ratio * d - c) / ((3.0 + k) * sx)
+    m_comp = ratio * d / (fa * q * byte_per_flop)
+    m = int(np.floor(min(m_bw, m_comp)))
+    return max(1, m)
+
+
+def profile_grid(
+    blocks_per_row_values: np.ndarray,
+    byte_per_flop_values: np.ndarray,
+    *,
+    ratio: float = 2.0,
+    k: float = 0.0,
+) -> np.ndarray:
+    """Evaluate :func:`vectors_within_ratio` over a grid (Figure 1).
+
+    Returns an array of shape ``(len(byte_per_flop_values),
+    len(blocks_per_row_values))`` — y-major like the figure.
+    """
+    q = np.asarray(blocks_per_row_values, dtype=float)
+    bf = np.asarray(byte_per_flop_values, dtype=float)
+    out = np.empty((len(bf), len(q)), dtype=int)
+    for i, y in enumerate(bf):
+        for j, x in enumerate(q):
+            out[i, j] = vectors_within_ratio(x, y, ratio=ratio, k=k)
+    return out

@@ -1,0 +1,188 @@
+"""The GSPMV time model of Section IV.B (single node).
+
+For a BCRS matrix with ``nb`` block rows, ``nnzb`` non-zero blocks and
+``b x b`` blocks, one GSPMV with ``m`` vectors is modelled as
+
+    Tbw(m)   = Mtr(m) / B                (bandwidth bound)
+    Tcomp(m) = fa * m * nnzb / F         (compute bound)
+    T(m)     = max(Tbw(m), Tcomp(m))
+
+with ``Mtr(m) = m*nb*(3+k(m))*sx + 4*nb + nnzb*(4+sa)`` and
+``fa = 2*b^2``.  The *relative time*
+
+    r(m) = T(m) / Tbw(1)
+
+(Eq. 8) is what Figures 2–4 plot: how much longer multiplying by ``m``
+vectors takes than multiplying by one (T(1) is assumed
+bandwidth-bound, as it always is in practice).
+
+Two interfaces are provided: a parametric one on
+:class:`MatrixShape` (used by the Figure 1 profile, where no concrete
+matrix exists), and :class:`GspmvTimeModel`, which binds a concrete
+:class:`~repro.sparse.bcrs.BCRSMatrix` plus machine and evaluates
+``k(m)`` with the LRU estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.perfmodel.machine import MachineSpec
+from repro.sparse.bcrs import BCRSMatrix
+from repro.sparse.traffic import INDEX_BYTES, estimate_k
+
+__all__ = [
+    "MatrixShape",
+    "time_bandwidth",
+    "time_compute",
+    "time_gspmv",
+    "relative_time",
+    "GspmvTimeModel",
+]
+
+
+@dataclass(frozen=True)
+class MatrixShape:
+    """The structural parameters the time model needs.
+
+    ``blocks_per_row`` is the paper's ``nnzb/nb``; ``sx`` the vector
+    scalar size in bytes; ``block_size`` the block edge ``b``.
+    """
+
+    nb: int
+    blocks_per_row: float
+    block_size: int = 3
+    sx: int = 8
+
+    @property
+    def nnzb(self) -> float:
+        return self.nb * self.blocks_per_row
+
+    @property
+    def sa(self) -> int:
+        """Bytes per stored matrix block (double precision)."""
+        return self.block_size**2 * 8
+
+    @property
+    def fa(self) -> int:
+        """Flops per block-times-block-of-vector-slices multiply, per vector."""
+        return 2 * self.block_size**2
+
+    @classmethod
+    def of(cls, A: BCRSMatrix, sx: int = 8) -> "MatrixShape":
+        return cls(
+            nb=A.nb_rows,
+            blocks_per_row=A.blocks_per_row,
+            block_size=A.block_size,
+            sx=sx,
+        )
+
+
+def time_bandwidth(shape: MatrixShape, m: int, machine: MachineSpec, k: float = 0.0) -> float:
+    """``Tbw(m)``: seconds to stream ``Mtr(m)`` at bandwidth ``B``."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    mtr = (
+        m * shape.nb * (3.0 + k) * shape.sx
+        + INDEX_BYTES * shape.nb
+        + shape.nnzb * (INDEX_BYTES + shape.sa)
+    )
+    return mtr / machine.stream_bw
+
+
+def time_compute(shape: MatrixShape, m: int, machine: MachineSpec) -> float:
+    """``Tcomp(m)``: seconds to execute ``fa * m * nnzb`` flops at rate ``F``."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    return shape.fa * m * shape.nnzb / machine.flop_rate
+
+
+def time_gspmv(shape: MatrixShape, m: int, machine: MachineSpec, k: float = 0.0) -> float:
+    """``T(m) = max(Tbw(m), Tcomp(m))``."""
+    return max(time_bandwidth(shape, m, machine, k), time_compute(shape, m, machine))
+
+
+def relative_time(
+    shape: MatrixShape,
+    m: int,
+    machine: MachineSpec,
+    *,
+    k: float = 0.0,
+    k1: Optional[float] = None,
+) -> float:
+    """Eq. 8: ``r(m) = max(Tbw(m), Tcomp(m)) / Tbw(1)``.
+
+    ``k`` is ``k(m)`` at the requested ``m``; ``k1`` is ``k(1)`` for the
+    denominator (defaults to ``k``).
+    """
+    k1 = k if k1 is None else k1
+    return time_gspmv(shape, m, machine, k) / time_bandwidth(shape, 1, machine, k1)
+
+
+class GspmvTimeModel:
+    """The time model bound to a concrete matrix and machine.
+
+    Evaluates ``k(m)`` with the LRU stack-distance estimator of
+    :func:`repro.sparse.traffic.estimate_k` (cached per ``m``), so
+    predictions account for the growing multivector working set exactly
+    as the paper's model does.
+    """
+
+    def __init__(
+        self,
+        A: BCRSMatrix,
+        machine: MachineSpec,
+        *,
+        k_override: Optional[Callable[[int], float]] = None,
+        sample_rows: Optional[int] = None,
+    ) -> None:
+        self.matrix = A
+        self.machine = machine
+        self.shape = MatrixShape.of(A)
+        self._k_override = k_override
+        self._sample_rows = sample_rows
+        self._k_cache: dict[int, float] = {}
+
+    def k(self, m: int) -> float:
+        """``k(m)`` for this matrix on this machine's LLC."""
+        if m not in self._k_cache:
+            if self._k_override is not None:
+                self._k_cache[m] = float(self._k_override(m))
+            else:
+                self._k_cache[m] = estimate_k(
+                    self.matrix,
+                    m,
+                    self.machine.llc_bytes,
+                    sample_rows=self._sample_rows,
+                )
+        return self._k_cache[m]
+
+    def time(self, m: int) -> float:
+        """Predicted seconds for one GSPMV with ``m`` vectors."""
+        return time_gspmv(self.shape, m, self.machine, self.k(m))
+
+    def time_bandwidth(self, m: int) -> float:
+        return time_bandwidth(self.shape, m, self.machine, self.k(m))
+
+    def time_compute(self, m: int) -> float:
+        return time_compute(self.shape, m, self.machine)
+
+    def relative_time(self, m: int) -> float:
+        """Eq. 8 with structure-derived ``k(m)`` and ``k(1)``."""
+        return self.time(m) / self.time_bandwidth(1)
+
+    def is_bandwidth_bound(self, m: int) -> bool:
+        return self.time_bandwidth(m) >= self.time_compute(m)
+
+    def crossover_m(self, m_max: int = 1024) -> Optional[int]:
+        """``m_s``: smallest m at which GSPMV becomes compute-bound.
+
+        Returns ``None`` when the kernel stays bandwidth-bound for every
+        ``m <= m_max`` (the paper's "very small nnzb/nb" regime, e.g. a
+        diagonal matrix).
+        """
+        for m in range(1, m_max + 1):
+            if not self.is_bandwidth_bound(m):
+                return m
+        return None

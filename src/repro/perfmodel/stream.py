@@ -1,0 +1,80 @@
+"""Host micro-benchmarks: STREAM-triad bandwidth and basic-kernel flops.
+
+The paper calibrates its model with two measurements (Section IV.D1):
+STREAM bandwidth ``B`` and the achievable flop rate ``F`` of the 3x3
+basic kernel run on a cache-resident block.  These functions provide
+the same two measurements for the host running this library, so that
+model predictions can be compared against wall-clock kernel timings on
+whatever machine the tests execute on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["measure_stream_bandwidth", "measure_kernel_flops"]
+
+
+def measure_stream_bandwidth(
+    *,
+    quick: bool = True,
+    array_mb: float | None = None,
+    repeats: int | None = None,
+) -> float:
+    """STREAM-triad (``a = b + s*c``) bandwidth in bytes/second.
+
+    Counts three arrays moved per element (two reads and one write; the
+    paper applied the same 4/3 write-allocate correction to its STREAM
+    numbers, which NumPy's out-parameter stores also avoid needing).
+    """
+    mb = array_mb if array_mb is not None else (16.0 if quick else 64.0)
+    reps = repeats if repeats is not None else (3 if quick else 10)
+    n = int(mb * 1e6 / 8)
+    b = np.ones(n)
+    c = np.full(n, 0.5)
+    a = np.empty(n)
+    scale = 3.0
+    # Warm-up pass touches all pages.
+    np.add(b, scale * c, out=a)
+    best = np.inf
+    for _ in range(reps):
+        start = time.perf_counter()
+        np.multiply(c, scale, out=a)
+        np.add(a, b, out=a)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    # multiply moves b? no: moves c(read)+a(write); add moves a(read)+b(read)+a(write).
+    bytes_moved = 5 * n * 8
+    return bytes_moved / best
+
+
+def measure_kernel_flops(
+    *,
+    quick: bool = True,
+    n_blocks: int | None = None,
+    m: int = 8,
+    repeats: int | None = None,
+) -> float:
+    """Achievable Gflop/s of the 3x3-block basic kernel on resident data.
+
+    Mirrors the paper's F benchmark: "a simple benchmark that repeatedly
+    computed with the same block of memory" for various m.
+    """
+    nb = n_blocks if n_blocks is not None else (2000 if quick else 20000)
+    reps = repeats if repeats is not None else (5 if quick else 20)
+    rng = np.random.default_rng(0)
+    blocks = rng.standard_normal((nb, 3, 3))
+    x = rng.standard_normal((nb, 3, m))
+    out = np.empty((nb, 3, m))
+    path, _ = np.einsum_path("kij,kjm->kim", blocks, x, optimize="optimal")
+    np.einsum("kij,kjm->kim", blocks, x, out=out, optimize=path)  # warm-up
+    best = np.inf
+    for _ in range(reps):
+        start = time.perf_counter()
+        np.einsum("kij,kjm->kim", blocks, x, out=out, optimize=path)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    flops = 2 * 9 * m * nb
+    return flops / best / 1e9

@@ -1,0 +1,82 @@
+"""Preconditioners for (block) CG.
+
+SD resistance matrices become ill-conditioned at high volume occupancy
+(nearly-touching particle pairs make lubrication blocks huge), which is
+exactly why the paper's 50%-occupancy runs need ~160 CG iterations
+against ~16 at 10%.  A block-Jacobi preconditioner exploits the natural
+3x3 block structure: each particle's self-interaction block is inverted
+exactly.
+
+All preconditioners are callables applying ``M^{-1}`` and work on both
+vectors and ``(n, m)`` multivectors, so the same object serves CG and
+block CG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.bcrs import BCRSMatrix
+
+__all__ = [
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "BlockJacobiPreconditioner",
+]
+
+
+class IdentityPreconditioner:
+    """No-op preconditioner (``M = I``)."""
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        return v.copy()
+
+
+class JacobiPreconditioner:
+    """Diagonal (point Jacobi) preconditioner.
+
+    ``M = diag(A)``; zero diagonal entries are treated as 1 so the
+    operator is always invertible.
+    """
+
+    def __init__(self, A: BCRSMatrix) -> None:
+        diag_blocks = A.diagonal_blocks()
+        b = A.block_size
+        diag = np.einsum("kii->ki", diag_blocks).reshape(-1)
+        diag = np.where(diag != 0.0, diag, 1.0)
+        self._inv_diag = 1.0 / diag
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v)
+        if v.ndim == 1:
+            return self._inv_diag * v
+        return self._inv_diag[:, None] * v
+
+
+class BlockJacobiPreconditioner:
+    """Block-diagonal preconditioner with exact 3x3 block inverses.
+
+    ``M = blockdiag(A_11, A_22, ...)``; singular diagonal blocks fall
+    back to the identity for that particle.
+    """
+
+    def __init__(self, A: BCRSMatrix) -> None:
+        blocks = A.diagonal_blocks()
+        b = A.block_size
+        inv = np.empty_like(blocks)
+        for i, blk in enumerate(blocks):
+            try:
+                inv[i] = np.linalg.inv(blk)
+            except np.linalg.LinAlgError:
+                inv[i] = np.eye(b)
+        self._inv_blocks = inv
+        self._b = b
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v)
+        squeeze = v.ndim == 1
+        V = v[:, None] if squeeze else v
+        nb = self._inv_blocks.shape[0]
+        Vb = V.reshape(nb, self._b, V.shape[1])
+        out = np.einsum("kij,kjm->kim", self._inv_blocks, Vb).reshape(V.shape)
+        return out[:, 0] if squeeze else out

@@ -1,0 +1,83 @@
+"""Iterative refinement with a frozen solver.
+
+The paper's optimization for the second in-step solve (Section II.C):
+"solve the system in step 5 using the same Cholesky factor combined
+with a simple iterative method, such as 'iterative refinement'.
+Combined with an initial guess which is the solution from step 3, only
+a very small number of iterations are needed for convergence.  Thus
+only one Cholesky factorization, rather than two, is needed per time
+step."
+
+Given an approximate solver ``apply_inv`` (e.g. the Cholesky factor of
+a *nearby* matrix ``R_k`` used against ``R_{k+1/2}``), refinement
+iterates ``x += apply_inv(b - A x)`` until the true residual passes the
+tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.solvers.cg import DEFAULT_TOL
+
+__all__ = ["RefinementResult", "iterative_refinement"]
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: List[float]
+
+
+def iterative_refinement(
+    A,
+    b: np.ndarray,
+    apply_inv: Callable[[np.ndarray], np.ndarray],
+    *,
+    x0: Optional[np.ndarray] = None,
+    tol: float = DEFAULT_TOL,
+    max_iter: int = 50,
+) -> RefinementResult:
+    """Refine ``A x = b`` using an approximate inverse.
+
+    Parameters
+    ----------
+    A:
+        The true operator (supports ``A @ x``).
+    b:
+        Right-hand side vector.
+    apply_inv:
+        Applies an approximation of ``A^{-1}`` (a factorization of a
+        nearby matrix); the closer it is, the fewer iterations.
+    x0:
+        Initial guess (e.g. the previous solve's solution).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 1:
+        raise ValueError("b must be a vector")
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+    if x.shape != b.shape:
+        raise ValueError("x0 shape mismatch")
+    if tol <= 0:
+        raise ValueError("tol must be positive")
+    b_norm = float(np.linalg.norm(b))
+    stop = tol * (b_norm if b_norm > 0 else 1.0)
+    r = b - (A @ x)
+    norms = [float(np.linalg.norm(r))]
+    it = 0
+    converged = norms[0] <= stop
+    while not converged and it < max_iter:
+        x += apply_inv(r)
+        r = b - (A @ x)
+        it += 1
+        norms.append(float(np.linalg.norm(r)))
+        converged = norms[-1] <= stop
+        # Divergence guard: if refinement is not contracting, stop honestly.
+        if it >= 2 and norms[-1] > 2.0 * norms[-3]:
+            break
+    return RefinementResult(x=x, iterations=it, converged=converged, residual_norms=norms)

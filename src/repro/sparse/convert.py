@@ -1,0 +1,69 @@
+"""Conversions between :class:`BCRSMatrix` and ``scipy.sparse``.
+
+These exist for interoperability and cross-validation: every kernel in
+:mod:`repro.sparse` is tested against scipy's CSR/BSR products, and the
+solvers accept either representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.bcrs import BCRSMatrix
+
+__all__ = ["bcrs_from_scipy", "bcrs_to_scipy"]
+
+
+def bcrs_to_scipy(A: BCRSMatrix, format: str = "csr") -> sp.spmatrix:
+    """Convert a BCRS matrix to a scipy sparse matrix.
+
+    Parameters
+    ----------
+    A:
+        The matrix to convert.
+    format:
+        Any scipy sparse format name (``"csr"``, ``"bsr"``, ``"csc"``...).
+    """
+    bsr = sp.bsr_matrix(
+        (A.blocks.copy(), A.col_ind.copy(), A.row_ptr.copy()),
+        shape=A.shape,
+        blocksize=(A.block_size, A.block_size),
+    )
+    return bsr.asformat(format)
+
+
+def bcrs_from_scipy(M: sp.spmatrix, block_size: int = 3) -> BCRSMatrix:
+    """Convert a scipy sparse matrix to BCRS with the given block size.
+
+    The matrix dimensions must be multiples of ``block_size``.  Zero
+    fill-in inside a touched block is stored explicitly (as in any
+    blocked format); entirely-zero blocks are dropped.
+    """
+    n_rows, n_cols = M.shape
+    if n_rows % block_size or n_cols % block_size:
+        raise ValueError(
+            f"matrix shape {M.shape} is not divisible by block_size={block_size}"
+        )
+    bsr = sp.bsr_matrix(M, blocksize=(block_size, block_size))
+    bsr.sort_indices()
+    # Drop explicit all-zero blocks so nnzb reflects true block structure.
+    keep = np.flatnonzero(np.any(bsr.data != 0.0, axis=(1, 2)))
+    if len(keep) != bsr.data.shape[0]:
+        rows = np.repeat(
+            np.arange(n_rows // block_size), np.diff(bsr.indptr)
+        )[keep]
+        return BCRSMatrix.from_block_coo(
+            n_rows // block_size,
+            n_cols // block_size,
+            rows,
+            bsr.indices[keep],
+            bsr.data[keep],
+            sum_duplicates=False,
+        )
+    return BCRSMatrix(
+        row_ptr=bsr.indptr.astype(np.int64),
+        col_ind=bsr.indices.astype(np.int64),
+        blocks=np.ascontiguousarray(bsr.data, dtype=np.float64),
+        nb_cols=n_cols // block_size,
+    )

@@ -1,0 +1,251 @@
+"""Kernel machinery behind SPMV/GSPMV.
+
+The paper's implementation "developed a code generator which, for a
+given number of vectors m, produces a fully-unrolled SIMD kernel" —
+i.e. kernel work is specialized once per ``m`` and reused every call.
+Python cannot emit SIMD, but the same *shape* of specialization is
+captured here: :class:`KernelRegistry` prepares, once per
+``(block_size, m, engine)``, everything a product needs beyond the raw
+arrays — the optimal einsum contraction path for the block kernel, or a
+cached ``scipy.sparse`` BSR view of the matrix for the compiled engine —
+and caches it.
+
+Two engines are provided:
+
+``"blocked"``
+    A pure-NumPy reference kernel working directly on the BCRS arrays:
+    gather X blocks by column index, batched ``3 x 3 @ 3 x m`` products
+    (the paper's "basic kernel"), segment-sum per block row.  This
+    engine is fully instrumentable (`repro.sparse.traffic` counts its
+    exact memory traffic) and is the one the performance model reasons
+    about.
+
+``"scipy"``
+    Delegates to ``scipy.sparse``'s C implementation via a cached BSR
+    view.  This is the engine used for wall-clock measurements, since it
+    is the closest a NumPy stack gets to the paper's compiled kernels.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Literal, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.bcrs import BCRSMatrix
+
+__all__ = ["KernelRegistry", "get_default_registry", "Engine"]
+
+Engine = Literal["blocked", "tiled", "scipy"]
+
+#: Temporary-buffer budget of the "tiled" engine.  The per-tile
+#: gather/contribution temporaries are ~2 * tile_nnzb * b * m * 8 bytes;
+#: keeping them around L2-cache size is what makes cache blocking pay
+#: (measured ~4x at m=16 on a DRAM-resident matrix).
+TILE_BUDGET_BYTES = 2 * 2**20
+
+
+def _segment_sum(contrib: np.ndarray, row_ptr: np.ndarray, nb: int) -> np.ndarray:
+    """Sum ``contrib`` (nnzb, b, m) into per-block-row totals (nb, b, m).
+
+    Uses ``np.add.reduceat`` with explicit handling of empty block rows:
+
+    * a *middle* empty row has ``start_k == start_{k+1}``, for which
+      reduceat returns ``contrib[start_k]`` — zeroed afterwards (the
+      neighbouring segments are unaffected);
+    * a *trailing* empty row has ``start == nnzb``, out of range for
+      reduceat — those rows are excluded from the call entirely
+      (clipping their index would silently truncate the previous row's
+      segment, a bug the property suite caught).
+    """
+    b, m = contrib.shape[1], contrib.shape[2]
+    nnzb = contrib.shape[0]
+    out = np.zeros((nb, b, m))
+    if nnzb == 0:
+        return out
+    starts = row_ptr[:-1]
+    lengths = np.diff(row_ptr)
+    in_range = starts < nnzb
+    out[in_range] = np.add.reduceat(contrib, starts[in_range], axis=0)
+    empty = lengths == 0
+    if np.any(empty):
+        out[empty] = 0.0
+    return out
+
+
+@dataclass
+class _BlockedPlan:
+    """Precomputed state for the blocked engine at a fixed (b, m)."""
+
+    einsum_path: list
+    m: int
+
+
+class KernelRegistry:
+    """Caches per-``m`` kernel plans and per-matrix scipy views.
+
+    One registry (usually the module default) is shared by all products;
+    its caches are keyed by weak references so matrices can be garbage
+    collected.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[Tuple[int, int], _BlockedPlan] = {}
+        self._scipy_views: "weakref.WeakKeyDictionary[BCRSMatrix, sp.bsr_matrix]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    # ------------------------------------------------------------------
+    def blocked_plan(self, block_size: int, m: int) -> _BlockedPlan:
+        """Return (building if needed) the blocked-engine plan for (b, m)."""
+        key = (block_size, m)
+        plan = self._plans.get(key)
+        if plan is None:
+            # Representative operands for path optimization only.
+            blocks = np.empty((2, block_size, block_size))
+            xgath = np.empty((2, block_size, m))
+            path, _ = np.einsum_path(
+                "kij,kjm->kim", blocks, xgath, optimize="optimal"
+            )
+            plan = _BlockedPlan(einsum_path=path, m=m)
+            self._plans[key] = plan
+        return plan
+
+    def scipy_view(self, A: BCRSMatrix) -> sp.bsr_matrix:
+        """Return (building if needed) a scipy BSR view of ``A``.
+
+        The view shares ``A``'s block array; only index arrays are copied
+        by scipy's constructor when dtype conversion is required.
+        """
+        view = self._scipy_views.get(A)
+        if view is None:
+            view = sp.bsr_matrix(
+                (A.blocks, A.col_ind, A.row_ptr),
+                shape=A.shape,
+                blocksize=(A.block_size, A.block_size),
+            )
+            self._scipy_views[A] = view
+        return view
+
+    # ------------------------------------------------------------------
+    def multiply(
+        self,
+        A: BCRSMatrix,
+        X: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        engine: Engine = "scipy",
+    ) -> np.ndarray:
+        """Compute ``Y = A @ X`` where ``X`` is ``(n, m)`` row-major.
+
+        Parameters
+        ----------
+        A:
+            The BCRS matrix.
+        X:
+            Multivector of shape ``(n_cols, m)`` (or ``(n_cols,)``,
+            treated as m=1 and returned 1-D).
+        out:
+            Optional preallocated ``(n_rows, m)`` output (blocked engine
+            always honours it; the scipy engine copies into it).
+        engine:
+            ``"blocked"`` or ``"scipy"``; see module docstring.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        squeeze = X.ndim == 1
+        if squeeze:
+            X = X[:, None]
+        if X.shape[0] != A.n_cols:
+            raise ValueError(
+                f"X has {X.shape[0]} rows; matrix has {A.n_cols} columns"
+            )
+        out2d = out
+        if out is not None and out.ndim == 1:
+            out2d = out[:, None]
+        if engine == "scipy":
+            Y = self.scipy_view(A) @ X
+            if out2d is not None:
+                np.copyto(out2d, Y)
+                Y = out2d
+        elif engine == "blocked":
+            Y = self._multiply_blocked(A, X, out2d)
+        elif engine == "tiled":
+            Y = self._multiply_tiled(A, X, out2d)
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+        if squeeze:
+            return out if out is not None else Y[:, 0]
+        return Y
+
+    def _multiply_blocked(
+        self, A: BCRSMatrix, X: np.ndarray, out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        b = A.block_size
+        m = X.shape[1]
+        plan = self.blocked_plan(b, m)
+        # Gather the X blocks each stored block multiplies: (nnzb, b, m).
+        Xb = np.ascontiguousarray(X).reshape(A.nb_cols, b, m)
+        gathered = Xb[A.col_ind]
+        # The paper's "basic kernel": (b x b) @ (b x m) for every block.
+        contrib = np.einsum(
+            "kij,kjm->kim", A.blocks, gathered, optimize=plan.einsum_path
+        )
+        Yb = _segment_sum(contrib, A.row_ptr, A.nb_rows)
+        Y = Yb.reshape(A.n_rows, m)
+        if out is not None:
+            np.copyto(out, Y)
+            return out
+        return Y
+
+    def _multiply_tiled(
+        self,
+        A: BCRSMatrix,
+        X: np.ndarray,
+        out: Optional[np.ndarray],
+        tile_rows: Optional[int] = None,
+    ) -> np.ndarray:
+        """The blocked kernel with row tiling (cache blocking).
+
+        Processes ``tile_rows`` block rows at a time so the gathered
+        operand and contribution temporaries stay cache-resident instead
+        of materializing an ``(nnzb, b, m)`` array — the paper's
+        "cache blocking optimizations" for large matrices.  The default
+        tile size adapts to m and the matrix density so the temporaries
+        fit :data:`TILE_BUDGET_BYTES`.
+        """
+        b = A.block_size
+        m = X.shape[1]
+        if tile_rows is None:
+            bytes_per_row = max(1.0, A.blocks_per_row) * b * m * 8 * 2
+            tile_rows = max(64, int(TILE_BUDGET_BYTES / bytes_per_row))
+        plan = self.blocked_plan(b, m)
+        Xb = np.ascontiguousarray(X).reshape(A.nb_cols, b, m)
+        use_out_directly = out is not None and out.flags["C_CONTIGUOUS"]
+        Y = out if use_out_directly else np.empty((A.n_rows, m))
+        Yb = Y.reshape(A.nb_rows, b, m)
+        rp = A.row_ptr
+        for start in range(0, A.nb_rows, tile_rows):
+            end = min(start + tile_rows, A.nb_rows)
+            lo, hi = int(rp[start]), int(rp[end])
+            contrib = np.einsum(
+                "kij,kjm->kim",
+                A.blocks[lo:hi],
+                Xb[A.col_ind[lo:hi]],
+                optimize=plan.einsum_path,
+            )
+            local_ptr = (rp[start : end + 1] - lo).astype(np.int64)
+            Yb[start:end] = _segment_sum(contrib, local_ptr, end - start)
+        if out is not None and not use_out_directly:
+            np.copyto(out, Y)
+            return out
+        return Y
+
+
+_DEFAULT = KernelRegistry()
+
+
+def get_default_registry() -> KernelRegistry:
+    """Return the process-wide shared :class:`KernelRegistry`."""
+    return _DEFAULT

@@ -1,0 +1,120 @@
+"""Bonded (deterministic) forces for chain molecules.
+
+Section II: "other forces can be incorporated, such as bonded forces
+for simulating long-chain molecules as a bonded chain of particles."
+This module supplies the standard harmonic bond field as a force
+callback compatible with :class:`~repro.stokesian.dynamics.
+StokesianDynamics` and :class:`~repro.core.mrhs.MrhsStokesianDynamics`
+(the ``forces=`` argument):
+
+    f_i = -k (|r_ij| - L0) r_hat_ij    summed over bonds at i,
+
+with minimum-image bond vectors so chains work across the periodic
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.stokesian.particles import ParticleSystem
+
+__all__ = ["HarmonicBonds", "chain_bonds"]
+
+
+@dataclass(frozen=True)
+class HarmonicBonds:
+    """A set of harmonic springs between particle pairs.
+
+    Attributes
+    ----------
+    i, j:
+        ``(nbonds,)`` particle indices (``i != j``).
+    rest_length:
+        ``(nbonds,)`` equilibrium separations.
+    stiffness:
+        ``(nbonds,)`` spring constants.
+    """
+
+    i: np.ndarray
+    j: np.ndarray
+    rest_length: np.ndarray
+    stiffness: np.ndarray
+
+    def __post_init__(self) -> None:
+        i = np.ascontiguousarray(self.i, dtype=np.int64)
+        j = np.ascontiguousarray(self.j, dtype=np.int64)
+        rest = np.ascontiguousarray(self.rest_length, dtype=np.float64)
+        k = np.ascontiguousarray(self.stiffness, dtype=np.float64)
+        if not (len(i) == len(j) == len(rest) == len(k)):
+            raise ValueError("bond arrays must have equal length")
+        if np.any(i == j):
+            raise ValueError("bonds must connect distinct particles")
+        if np.any(rest < 0) or np.any(k < 0):
+            raise ValueError("rest lengths and stiffnesses must be >= 0")
+        object.__setattr__(self, "i", i)
+        object.__setattr__(self, "j", j)
+        object.__setattr__(self, "rest_length", rest)
+        object.__setattr__(self, "stiffness", k)
+
+    @property
+    def n_bonds(self) -> int:
+        return int(len(self.i))
+
+    # ------------------------------------------------------------------
+    def __call__(self, system: ParticleSystem) -> np.ndarray:
+        """Evaluate the bond forces: ``(n, 3)``, minimum-image."""
+        if self.n_bonds == 0:
+            return np.zeros((system.n, 3))
+        if int(max(self.i.max(), self.j.max())) >= system.n:
+            raise ValueError("bond indices exceed system size")
+        r = system.minimum_image(
+            system.positions[self.j] - system.positions[self.i]
+        )
+        dist = np.linalg.norm(r, axis=1)
+        if np.any(dist <= 0):
+            raise ValueError("coincident bonded particles")
+        stretch = dist - self.rest_length
+        # Force on i pulls toward j when stretched (stretch > 0).
+        f_pair = (self.stiffness * stretch / dist)[:, None] * r
+        out = np.zeros((system.n, 3))
+        np.add.at(out, self.i, f_pair)
+        np.add.at(out, self.j, -f_pair)
+        return out
+
+    def energy(self, system: ParticleSystem) -> float:
+        """Total bond potential energy ``sum k/2 (|r| - L0)^2``."""
+        if self.n_bonds == 0:
+            return 0.0
+        r = system.minimum_image(
+            system.positions[self.j] - system.positions[self.i]
+        )
+        dist = np.linalg.norm(r, axis=1)
+        return float(np.sum(0.5 * self.stiffness * (dist - self.rest_length) ** 2))
+
+    def bond_lengths(self, system: ParticleSystem) -> np.ndarray:
+        r = system.minimum_image(
+            system.positions[self.j] - system.positions[self.i]
+        )
+        return np.linalg.norm(r, axis=1)
+
+
+def chain_bonds(
+    indices: Sequence[int],
+    rest_length: float,
+    stiffness: float,
+) -> HarmonicBonds:
+    """Bonds linking consecutive entries of ``indices`` into a chain."""
+    idx = np.asarray(list(indices), dtype=np.int64)
+    if len(idx) < 2:
+        raise ValueError("a chain needs at least two particles")
+    n = len(idx) - 1
+    return HarmonicBonds(
+        i=idx[:-1],
+        j=idx[1:],
+        rest_length=np.full(n, float(rest_length)),
+        stiffness=np.full(n, float(stiffness)),
+    )

@@ -1,0 +1,128 @@
+"""Brownian forces with configuration-dependent covariance.
+
+The fluctuation-dissipation theorem requires the Brownian force to have
+covariance proportional to the resistance matrix:
+
+    f^B = scale * L z,   L L^T = R,   z ~ N(0, I),
+
+with ``scale = sqrt(2 kT / dt)`` for the discretized overdamped
+dynamics (so the displacement ``dt * R^{-1} f^B`` has covariance
+``2 kT dt R^{-1}``, the Einstein relation).
+
+Two construction methods, matching Section II.C:
+
+``"cholesky"``
+    Exact: ``L`` from a dense Cholesky factorization.  "Impractical or
+    at least very costly for large problems" — the small-system
+    reference path.
+
+``"chebyshev"``
+    ``S(R) z`` with a shifted Chebyshev approximation of the square
+    root (Fixman).  Only needs products with ``R``; with a block ``Z``
+    the products are GSPMVs — the kernel this paper is about.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.sparse.bcrs import BCRSMatrix
+from repro.stokesian.chebyshev import ChebyshevSqrt, lanczos_spectrum_bounds
+from repro.util.rng import RngLike, as_rng
+
+__all__ = ["BrownianForceGenerator"]
+
+Method = Literal["chebyshev", "cholesky"]
+
+
+class BrownianForceGenerator:
+    """Draws Brownian force vectors/blocks for a fixed resistance matrix.
+
+    Build one generator per matrix (the spectrum bounds and Chebyshev
+    fit are matrix-specific); call :meth:`generate` for each needed
+    force.
+    """
+
+    def __init__(
+        self,
+        R: BCRSMatrix,
+        *,
+        method: Method = "chebyshev",
+        degree: int = 30,
+        scale: float = 1.0,
+        bounds: Optional[tuple[float, float]] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.R = R
+        self.method: Method = method
+        self.scale = float(scale)
+        self.n = R.n_rows
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if method == "chebyshev":
+            if bounds is None:
+                bounds = lanczos_spectrum_bounds(R, rng=rng)
+            lam_min, lam_max = bounds
+            self.approx: Optional[ChebyshevSqrt] = ChebyshevSqrt.fit(
+                lam_min, lam_max, degree
+            )
+            self._chol = None
+        elif method == "cholesky":
+            from repro.solvers.chol import CholeskySolver
+
+            self.approx = None
+            self._chol = CholeskySolver(R)
+        else:
+            raise ValueError(f"unknown method {method!r}")
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        z: Optional[np.ndarray] = None,
+        *,
+        m: int = 1,
+        rng: RngLike = None,
+        matmul=None,
+    ) -> np.ndarray:
+        """Return ``scale * S(R) z`` (or exact ``scale * L z``).
+
+        ``z`` may be ``(n,)`` or ``(n, m)``; drawn standard-normal when
+        omitted.  ``matmul`` is forwarded to the Chebyshev recurrence so
+        instrumented drivers can count the GSPMV calls.
+        """
+        if z is None:
+            gen = as_rng(rng)
+            z = (
+                gen.standard_normal(self.n)
+                if m == 1
+                else gen.standard_normal((self.n, m))
+            )
+        z = np.asarray(z, dtype=np.float64)
+        if z.shape[0] != self.n:
+            raise ValueError(f"z must have {self.n} rows")
+        if self.method == "chebyshev":
+            return self.scale * self.approx.apply(self.R, z, matmul=matmul)
+        return self.scale * self._chol.sample_correlated(z=z)
+
+    # ------------------------------------------------------------------
+    def sqrt_accuracy(self) -> float:
+        """Max relative error of the square-root approximation.
+
+        0 for the exact Cholesky path; the Chebyshev path's error
+        shrinks geometrically with degree.
+        """
+        if self.method == "cholesky":
+            return 0.0
+        return self.approx.max_relative_error()
+
+    def empirical_covariance(self, samples: int, rng: RngLike = None) -> np.ndarray:
+        """Monte-Carlo estimate of ``E[f f^T] / scale^2`` (tests only).
+
+        Should approach the dense ``R`` as ``samples`` grows.
+        """
+        gen = as_rng(rng)
+        Z = gen.standard_normal((self.n, samples))
+        F = self.generate(Z)
+        return (F @ F.T) / samples / self.scale**2

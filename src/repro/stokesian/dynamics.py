@@ -1,0 +1,326 @@
+"""The original (single-RHS) Stokesian dynamics driver — Algorithm 1.
+
+One time step:
+
+    1. Construct R_k = muF*I + Rlub(r_k)
+    2. Compute f^B_k = S(R_k) z_k                (Cheb single)
+    3. Solve R_k u_k = -f^B_k                    (1st solve, no guess)
+    4. r_{k+1/2} = r_k + dt/2 * u_k
+    5. Solve R_{k+1/2} u_{k+1/2} = -f^B_k        (2nd solve, guess = u_k)
+    6. r_{k+1} = r_k + dt * u_{k+1/2}
+
+"In both algorithms, in each timestep, the solution of the first solve
+is used as the initial guess for the second solve."  The MRHS driver in
+:mod:`repro.core.mrhs` reuses every component defined here and changes
+only where the *first* solve's initial guess comes from.
+
+Per-step phase timings use the same labels as the paper's Tables VI and
+VII ("Cheb single", "1st solve", "2nd solve"), so the benchmark
+harnesses can print the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Literal, Optional
+
+import numpy as np
+
+from repro.solvers.cg import CGResult, conjugate_gradient
+from repro.solvers.precond import BlockJacobiPreconditioner
+from repro.sparse.bcrs import BCRSMatrix
+from repro.sparse.kernels import Engine
+from repro.stokesian.brownian import BrownianForceGenerator
+from repro.stokesian.integrators import apply_displacement
+from repro.stokesian.neighbors import NeighborList, neighbor_pairs
+from repro.stokesian.particles import ParticleSystem
+from repro.stokesian.resistance import build_resistance_matrix
+from repro.util.rng import RngLike, as_rng
+from repro.util.timer import Stopwatch, TimingRecord
+
+__all__ = ["SDParameters", "StepRecord", "StokesianDynamics"]
+
+
+@dataclass(frozen=True)
+class SDParameters:
+    """Simulation parameters shared by the original and MRHS drivers.
+
+    Defaults give a stable, well-conditioned simulation in reduced
+    units (``mu = kT = 1``); the paper's physical units (Angstroms,
+    ps, 2 ps steps) correspond to a rescaling of dt/viscosity/kT.
+    """
+
+    dt: float = 0.05
+    viscosity: float = 1.0
+    kT: float = 1.0
+    cutoff_gap: Optional[float] = None
+    """Lubrication interaction cutoff (surface gap); default: mean radius."""
+    cheb_degree: int = 30
+    """Max Chebyshev order for Brownian forces (30 in the paper)."""
+    tol: float = 1e-6
+    """CG relative residual tolerance (the paper's 1e-6)."""
+    max_iter: int = 10_000
+    brownian_method: Literal["chebyshev", "cholesky"] = "chebyshev"
+    overlap_safety: float = 0.9
+    precondition: bool = False
+    """Use a block-Jacobi preconditioner in the solves."""
+    engine: Engine = "scipy"
+    """Kernel engine for (G)SPMV."""
+    bounds_refresh_steps: int = 50
+    """Recompute the Chebyshev spectrum bounds every this many steps.
+    Between refreshes the cached bounds (widened by
+    ``bounds_safety``) are reused — valid because R evolves slowly, and
+    essential because a Lanczos bound costs far more than the Cmax
+    matrix products of the Chebyshev application itself."""
+    bounds_safety: float = 1.25
+    """Widening factor applied to cached spectrum bounds."""
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0 or self.viscosity <= 0 or self.kT <= 0:
+            raise ValueError("dt, viscosity and kT must be positive")
+        if self.cheb_degree < 1:
+            raise ValueError("cheb_degree must be >= 1")
+        if not 0 < self.tol < 1:
+            raise ValueError("tol must be in (0, 1)")
+        if self.bounds_refresh_steps < 1:
+            raise ValueError("bounds_refresh_steps must be >= 1")
+        if self.bounds_safety < 1.0:
+            raise ValueError("bounds_safety must be >= 1")
+
+    @property
+    def force_scale(self) -> float:
+        """``sqrt(2 kT / dt)``: Brownian force magnitude per fluctuation-
+        dissipation at this step size."""
+        return float(np.sqrt(2.0 * self.kT / self.dt))
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """What happened during one time step (the Tables V-VII raw data)."""
+
+    step_index: int
+    iterations_first: int
+    iterations_second: int
+    converged: bool
+    timings: TimingRecord
+    midpoint_scale: float
+    final_scale: float
+    guess_error: Optional[float] = None
+    """``||u - u_guess|| / ||u||`` of the first solve, when a guess was
+    supplied (the Figure 5 observable)."""
+
+
+class StokesianDynamics:
+    """Algorithm 1 driver; also the component toolbox for Algorithm 2.
+
+    Parameters
+    ----------
+    system:
+        Initial particle configuration.
+    params:
+        Numerical parameters.
+    rng:
+        Seed or generator driving the Brownian noise.
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        params: SDParameters = SDParameters(),
+        *,
+        rng: RngLike = None,
+        forces: Optional[Callable[[ParticleSystem], np.ndarray]] = None,
+    ) -> None:
+        self.system = system
+        self.params = params
+        self.forces = forces
+        """Optional deterministic force field ``f^P(system) -> (n, 3)``
+        (bonded chains, external fields...).  The paper's experiments
+        use ``f^P = 0`` but Section II explicitly allows "other forces
+        ... such as bonded forces for simulating long-chain molecules"."""
+        self.rng = as_rng(rng)
+        self.step_index = 0
+        self.history: List[StepRecord] = []
+        self._cached_bounds: Optional[tuple[float, float]] = None
+        self._bounds_age = 0
+        # Auxiliary stream for Lanczos starting vectors, split off so
+        # spectrum estimation never desynchronizes the physical noise
+        # sequence between algorithm variants.
+        from repro.util.rng import spawn_rngs
+
+        self._aux_rng = spawn_rngs(self.rng, 1)[0]
+
+    # ------------------------------------------------------------------
+    # components (shared with the MRHS driver)
+    # ------------------------------------------------------------------
+    def build_matrix(self, system: Optional[ParticleSystem] = None) -> BCRSMatrix:
+        """Step 1: assemble ``R = muF*I + Rlub`` for a configuration."""
+        sys_ = system if system is not None else self.system
+        return build_resistance_matrix(
+            sys_,
+            viscosity=self.params.viscosity,
+            cutoff_gap=self.params.cutoff_gap,
+        )
+
+    def spectrum_bounds(self, R: BCRSMatrix) -> tuple[float, float]:
+        """Cached, safety-widened spectrum enclosure of ``R``.
+
+        A fresh Lanczos estimate is taken on the first call and then
+        every ``bounds_refresh_steps`` steps; in between, the widened
+        cached interval is reused (R drifts slowly with the particles).
+        """
+        from repro.stokesian.chebyshev import lanczos_spectrum_bounds
+
+        if (
+            self._cached_bounds is None
+            or self._bounds_age >= self.params.bounds_refresh_steps
+        ):
+            lo, hi = lanczos_spectrum_bounds(R, rng=self._aux_rng)
+            s = self.params.bounds_safety
+            self._cached_bounds = (lo / s, hi * s)
+            self._bounds_age = 0
+        self._bounds_age += 1
+        return self._cached_bounds
+
+    def brownian_generator(self, R: BCRSMatrix) -> BrownianForceGenerator:
+        """The ``f^B = scale * S(R) z`` generator for a matrix."""
+        bounds = (
+            self.spectrum_bounds(R)
+            if self.params.brownian_method == "chebyshev"
+            else None
+        )
+        return BrownianForceGenerator(
+            R,
+            method=self.params.brownian_method,
+            degree=self.params.cheb_degree,
+            scale=self.params.force_scale,
+            bounds=bounds,
+            rng=self.rng,
+        )
+
+    def make_preconditioner(self, R: BCRSMatrix):
+        return BlockJacobiPreconditioner(R) if self.params.precondition else None
+
+    def solve(
+        self,
+        R: BCRSMatrix,
+        rhs: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+        preconditioner=None,
+    ) -> CGResult:
+        """One CG solve with this simulation's tolerance."""
+        return conjugate_gradient(
+            R,
+            rhs,
+            x0=x0,
+            tol=self.params.tol,
+            max_iter=self.params.max_iter,
+            preconditioner=preconditioner,
+        )
+
+    def draw_noise(self, m: int = 1) -> np.ndarray:
+        """Standard-normal ``z`` vectors (``(3n,)`` or ``(3n, m)``).
+
+        Columns are drawn sequentially, so ``draw_noise(m)[:, k]`` is
+        bit-identical to the k-th of ``m`` consecutive ``draw_noise()``
+        calls — the property that lets the MRHS and original drivers run
+        on *identical* noise for step-by-step comparison.
+        """
+        dof = self.system.dof
+        if m == 1:
+            return self.rng.standard_normal(dof)
+        return np.column_stack(
+            [self.rng.standard_normal(dof) for _ in range(m)]
+        )
+
+    def external_forces(self, system: Optional[ParticleSystem] = None) -> np.ndarray:
+        """Flattened ``f^P`` for a configuration (zeros when no field)."""
+        sys_ = system if system is not None else self.system
+        if self.forces is None:
+            return np.zeros(sys_.dof)
+        f = np.asarray(self.forces(sys_), dtype=np.float64)
+        if f.shape == (sys_.n, 3):
+            f = f.reshape(-1)
+        if f.shape != (sys_.dof,):
+            raise ValueError("forces must return an (n, 3) or (3n,) array")
+        return f
+
+    def neighbor_list(self, system: Optional[ParticleSystem] = None) -> NeighborList:
+        sys_ = system if system is not None else self.system
+        gap = self.params.cutoff_gap
+        if gap is None:
+            gap = float(np.mean(sys_.radii))
+        return neighbor_pairs(sys_, max_gap=gap)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        *,
+        z: Optional[np.ndarray] = None,
+        u_guess: Optional[np.ndarray] = None,
+    ) -> StepRecord:
+        """Advance one time step with the original algorithm.
+
+        ``z`` optionally fixes the noise (testing / MRHS replay);
+        ``u_guess`` optionally seeds the *first* solve — ``None``
+        reproduces the original algorithm exactly, while the MRHS driver
+        passes the block-solve guesses here.
+        """
+        p = self.params
+        sw = Stopwatch()
+        if z is None:
+            z = self.draw_noise()
+
+        with sw.phase("Construct R"):
+            R_k = self.build_matrix()
+            precond = self.make_preconditioner(R_k)
+        with sw.phase("Cheb single"):
+            gen = self.brownian_generator(R_k)
+            f_b = gen.generate(z)
+        with sw.phase("1st solve"):
+            rhs = -f_b + self.external_forces()
+            res1 = self.solve(R_k, rhs, x0=u_guess, preconditioner=precond)
+        guess_error = None
+        if u_guess is not None:
+            norm = float(np.linalg.norm(res1.x))
+            if norm > 0:
+                guess_error = float(np.linalg.norm(res1.x - u_guess)) / norm
+
+        nl = self.neighbor_list()
+        half_system, mid_scale = apply_displacement(
+            self.system, 0.5 * p.dt * res1.x, nl, safety=p.overlap_safety
+        )
+        with sw.phase("Construct R half"):
+            R_half = self.build_matrix(half_system)
+            precond_half = self.make_preconditioner(R_half)
+        with sw.phase("2nd solve"):
+            rhs_half = -f_b + self.external_forces(half_system)
+            res2 = self.solve(
+                R_half, rhs_half, x0=res1.x, preconditioner=precond_half
+            )
+
+        new_system, final_scale = apply_displacement(
+            self.system, p.dt * res2.x, nl, safety=p.overlap_safety
+        )
+        self.system = new_system
+        record = StepRecord(
+            step_index=self.step_index,
+            iterations_first=res1.iterations,
+            iterations_second=res2.iterations,
+            converged=res1.converged and res2.converged,
+            timings=sw.record(),
+            midpoint_scale=mid_scale,
+            final_scale=final_scale,
+            guess_error=guess_error,
+        )
+        self.step_index += 1
+        self.history.append(record)
+        return record
+
+    def run(self, n_steps: int) -> List[StepRecord]:
+        """Advance ``n_steps`` steps; returns their records."""
+        if n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        return [self.step() for _ in range(n_steps)]

@@ -1,0 +1,227 @@
+"""Ewald-summed periodic Rotne-Prager-Yamakawa mobility (Beenakker 1986).
+
+The paper's full Stokesian dynamics formulation needs the long-range
+mobility ``M_infinity`` under periodic boundary conditions; its
+production path would be particle-mesh Ewald, which the paper leaves to
+future work ("we will only study the efficiency of GSPMV and leave the
+study of PME with multiple vectors for future work").  This module
+supplies the exact (non-mesh) Ewald sum that PME approximates — making
+the true periodic mobility available to the BD baseline and validation
+studies, where :mod:`repro.stokesian.mobility` only offers the
+minimum-image approximation.
+
+Derivation (Hasimoto splitting, re-derived and cross-checked below).
+The Oseen tensor is a second derivative of ``r``:
+
+    J(r) = (I + rr)/r = (delta Lap - grad grad) r,
+
+so splitting ``r = r erfc(xi r) + r erf(xi r)`` yields a short-ranged
+real-space part and a smooth part summed in Fourier space.  The RPY
+finite-size correction is the operator ``(1 + (a_i^2 + a_j^2)/6 Lap)``
+applied to ``J/(8 pi mu)``; it is carried through *both* parts
+analytically (its direct lattice sum, decaying as ``1/r^3``, is only
+conditionally convergent, so folding it into the Ewald machinery is not
+optional).  With ``E = exp(-xi^2 r^2)/sqrt(pi)`` the real-space tensors
+are ``[C1 + (asq/6) D1] I + [C2 + (asq/6) D2] rr`` where
+
+    C1 = erfc(xi r)/r + E (4 xi^3 r^2 - 6 xi)
+    C2 = erfc(xi r)/r + E (2 xi - 4 xi^3 r^2)
+    D1 = 2 erfc(xi r)/r^3 + E (4 xi/r^2 + 56 xi^3 - 80 xi^5 r^2
+                               + 16 xi^7 r^4)
+    D2 = -6 erfc(xi r)/r^3 - E (12 xi/r^2 + 8 xi^3 - 64 xi^5 r^2
+                                + 16 xi^7 r^4)
+
+the reciprocal-space coefficient is the Stokeslet transform times
+Beenakker's screening function times the RPY factor,
+
+    (8 pi / k^2)(I - kk) (1 + k^2/(4 xi^2) + k^4/(8 xi^4))
+                         exp(-k^2/(4 xi^2)) (1 - k^2 asq / 6) / V,
+
+with ``k = 0`` excluded (zero net force), and the self term removes the
+smooth self-interaction
+
+    (8 xi/sqrt(pi) - 160 a^2 xi^3 / (9 sqrt(pi))) I.
+
+Cross-checks: (a) the xi -> 0 limits of C/D reproduce the free-space
+Oseen and RPY tensors; (b) the self term reproduces **Beenakker's
+published coefficients** ``1/(6 pi mu a) (1 - 6 xi a/sqrt(pi)
++ 40 a^3 xi^3/(3 sqrt(pi)) + k-sums)`` exactly; (c) the screening
+function was verified against a numerically computed Fourier transform
+of the smooth part (it is Beenakker's, including the ``k^4/(8 xi^4)``
+term); (d) the unit tests verify the decisive property that the
+assembled matrix is independent of the splitting parameter xi.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.stokesian.particles import ParticleSystem
+
+__all__ = ["ewald_rpy_mobility_matrix", "EwaldParameters"]
+
+
+class EwaldParameters:
+    """Splitting and cutoff choices for the Ewald sum.
+
+    ``xi`` defaults to ``sqrt(pi)/L`` (balanced real/reciprocal work);
+    real-space images are summed to ``r_cut = cut/xi`` and wave vectors
+    to ``k_cut = 2 xi cut``; ``cut ~ 3.5`` truncates the Gaussians at
+    ~1e-5.
+    """
+
+    def __init__(self, box_edge: float, xi: float | None = None, cut: float = 3.5):
+        if box_edge <= 0:
+            raise ValueError("box_edge must be positive")
+        if cut <= 0:
+            raise ValueError("cut must be positive")
+        self.box_edge = float(box_edge)
+        self.xi = float(xi) if xi is not None else float(np.sqrt(np.pi) / box_edge)
+        if self.xi <= 0:
+            raise ValueError("xi must be positive")
+        self.cut = float(cut)
+
+    @property
+    def r_cut(self) -> float:
+        return self.cut / self.xi
+
+    @property
+    def k_cut(self) -> float:
+        return 2.0 * self.xi * self.cut
+
+    def real_shells(self) -> np.ndarray:
+        """All lattice vectors within one extra shell of ``r_cut``."""
+        n_shell = int(np.ceil(self.r_cut / self.box_edge)) + 1
+        rng = np.arange(-n_shell, n_shell + 1)
+        return (
+            np.stack(np.meshgrid(rng, rng, rng, indexing="ij"), axis=-1)
+            .reshape(-1, 3)
+            .astype(np.float64)
+            * self.box_edge
+        )
+
+    def wave_vectors(self) -> np.ndarray:
+        """Non-zero wave vectors with ``|k| <= k_cut``."""
+        k0 = 2.0 * np.pi / self.box_edge
+        n_max = int(np.floor(self.k_cut / k0))
+        rng = np.arange(-n_max, n_max + 1)
+        grid = np.stack(np.meshgrid(rng, rng, rng, indexing="ij"), axis=-1).reshape(
+            -1, 3
+        )
+        grid = grid[np.any(grid != 0, axis=1)]
+        k = grid * k0
+        return k[np.linalg.norm(k, axis=1) <= self.k_cut]
+
+
+def _real_space_tensors(r_vec: np.ndarray, xi: float, asq: float) -> np.ndarray:
+    """``(1 + asq/6 Lap) J_real`` for each row of ``r_vec`` (non-zero)."""
+    r = np.linalg.norm(r_vec, axis=1)
+    rhat = r_vec / r[:, None]
+    E = np.exp(-(xi**2) * r**2) / np.sqrt(np.pi)
+    ec1 = erfc(xi * r) / r
+    ec3 = erfc(xi * r) / r**3
+    c1 = ec1 + E * (4.0 * xi**3 * r**2 - 6.0 * xi)
+    c2 = ec1 + E * (2.0 * xi - 4.0 * xi**3 * r**2)
+    d1 = 2.0 * ec3 + E * (
+        4.0 * xi / r**2 + 56.0 * xi**3 - 80.0 * xi**5 * r**2 + 16.0 * xi**7 * r**4
+    )
+    d2 = -6.0 * ec3 - E * (
+        12.0 * xi / r**2 + 8.0 * xi**3 - 64.0 * xi**5 * r**2 + 16.0 * xi**7 * r**4
+    )
+    iso = c1 + (asq / 6.0) * d1
+    aniso = c2 + (asq / 6.0) * d2
+    eye = np.broadcast_to(np.eye(3), (len(r), 3, 3))
+    outer = np.einsum("ki,kj->kij", rhat, rhat)
+    return iso[:, None, None] * eye + aniso[:, None, None] * outer
+
+
+def ewald_rpy_mobility_matrix(
+    system: ParticleSystem,
+    viscosity: float = 1.0,
+    *,
+    params: EwaldParameters | None = None,
+    xi: float | None = None,
+) -> np.ndarray:
+    """Dense ``3n x 3n`` periodic RPY mobility via Ewald summation.
+
+    Requires a cubic box and non-overlapping particles (RPY's overlap
+    regularization is a free-space construct; SD configurations satisfy
+    this anyway).  ``xi``/``params`` control only the work split.
+    """
+    if viscosity <= 0:
+        raise ValueError("viscosity must be positive")
+    box = system.box
+    if not np.allclose(box, box[0]):
+        raise ValueError("Ewald summation requires a cubic box")
+    L_edge = float(box[0])
+    if params is None:
+        params = EwaldParameters(L_edge, xi=xi)
+    elif xi is not None:
+        raise ValueError("pass either params or xi, not both")
+    xi_v = params.xi
+    volume = L_edge**3
+
+    n = system.n
+    a = system.radii
+    pref = 1.0 / (8.0 * np.pi * viscosity)
+    M = np.zeros((3 * n, 3 * n))
+
+    shells = params.real_shells()
+    shell_r = np.linalg.norm(shells, axis=1)
+    kvecs = params.wave_vectors()
+    k2 = np.einsum("kI,kI->k", kvecs, kvecs)
+    khat = kvecs / np.sqrt(k2)[:, None]
+    x = k2 / (4.0 * xi_v**2)
+    screening = (
+        (8.0 * np.pi / k2)
+        * (1.0 + x + 2.0 * x**2)
+        * np.exp(-x)
+        / volume
+    )
+    eye_minus_kk = np.broadcast_to(np.eye(3), (len(kvecs), 3, 3)) - np.einsum(
+        "ki,kj->kij", khat, khat
+    )
+
+    def recip_block(dr: np.ndarray, asq: float) -> np.ndarray:
+        phases = np.cos(kvecs @ dr)
+        weights = screening * (1.0 - k2 * asq / 6.0) * phases
+        return np.einsum("k,kij->ij", weights, eye_minus_kk)
+
+    # --- self terms -----------------------------------------------------
+    nonzero_within = (shell_r > 0) & (shell_r <= params.r_cut)
+    zero_dr = np.zeros(3)
+    for p in range(n):
+        asq_self = 2.0 * a[p] ** 2
+        real_part = (
+            _real_space_tensors(shells[nonzero_within], xi_v, asq_self).sum(axis=0)
+            if np.any(nonzero_within)
+            else np.zeros((3, 3))
+        )
+        smooth_self = (
+            8.0 * xi_v / np.sqrt(np.pi)
+            - 160.0 * a[p] ** 2 * xi_v**3 / (9.0 * np.sqrt(np.pi))
+        ) * np.eye(3)
+        periodic_self = pref * (
+            real_part + recip_block(zero_dr, asq_self) - smooth_self
+        )
+        M[3 * p : 3 * p + 3, 3 * p : 3 * p + 3] = (
+            np.eye(3) / (6.0 * np.pi * viscosity * a[p]) + periodic_self
+        )
+
+    # --- pair terms ------------------------------------------------------
+    for i in range(n):
+        for j in range(i + 1, n):
+            dr = system.positions[j] - system.positions[i]
+            asq = a[i] ** 2 + a[j] ** 2
+            images = dr[None, :] + shells
+            img_r = np.linalg.norm(images, axis=1)
+            close = img_r <= params.r_cut
+            block = np.zeros((3, 3))
+            if np.any(close):
+                block += _real_space_tensors(images[close], xi_v, asq).sum(axis=0)
+            block += recip_block(dr, asq)
+            pair = pref * block
+            M[3 * i : 3 * i + 3, 3 * j : 3 * j + 3] = pair
+            M[3 * j : 3 * j + 3, 3 * i : 3 * i + 3] = pair.T
+    return M

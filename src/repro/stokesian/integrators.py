@@ -1,0 +1,103 @@
+"""Time-integration helpers.
+
+The SD governing equation ``R(r) dr/dt = -f^B`` is first order but
+needs a *second-order* integrator because ``R`` depends on the
+configuration: a first-order scheme makes a systematic drift error
+``~ div R^{-1}`` (Fixman 1978; Grassia et al. 1995).  The paper uses
+the explicit midpoint method, "with a modification ... which helps
+avoid particle overlaps at the intermediate configuration" (Banchio &
+Brady 2003).
+
+This module provides the pure, stateless pieces:
+
+* :func:`overlap_safe_scale` — the largest step fraction that keeps
+  every neighbor pair's surfaces separated (the overlap-avoiding
+  modification);
+* :func:`euler_update` / :func:`midpoint_update` — position updates
+  given already-computed velocities (useful for testing the schemes in
+  isolation; the full drivers live in :mod:`repro.stokesian.dynamics`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.stokesian.neighbors import NeighborList
+from repro.stokesian.particles import ParticleSystem
+
+__all__ = ["overlap_safe_scale", "apply_displacement", "euler_update", "midpoint_update"]
+
+
+def overlap_safe_scale(
+    system: ParticleSystem,
+    delta: np.ndarray,
+    neighbor_list: NeighborList,
+    *,
+    safety: float = 0.9,
+) -> float:
+    """Largest ``s <= 1`` such that moving by ``s * delta`` keeps every
+    listed pair's gap positive.
+
+    Conservative bound: pair ``(i, j)`` with surface gap ``g`` can close
+    by at most ``|delta_i - delta_j|``, so ``s <= safety * g / |delta_i
+    - delta_j|``.  Returns 1.0 when every pair is safe at full step.
+    """
+    if not 0 < safety <= 1:
+        raise ValueError("safety must be in (0, 1]")
+    delta = np.asarray(delta, dtype=np.float64)
+    if delta.shape == (system.dof,):
+        delta = delta.reshape(system.n, 3)
+    if neighbor_list.n_pairs == 0:
+        return 1.0
+    i, j = neighbor_list.i, neighbor_list.j
+    gaps = neighbor_list.dist - (system.radii[i] + system.radii[j])
+    rel = np.linalg.norm(delta[j] - delta[i], axis=1)
+    moving = rel > 1e-300
+    if not np.any(moving):
+        return 1.0
+    limit = safety * gaps[moving] / rel[moving]
+    return float(min(1.0, max(1e-6, limit.min())))
+
+
+def apply_displacement(
+    system: ParticleSystem,
+    delta: np.ndarray,
+    neighbor_list: NeighborList,
+    *,
+    safety: float = 0.9,
+) -> Tuple[ParticleSystem, float]:
+    """Move by ``delta`` scaled so no neighbor pair overlaps.
+
+    Returns the new system and the scale actually applied (1.0 when the
+    full step was safe) — the Banchio–Brady-style overlap avoidance.
+    """
+    scale = overlap_safe_scale(system, delta, neighbor_list, safety=safety)
+    delta = np.asarray(delta, dtype=np.float64)
+    if delta.shape == (system.dof,):
+        delta = delta.reshape(system.n, 3)
+    return system.displaced(scale * delta), scale
+
+
+def euler_update(system: ParticleSystem, velocity: np.ndarray, dt: float) -> ParticleSystem:
+    """First-order update ``r += dt * u`` (no overlap protection).
+
+    Provided for the drift-error comparison against the midpoint scheme;
+    production steps go through :func:`apply_displacement`.
+    """
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    v = np.asarray(velocity, dtype=np.float64)
+    if v.shape == (system.dof,):
+        v = v.reshape(system.n, 3)
+    return system.displaced(dt * v)
+
+
+def midpoint_update(
+    system: ParticleSystem,
+    velocity_half: np.ndarray,
+    dt: float,
+) -> ParticleSystem:
+    """Explicit-midpoint final update ``r_{k+1} = r_k + dt * u_{k+1/2}``."""
+    return euler_update(system, velocity_half, dt)

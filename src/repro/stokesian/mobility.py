@@ -1,0 +1,128 @@
+"""Far-field mobility tensors: Oseen and Rotne-Prager-Yamakawa (RPY).
+
+These are the blocks of the dense long-range component ``M_infinity``
+of the full Stokesian-dynamics resistance formulation
+(``R = (M_infinity)^{-1} + Rlub``) and the mobility used by the
+Brownian-dynamics baseline (Ermak & McCammon 1978).  The paper's sparse
+approximation replaces ``(M_infinity)^{-1}`` with ``muF * I``, but the
+tensors are implemented in full here because (a) the BD comparator
+needs them and (b) they complete the SD substrate.
+
+For unequal radii ``a_i, a_j`` at center distance ``r`` (Rotne & Prager
+1969; Yamakawa 1970; polydisperse form of Wajnryb et al.):
+
+    non-overlapping (r >= a_i + a_j):
+        M_ij = 1/(8 pi mu r) [ (1 + (a_i^2+a_j^2)/(3 r^2)) I
+                             + (1 - (a_i^2+a_j^2)/r^2) rr^T/r^2 ]
+    self:
+        M_ii = 1/(6 pi mu a_i) I
+
+Overlapping pairs use the RPY overlap correction evaluated with the
+mean radius ``abar = (a_i+a_j)/2`` (exact for equal spheres; a
+PD-preserving approximation otherwise):
+
+        M_ij = 1/(6 pi mu abar) [ (1 - 9r/(32 abar)) I
+                                + (3/(32 abar)) rr^T/r ]
+
+Periodic boundaries are handled with the minimum-image convention (the
+paper's production path would use particle-mesh Ewald, which it
+explicitly leaves to future work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stokesian.particles import ParticleSystem
+
+__all__ = ["rpy_mobility_matrix", "oseen_mobility_matrix"]
+
+
+def _pairwise_geometry(system: ParticleSystem):
+    n = system.n
+    i, j = np.triu_indices(n, k=1)
+    r = system.minimum_image(system.positions[j] - system.positions[i])
+    dist = np.linalg.norm(r, axis=1)
+    return i, j, r, dist
+
+
+def _fill_symmetric(M: np.ndarray, i, j, blocks):
+    for k in range(len(i)):
+        bi, bj = 3 * i[k], 3 * j[k]
+        M[bi : bi + 3, bj : bj + 3] = blocks[k]
+        M[bj : bj + 3, bi : bi + 3] = blocks[k].T
+
+
+def rpy_mobility_matrix(system: ParticleSystem, viscosity: float = 1.0) -> np.ndarray:
+    """Dense ``3n x 3n`` RPY mobility matrix (positive definite).
+
+    Intended for the small systems of the BD baseline and for validating
+    the sparse resistance approximation; cost is O(n^2).
+    """
+    if viscosity <= 0:
+        raise ValueError("viscosity must be positive")
+    n = system.n
+    M = np.zeros((3 * n, 3 * n))
+    a = system.radii
+    for p in range(n):
+        M[3 * p : 3 * p + 3, 3 * p : 3 * p + 3] = np.eye(3) / (
+            6.0 * np.pi * viscosity * a[p]
+        )
+    if n == 1:
+        return M
+    i, j, r, dist = _pairwise_geometry(system)
+    d = r / dist[:, None]
+    outer = np.einsum("ki,kj->kij", d, d)
+    eye = np.broadcast_to(np.eye(3), outer.shape)
+    asq = a[i] ** 2 + a[j] ** 2
+    touching = a[i] + a[j]
+
+    blocks = np.empty_like(outer)
+    far = dist >= touching
+    if np.any(far):
+        rf, of, df = dist[far], outer[far], asq[far]
+        pref = 1.0 / (8.0 * np.pi * viscosity * rf)
+        blocks[far] = pref[:, None, None] * (
+            (1.0 + df / (3.0 * rf**2))[:, None, None] * eye[far]
+            + (1.0 - df / rf**2)[:, None, None] * of
+        )
+    near = ~far
+    if np.any(near):
+        rn, on = dist[near], outer[near]
+        abar = 0.5 * touching[near]
+        pref = 1.0 / (6.0 * np.pi * viscosity * abar)
+        blocks[near] = pref[:, None, None] * (
+            (1.0 - 9.0 * rn / (32.0 * abar))[:, None, None] * eye[near]
+            + (3.0 * rn / (32.0 * abar))[:, None, None] * on
+        )
+    _fill_symmetric(M, i, j, blocks)
+    return M
+
+
+def oseen_mobility_matrix(system: ParticleSystem, viscosity: float = 1.0) -> np.ndarray:
+    """Dense ``3n x 3n`` Oseen-tensor mobility matrix.
+
+    The point-force (Stokeslet) approximation:
+    ``M_ij = 1/(8 pi mu r) (I + rr^T/r^2)``.  Unlike RPY it is not
+    guaranteed positive definite at close separations — the classical
+    reason RPY superseded it for Brownian simulation.
+    """
+    if viscosity <= 0:
+        raise ValueError("viscosity must be positive")
+    n = system.n
+    M = np.zeros((3 * n, 3 * n))
+    a = system.radii
+    for p in range(n):
+        M[3 * p : 3 * p + 3, 3 * p : 3 * p + 3] = np.eye(3) / (
+            6.0 * np.pi * viscosity * a[p]
+        )
+    if n == 1:
+        return M
+    i, j, r, dist = _pairwise_geometry(system)
+    d = r / dist[:, None]
+    outer = np.einsum("ki,kj->kij", d, d)
+    eye = np.broadcast_to(np.eye(3), outer.shape)
+    pref = 1.0 / (8.0 * np.pi * viscosity * dist)
+    blocks = pref[:, None, None] * (eye + outer)
+    _fill_symmetric(M, i, j, blocks)
+    return M

@@ -1,0 +1,27 @@
+"""Shared utilities: deterministic RNG plumbing, timers, table rendering.
+
+These helpers are deliberately tiny and dependency-free so that every
+other subpackage (sparse kernels, performance model, Stokesian dynamics)
+can import them without cycles.
+"""
+
+from repro.util.rng import as_rng, spawn_rngs
+from repro.util.timer import Stopwatch, TimingRecord
+from repro.util.tables import format_table, format_row
+from repro.util.validation import (
+    check_positive,
+    check_shape,
+    check_square_blocks,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "TimingRecord",
+    "format_table",
+    "format_row",
+    "check_positive",
+    "check_shape",
+    "check_square_blocks",
+]

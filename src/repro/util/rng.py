@@ -1,0 +1,58 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts ``rng`` as either a
+seed, ``None`` (fresh entropy), or an existing :class:`numpy.random.Generator`,
+and normalizes it through :func:`as_rng`.  Simulations that need several
+independent streams (e.g. one per simulated MPI rank) use
+:func:`spawn_rngs`, which derives child generators via
+``numpy.random.SeedSequence.spawn`` so streams never overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_rng(rng: RngLike = None) -> np.random.Generator:
+    """Normalize ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an integer seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(f"cannot interpret {type(rng).__name__!r} as an RNG")
+
+
+def spawn_rngs(rng: RngLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from ``rng``.
+
+    The parent generator (if one was passed) is *not* consumed; a child
+    ``SeedSequence`` is drawn from its bit generator state instead.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if isinstance(rng, np.random.Generator):
+        seeds = rng.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = rng if isinstance(rng, np.random.SeedSequence) else np.random.SeedSequence(rng)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def standard_normal_matrix(
+    rng: RngLike, n: int, m: int, dtype: np.dtype = np.float64
+) -> np.ndarray:
+    """Return an ``n x m`` standard-normal matrix (the ``Z`` of Algorithm 2)."""
+    gen = as_rng(rng)
+    return gen.standard_normal((n, m)).astype(dtype, copy=False)

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for benchmark harnesses.
+
+Every bench target prints the same rows/series the paper reports; these
+helpers keep the formatting consistent (fixed-width columns, right-
+aligned numerics) so outputs are easy to eyeball against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _fmt_cell(value: object, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    """Format one row with per-column widths."""
+    if len(cells) != len(widths):
+        raise ValueError("cells and widths must have equal length")
+    return "  ".join(_fmt_cell(c, w) for c, w in zip(cells, widths))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table with a rule under the header."""
+    rows = [list(r) for r in rows]
+    ncol = len(headers)
+    for r in rows:
+        if len(r) != ncol:
+            raise ValueError("row length does not match header length")
+    widths = [len(h) for h in headers]
+    rendered_rows = []
+    for r in rows:
+        rendered = []
+        for j, cell in enumerate(r):
+            text = f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+            widths[j] = max(widths[j], len(text))
+            rendered.append(text)
+        rendered_rows.append(rendered)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

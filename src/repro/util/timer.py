@@ -1,0 +1,88 @@
+"""Wall-clock timing helpers.
+
+:class:`Stopwatch` accumulates named phase durations; the MRHS driver
+uses one to produce the per-phase breakdowns of Tables VI and VII
+("Cheb vectors", "Calc guesses", "Cheb single", "1st solve", "2nd solve").
+:class:`TimingRecord` is the immutable result of one timing session.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class TimingRecord:
+    """Immutable snapshot of accumulated phase timings (seconds)."""
+
+    phases: Mapping[str, float]
+    counts: Mapping[str, int]
+
+    def total(self) -> float:
+        return float(sum(self.phases.values()))
+
+    def fraction(self, phase: str) -> float:
+        """Fraction of total time spent in ``phase`` (0 if total is 0)."""
+        tot = self.total()
+        return self.phases.get(phase, 0.0) / tot if tot > 0 else 0.0
+
+    def mean(self, phase: str) -> float:
+        """Mean duration of one occurrence of ``phase``."""
+        c = self.counts.get(phase, 0)
+        return self.phases.get(phase, 0.0) / c if c else 0.0
+
+    def merged(self, other: "TimingRecord") -> "TimingRecord":
+        phases: Dict[str, float] = dict(self.phases)
+        counts: Dict[str, int] = dict(self.counts)
+        for k, v in other.phases.items():
+            phases[k] = phases.get(k, 0.0) + v
+        for k, c in other.counts.items():
+            counts[k] = counts.get(k, 0) + c
+        return TimingRecord(phases=phases, counts=counts)
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time per named phase.
+
+    Use as::
+
+        sw = Stopwatch()
+        with sw.phase("1st solve"):
+            ...
+
+    Nested phases are allowed and accumulate independently.
+    """
+
+    _elapsed: Dict[str, float] = field(default_factory=dict)
+    _counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            dur = time.perf_counter() - start
+            self._elapsed[name] = self._elapsed.get(name, 0.0) + dur
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Record ``seconds`` of (possibly simulated) time against ``name``."""
+        if seconds < 0:
+            raise ValueError("cannot record negative time")
+        self._elapsed[name] = self._elapsed.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + count
+
+    def elapsed(self, name: str) -> float:
+        return self._elapsed.get(name, 0.0)
+
+    def record(self) -> TimingRecord:
+        return TimingRecord(phases=dict(self._elapsed), counts=dict(self._counts))
+
+    def reset(self) -> None:
+        self._elapsed.clear()
+        self._counts.clear()

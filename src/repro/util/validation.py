@@ -1,0 +1,58 @@
+"""Argument-validation helpers shared across subpackages.
+
+Raising early with a precise message is the library's convention: every
+public constructor validates its inputs through these helpers rather
+than letting NumPy produce an opaque broadcasting error three calls
+deeper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that a scalar is positive (or non-negative if not strict)."""
+    value = float(value)
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_shape(name: str, arr: np.ndarray, shape: Sequence[int | None]) -> np.ndarray:
+    """Validate ``arr.shape`` against ``shape`` (``None`` = any extent)."""
+    arr = np.asarray(arr)
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got {arr.ndim}"
+        )
+    for axis, (got, want) in enumerate(zip(arr.shape, shape)):
+        if want is not None and got != want:
+            raise ValueError(
+                f"{name} has shape {arr.shape}; expected extent {want} on axis {axis}"
+            )
+    return arr
+
+
+def check_square_blocks(name: str, blocks: np.ndarray, block_size: int) -> np.ndarray:
+    """Validate a ``(nnzb, b, b)`` array of square blocks."""
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 3 or blocks.shape[1] != block_size or blocks.shape[2] != block_size:
+        raise ValueError(
+            f"{name} must have shape (nnzb, {block_size}, {block_size}), got {blocks.shape}"
+        )
+    return blocks
+
+
+def check_index_array(name: str, arr: np.ndarray, upper: int) -> np.ndarray:
+    """Validate an integer index array with entries in ``[0, upper)``."""
+    arr = np.asarray(arr)
+    if arr.dtype.kind not in "iu":
+        raise ValueError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    if arr.size and (arr.min() < 0 or arr.max() >= upper):
+        raise ValueError(f"{name} entries must lie in [0, {upper})")
+    return arr

@@ -1,0 +1,98 @@
+"""Tests for the comparison runner and timing aggregation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.core.original import run_comparison
+from repro.core.timing import (
+    PAPER_PHASES,
+    average_breakdown,
+    guess_error_series,
+    iterations_table,
+)
+from repro.stokesian.dynamics import SDParameters
+from repro.stokesian.packing import random_configuration
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    system = random_configuration(40, 0.4, rng=0)
+    return run_comparison(system, SDParameters(), n_steps=8, m=4, rng=5)
+
+
+class TestRunComparison:
+    def test_equal_step_counts(self, comparison):
+        assert len(comparison.mrhs_steps) == len(comparison.original_steps) == 8
+
+    def test_guesses_reduce_iterations(self, comparison):
+        it = comparison.iteration_comparison()
+        assert it["with_guesses"] < it["without_guesses"]
+
+    def test_average_times_positive(self, comparison):
+        assert comparison.mrhs_average_step_time() > 0
+        assert comparison.original_average_step_time() > 0
+        assert comparison.speedup() > 0
+
+    def test_requires_full_chunk(self):
+        system = random_configuration(20, 0.3, rng=1)
+        with pytest.raises(ValueError):
+            run_comparison(system, SDParameters(), n_steps=3, m=4, rng=0)
+
+
+class TestAverageBreakdown:
+    def test_mrhs_breakdown_has_chunk_phases(self, comparison):
+        b = average_breakdown(chunks=comparison.mrhs_chunks)
+        assert b["Cheb vectors"] > 0
+        assert b["Calc guesses"] > 0
+        assert b["1st solve"] > 0
+
+    def test_original_breakdown_lacks_chunk_phases(self, comparison):
+        """The paper marks these rows '-' for the original algorithm."""
+        b = average_breakdown(steps=comparison.original_steps)
+        assert b["Cheb vectors"] == 0.0
+        assert b["Calc guesses"] == 0.0
+        assert b["Cheb single"] > 0
+
+    def test_average_row_covers_phases(self, comparison):
+        b = average_breakdown(chunks=comparison.mrhs_chunks)
+        phase_sum = sum(b[p] for p in PAPER_PHASES)
+        assert b["Average"] >= phase_sum  # Average includes construction
+
+    def test_exactly_one_source(self, comparison):
+        with pytest.raises(ValueError):
+            average_breakdown()
+        with pytest.raises(ValueError):
+            average_breakdown(
+                chunks=comparison.mrhs_chunks, steps=comparison.original_steps
+            )
+
+    def test_empty_inputs(self):
+        b = average_breakdown(steps=[])
+        assert b["Average"] == 0.0
+        b = average_breakdown(chunks=[])
+        assert b["Average"] == 0.0
+
+
+class TestIterationsTable:
+    def test_rows(self, comparison):
+        rows = iterations_table(
+            comparison.mrhs_steps, comparison.original_steps, [2, 4, 6]
+        )
+        assert [r[0] for r in rows] == [2, 4, 6]
+        for _, w, wo in rows:
+            assert w >= 0 and wo >= 0
+
+    def test_out_of_range_marked(self, comparison):
+        rows = iterations_table(comparison.mrhs_steps, comparison.original_steps, [99])
+        assert rows[0][1] == -1
+
+
+class TestGuessErrorSeries:
+    def test_alignment(self, comparison):
+        series = guess_error_series(comparison.mrhs_chunks)
+        assert len(series) == len(comparison.mrhs_steps)
+        finite = [e for e in series if not math.isnan(e)]
+        assert finite  # the MRHS run always records guess errors

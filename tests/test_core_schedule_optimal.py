@@ -1,0 +1,129 @@
+"""Tests for m-selection policies and the empirical m sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimal_m import solver_counts_from_run, sweep_m
+from repro.core.schedule import AdaptiveM, FixedM, ModelDrivenM
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.perfmodel.machine import SANDY_BRIDGE, WESTMERE
+from repro.stokesian.dynamics import SDParameters, StokesianDynamics
+from repro.stokesian.packing import random_configuration
+from repro.stokesian.resistance import build_resistance_matrix
+from tests.conftest import random_bcrs
+
+
+class TestFixedM:
+    def test_constant(self):
+        assert FixedM(8).choose() == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedM(0)
+
+
+class TestModelDrivenM:
+    def test_picks_near_crossover(self):
+        A = random_bcrs(120, 20.0, seed=0)
+        policy = ModelDrivenM(machine=WESTMERE, offset=0)
+        from repro.perfmodel.roofline import GspmvTimeModel
+
+        ms = GspmvTimeModel(A, WESTMERE).crossover_m()
+        assert policy.choose(A) == min(64, max(1, ms))
+
+    def test_offset_applied(self):
+        A = random_bcrs(120, 20.0, seed=1)
+        m0 = ModelDrivenM(machine=WESTMERE, offset=0).choose(A)
+        m_minus = ModelDrivenM(machine=WESTMERE, offset=-2).choose(A)
+        assert m_minus == max(1, m0 - 2)
+
+    def test_never_compute_bound_uses_cap(self):
+        from repro.sparse.bcrs import BCRSMatrix
+
+        I = BCRSMatrix.block_identity(500)
+        policy = ModelDrivenM(machine=WESTMERE, m_max=32)
+        assert policy.choose(I) == 32
+
+    def test_lower_byte_per_flop_means_larger_m(self):
+        """SNB (lower B/F) pushes the crossover out: bigger chosen m."""
+        A = random_bcrs(150, 25.0, seed=2)
+        m_wsm = ModelDrivenM(machine=WESTMERE, offset=0).choose(A)
+        m_snb = ModelDrivenM(machine=SANDY_BRIDGE, offset=0).choose(A)
+        assert m_snb >= m_wsm
+
+
+class TestAdaptiveM:
+    def test_grows_while_improving(self):
+        policy = AdaptiveM(m=4, m_max=64)
+        policy.observe(10.0)
+        assert policy.choose() == 8
+        policy.observe(8.0)
+        assert policy.choose() == 16
+
+    def test_backs_off_and_pins_on_regression(self):
+        policy = AdaptiveM(m=4, m_max=64)
+        policy.observe(10.0)   # -> 8
+        policy.observe(12.0)   # regression -> back to 4, pinned
+        assert policy.choose() == 4
+        policy.observe(1.0)    # pinned: ignored
+        assert policy.choose() == 4
+
+    def test_cap(self):
+        policy = AdaptiveM(m=40, m_max=64)
+        policy.observe(10.0)
+        assert policy.choose() == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveM(m=0)
+        with pytest.raises(ValueError):
+            AdaptiveM().observe(0.0)
+
+
+class TestSweepM:
+    def test_sweep_returns_argmin(self):
+        system = random_configuration(30, 0.4, rng=0)
+        res = sweep_m(
+            system,
+            SDParameters(),
+            m_values=[2, 4],
+            machine=WESTMERE,
+            rng_seed=3,
+        )
+        assert res.m_optimal in (2, 4)
+        assert len(res.measured_step_times) == 2
+        best = int(np.argmin(res.measured_step_times))
+        assert res.m_values[best] == res.m_optimal
+        assert res.as_rows()[0] == (2, res.measured_step_times[0])
+
+    def test_sweep_reports_model_crossover(self):
+        system = random_configuration(30, 0.4, rng=1)
+        res = sweep_m(
+            system, SDParameters(), m_values=[2], machine=WESTMERE, rng_seed=0
+        )
+        assert res.m_s is None or res.m_s >= 1
+
+    def test_empty_values_rejected(self):
+        system = random_configuration(10, 0.2, rng=2)
+        with pytest.raises(ValueError):
+            sweep_m(system, SDParameters(), m_values=[], machine=WESTMERE)
+
+
+class TestSolverCountsFromRun:
+    def test_extracts_counts(self):
+        system = random_configuration(30, 0.4, rng=4)
+        mrhs = MrhsStokesianDynamics(
+            system, SDParameters(), MrhsParameters(m=4), rng=5
+        )
+        mrhs.run(1)
+        orig = StokesianDynamics(system, SDParameters(), rng=5)
+        orig.run(4)
+        counts = solver_counts_from_run(mrhs, orig.history)
+        assert counts.n_noguess >= counts.n_first
+        assert counts.cheb_order == SDParameters().cheb_degree
+
+    def test_empty_run_rejected(self):
+        system = random_configuration(10, 0.2, rng=6)
+        mrhs = MrhsStokesianDynamics(system, rng=0)
+        with pytest.raises(ValueError):
+            solver_counts_from_run(mrhs, [])

@@ -1,0 +1,146 @@
+"""Tests for the simulated message-passing engine."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.mpi_sim import DeadlockError, MpiSim
+
+
+class TestBasics:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            MpiSim(0)
+
+    def test_plain_function_programs(self):
+        def program(ctx):
+            ctx.result = ctx.rank * 2
+
+        ctxs = MpiSim(3).run(program)
+        assert [c.result for c in ctxs] == [0, 2, 4]
+
+    def test_send_recv_pair(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, tag=7, payload=np.arange(4.0))
+            else:
+                msg = yield ctx.recv(0, tag=7)
+                ctx.result = msg.copy()
+
+        ctxs = MpiSim(2).run(program)
+        np.testing.assert_array_equal(ctxs[1].result, np.arange(4.0))
+
+    def test_payload_isolated_from_sender(self):
+        """Sends must deep-copy: mutating after send can't corrupt."""
+        def program(ctx):
+            if ctx.rank == 0:
+                data = np.ones(3)
+                ctx.send(1, tag=0, payload=data)
+                data[:] = -1.0
+            else:
+                msg = yield ctx.recv(0, tag=0)
+                ctx.result = msg.copy()
+
+        ctxs = MpiSim(2).run(program)
+        np.testing.assert_array_equal(ctxs[1].result, np.ones(3))
+
+    def test_message_ordering_fifo(self):
+        """Messages with the same (src, tag) arrive in send order."""
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, tag=0, payload=np.array([1.0]))
+                ctx.send(1, tag=0, payload=np.array([2.0]))
+            else:
+                a = yield ctx.recv(0, tag=0)
+                b = yield ctx.recv(0, tag=0)
+                ctx.result = (a[0], b[0])
+
+        ctxs = MpiSim(2).run(program)
+        assert ctxs[1].result == (1.0, 2.0)
+
+    def test_tags_demultiplex(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, tag=5, payload=np.array([5.0]))
+                ctx.send(1, tag=3, payload=np.array([3.0]))
+            else:
+                b = yield ctx.recv(0, tag=3)
+                a = yield ctx.recv(0, tag=5)
+                ctx.result = (a[0], b[0])
+
+        ctxs = MpiSim(2).run(program)
+        assert ctxs[1].result == (5.0, 3.0)
+
+    def test_invalid_ranks_rejected(self):
+        def program(ctx):
+            ctx.send(99, tag=0, payload=np.ones(1))
+
+        with pytest.raises(ValueError, match="destination"):
+            MpiSim(2).run(program)
+
+
+class TestRing:
+    def test_ring_pass(self):
+        """Each rank forwards an accumulating token around a ring."""
+        def program(ctx):
+            left = (ctx.rank - 1) % ctx.size
+            right = (ctx.rank + 1) % ctx.size
+            if ctx.rank == 0:
+                ctx.send(right, tag=0, payload=np.array([0.0]))
+                token = yield ctx.recv(left, tag=0)
+                ctx.result = token[0]
+            else:
+                token = yield ctx.recv(left, tag=0)
+                ctx.send(right, tag=0, payload=token + ctx.rank)
+
+        ctxs = MpiSim(5).run(program)
+        assert ctxs[0].result == 1 + 2 + 3 + 4
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        order = []
+
+        def program(ctx):
+            order.append(("pre", ctx.rank))
+            yield ctx.barrier()
+            order.append(("post", ctx.rank))
+
+        MpiSim(3).run(program)
+        pre = [i for i, (phase, _) in enumerate(order) if phase == "pre"]
+        post = [i for i, (phase, _) in enumerate(order) if phase == "post"]
+        assert max(pre) < min(post)
+
+    def test_two_barriers(self):
+        def program(ctx):
+            yield ctx.barrier()
+            yield ctx.barrier()
+            ctx.result = "done"
+
+        ctxs = MpiSim(4).run(program)
+        assert all(c.result == "done" for c in ctxs)
+
+
+class TestDeadlock:
+    def test_recv_without_send_deadlocks(self):
+        def program(ctx):
+            if ctx.rank == 1:
+                yield ctx.recv(0, tag=0)
+
+        with pytest.raises(DeadlockError):
+            MpiSim(2).run(program)
+
+
+class TestTraffic:
+    def test_meters_count_bytes(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, tag=0, payload=np.zeros(10))  # 80 bytes
+            else:
+                yield ctx.recv(0, tag=0)
+
+        sim = MpiSim(2)
+        ctxs = sim.run(program)
+        assert ctxs[0].traffic.bytes_sent == 80
+        assert ctxs[1].traffic.bytes_received == 80
+        total = sim.total_traffic()
+        assert total.messages_sent == total.messages_received == 1

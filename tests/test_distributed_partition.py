@@ -1,0 +1,202 @@
+"""Tests for partitioners and communication plans."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.comm import build_comm_plan
+from repro.distributed.graphpart import spectral_partition
+from repro.distributed.partition import (
+    Partition,
+    contiguous_partition,
+    coordinate_partition,
+)
+from repro.stokesian.packing import random_configuration
+from repro.stokesian.resistance import build_resistance_matrix
+from tests.conftest import random_bcrs
+
+
+@pytest.fixture(scope="module")
+def sd_case():
+    system = random_configuration(100, 0.3, rng=0)
+    A = build_resistance_matrix(system)
+    return system, A
+
+
+class TestPartitionContainer:
+    def test_every_row_in_exactly_one_part(self, sd_case):
+        _, A = sd_case
+        part = contiguous_partition(A, 5)
+        assert part.rows_per_part().sum() == A.nb_rows
+        seen = np.concatenate([part.rows_of(r) for r in range(5)])
+        assert sorted(seen.tolist()) == list(range(A.nb_rows))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Partition(part_of_row=np.array([0, 3]), n_parts=2)
+        with pytest.raises(ValueError):
+            Partition(part_of_row=np.array([0]), n_parts=0)
+
+    def test_rows_of_bounds(self, sd_case):
+        _, A = sd_case
+        part = contiguous_partition(A, 3)
+        with pytest.raises(ValueError):
+            part.rows_of(3)
+
+    def test_nnz_per_part_sums(self, sd_case):
+        _, A = sd_case
+        part = contiguous_partition(A, 4)
+        assert part.nnz_per_part(A).sum() == A.nnzb
+
+    def test_nnz_size_mismatch(self, sd_case):
+        _, A = sd_case
+        part = Partition(part_of_row=np.zeros(3, dtype=int), n_parts=1)
+        with pytest.raises(ValueError):
+            part.nnz_per_part(A)
+
+
+class TestContiguousPartition:
+    def test_contiguity(self, sd_case):
+        _, A = sd_case
+        part = contiguous_partition(A, 6)
+        assert np.all(np.diff(part.part_of_row) >= 0)
+
+    def test_balance(self, sd_case):
+        _, A = sd_case
+        part = contiguous_partition(A, 4)
+        assert part.load_imbalance(A) < 1.5
+
+    def test_single_part(self, sd_case):
+        _, A = sd_case
+        part = contiguous_partition(A, 1)
+        assert np.all(part.part_of_row == 0)
+
+    def test_too_many_parts(self):
+        A = random_bcrs(4, 2.0, seed=0)
+        with pytest.raises(ValueError):
+            contiguous_partition(A, 5)
+
+
+class TestCoordinatePartition:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_balance(self, sd_case, p):
+        system, A = sd_case
+        part = coordinate_partition(system, A, p)
+        assert part.n_parts == p
+        assert part.load_imbalance(A) < 1.6
+
+    def test_spatial_coherence(self, sd_case):
+        """Parts should be spatially compact: the mean intra-part pair
+        distance must beat a random assignment's."""
+        system, A = sd_case
+        part = coordinate_partition(system, A, 4)
+        rng = np.random.default_rng(0)
+        random_assign = rng.integers(0, 4, system.n)
+
+        def mean_spread(assign):
+            tot, cnt = 0.0, 0
+            for r in range(4):
+                pts = system.positions[assign == r]
+                if len(pts) > 1:
+                    c = pts.mean(axis=0)
+                    tot += np.linalg.norm(pts - c, axis=1).mean()
+                    cnt += 1
+            return tot / cnt
+
+        assert mean_spread(part.part_of_row) < mean_spread(random_assign)
+
+    def test_deterministic(self, sd_case):
+        system, A = sd_case
+        a = coordinate_partition(system, A, 4)
+        b = coordinate_partition(system, A, 4)
+        np.testing.assert_array_equal(a.part_of_row, b.part_of_row)
+
+    def test_size_mismatch(self, sd_case):
+        system, _ = sd_case
+        B = random_bcrs(10, 3.0, seed=1)
+        with pytest.raises(ValueError):
+            coordinate_partition(system, B, 2)
+
+    def test_comm_volume_comparable_to_spectral(self, sd_case):
+        """The paper's claim: coordinate partitioning achieves comm
+        volume comparable to a graph partitioner (within ~2.5x here)."""
+        system, A = sd_case
+        coord = coordinate_partition(system, A, 4)
+        spect = spectral_partition(A, 4)
+        v_coord = build_comm_plan(A, coord).total_volume_bytes(m=1)
+        v_spect = build_comm_plan(A, spect).total_volume_bytes(m=1)
+        assert v_coord <= 2.5 * max(v_spect, 1)
+
+
+class TestSpectralPartition:
+    def test_covers_all_rows(self, sd_case):
+        _, A = sd_case
+        part = spectral_partition(A, 4)
+        assert part.rows_per_part().sum() == A.nb_rows
+        assert np.all(part.rows_per_part() > 0)
+
+    def test_roughly_balanced_rows(self, sd_case):
+        _, A = sd_case
+        part = spectral_partition(A, 4)
+        counts = part.rows_per_part()
+        assert counts.max() <= 2 * counts.min()
+
+    def test_validation(self, sd_case):
+        _, A = sd_case
+        with pytest.raises(ValueError):
+            spectral_partition(A, 0)
+
+
+class TestCommPlan:
+    def test_symmetry_of_sends_and_recvs(self, sd_case):
+        system, A = sd_case
+        plan = build_comm_plan(A, coordinate_partition(system, A, 4))
+        for r in range(4):
+            for s, cols in plan.recv_cols[r].items():
+                np.testing.assert_array_equal(plan.send_cols[s][r], cols)
+
+    def test_received_columns_are_owned_by_source(self, sd_case):
+        system, A = sd_case
+        part = coordinate_partition(system, A, 4)
+        plan = build_comm_plan(A, part)
+        for r in range(4):
+            for s, cols in plan.recv_cols[r].items():
+                assert np.all(part.part_of_row[cols] == s)
+
+    def test_volume_scales_linearly_with_m(self, sd_case):
+        """'Communication volume scales proportionately with the number
+        of vectors, m.'"""
+        system, A = sd_case
+        plan = build_comm_plan(A, coordinate_partition(system, A, 4))
+        v1 = plan.total_volume_bytes(m=1)
+        v8 = plan.total_volume_bytes(m=8)
+        assert v8 == 8 * v1
+
+    def test_single_part_no_comm(self, sd_case):
+        _, A = sd_case
+        plan = build_comm_plan(A, contiguous_partition(A, 1))
+        assert plan.total_volume_bytes(m=4) == 0
+        assert plan.total_messages() == 0
+
+    def test_columns_needed_exactly_cover_remote_references(self, sd_case):
+        system, A = sd_case
+        part = coordinate_partition(system, A, 3)
+        plan = build_comm_plan(A, part)
+        rows = np.repeat(np.arange(A.nb_rows), np.diff(A.row_ptr))
+        for r in range(3):
+            needed = set()
+            mask = part.part_of_row[rows] == r
+            for c in A.col_ind[mask]:
+                if part.part_of_row[c] != r:
+                    needed.add(int(c))
+            got = set()
+            for cols in plan.recv_cols[r].values():
+                got.update(int(c) for c in cols)
+            assert got == needed
+
+    def test_requires_square(self):
+        from repro.sparse.bcrs import BCRSMatrix
+
+        A = BCRSMatrix.from_block_coo(2, 3, [0], [2], np.eye(3)[None])
+        part = Partition(part_of_row=np.array([0, 1]), n_parts=2)
+        with pytest.raises(ValueError, match="square"):
+            build_comm_plan(A, part)

@@ -1,0 +1,128 @@
+"""End-to-end integration tests across the full pipeline.
+
+These cross-module tests exercise whole workflows — the things a user
+of the released library would actually run — and check physical and
+algorithmic invariants that no unit test can see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.auto import AutoMrhsStokesianDynamics
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.core.original import run_comparison
+from repro.solvers.chol import CholeskySolver
+from repro.stokesian.dynamics import SDParameters, StokesianDynamics
+from repro.stokesian.packing import random_configuration
+from repro.stokesian.resistance import build_resistance_matrix
+from repro.util.rng import spawn_rngs
+
+
+@pytest.fixture(scope="module")
+def system():
+    return random_configuration(30, 0.4, rng=0)
+
+
+class TestPhysicalInvariants:
+    def test_no_overlap_over_many_steps(self, system):
+        """The overlap-safe integrator holds over a long MRHS run."""
+        driver = MrhsStokesianDynamics(
+            system, SDParameters(), MrhsParameters(m=5), rng=1
+        )
+        for _ in range(3):
+            driver.run_chunk()
+            assert driver.system.max_overlap() == 0.0
+
+    def test_volume_fraction_conserved(self, system):
+        """Particles move; the box and radii (hence phi) do not."""
+        driver = MrhsStokesianDynamics(
+            system, SDParameters(), MrhsParameters(m=4), rng=2
+        )
+        phi0 = driver.system.volume_fraction
+        driver.run(2)
+        assert driver.system.volume_fraction == pytest.approx(phi0)
+
+    def test_fluctuation_dissipation(self):
+        """The pipeline's statistical contract: one-step displacements
+        have covariance ~ 2 kT dt R^{-1} (small-dt limit).
+
+        Verified on a small system with the exact (Cholesky) Brownian
+        path and an ensemble over noise, comparing the empirical
+        displacement covariance against the analytic one.
+        """
+        s = random_configuration(6, 0.25, rng=3)
+        dt, kT = 1e-3, 1.0
+        params = SDParameters(dt=dt, kT=kT, brownian_method="cholesky")
+        R = build_resistance_matrix(s)
+        R_inv = np.linalg.inv(R.to_dense())
+        expected = 2.0 * kT * dt * R_inv
+
+        samples = 3000
+        disp = np.empty((samples, s.dof))
+        base_positions = s.positions.copy()
+        streams = spawn_rngs(7, samples)
+        for k, gen in enumerate(streams):
+            sd = StokesianDynamics(s, params, rng=gen)
+            sd.step()
+            d = sd.system.minimum_image(sd.system.positions - base_positions)
+            disp[k] = d.reshape(-1)
+        emp = disp.T @ disp / samples
+        scale = np.abs(expected).max()
+        np.testing.assert_allclose(emp, expected, atol=0.15 * scale)
+
+    def test_displacement_magnitude_scales_with_sqrt_dt(self, system):
+        """RMS one-step displacement ~ sqrt(2 D dt)."""
+        rms = {}
+        for dt in (0.01, 0.04):
+            sd = StokesianDynamics(system, SDParameters(dt=dt), rng=4)
+            before = sd.system.positions.copy()
+            sd.step()
+            d = sd.system.minimum_image(sd.system.positions - before)
+            rms[dt] = float(np.sqrt(np.mean(d**2)))
+        assert rms[0.04] == pytest.approx(2.0 * rms[0.01], rel=0.3)
+
+
+class TestAlgorithmicInvariants:
+    def test_full_comparison_pipeline(self, system):
+        result = run_comparison(system, SDParameters(), n_steps=8, m=4, rng=5)
+        it = result.iteration_comparison()
+        assert it["with_guesses"] < it["without_guesses"]
+        # Physics identical between algorithms at solver tolerance.
+        mrhs_final = result.mrhs_chunks[-1].steps[-1]
+        orig_final = result.original_steps[-1]
+        assert mrhs_final.step_index == orig_final.step_index
+
+    def test_auto_driver_full_pipeline(self, system):
+        auto = AutoMrhsStokesianDynamics(system, SDParameters(), rng=6, m_cap=8)
+        auto.run(2)
+        assert auto.total_steps() >= 2
+        assert auto.system.max_overlap() == 0.0
+
+    def test_chunk_boundaries_do_not_perturb_trajectory(self, system):
+        """Two MRHS runs with different chunkings on the same noise end
+        in the same configuration (tight tolerances): the chunk size is
+        a performance knob, not a physics knob."""
+        params = SDParameters(tol=1e-11)
+        a = MrhsStokesianDynamics(system, params, MrhsParameters(m=2), rng=8)
+        a.run(3)  # 6 steps as 3 chunks
+        b = MrhsStokesianDynamics(system, params, MrhsParameters(m=6), rng=8)
+        b.run(1)  # 6 steps as 1 chunk
+        np.testing.assert_allclose(
+            a.system.positions, b.system.positions, rtol=1e-5, atol=1e-5
+        )
+
+    def test_brownian_force_covariance_through_resistance(self):
+        """f^B = scale S(R) z has covariance scale^2 R — checked through
+        the full generator stack against the BCRS assembly."""
+        s = random_configuration(8, 0.3, rng=9)
+        R = build_resistance_matrix(s)
+        chol = CholeskySolver(R)  # also proves R is SPD end-to-end
+        sd = StokesianDynamics(s, SDParameters(), rng=10)
+        gen = sd.brownian_generator(R)
+        Z = np.random.default_rng(11).standard_normal((s.dof, 4000))
+        F = gen.generate(Z) / sd.params.force_scale
+        emp = F @ F.T / Z.shape[1]
+        dense = R.to_dense()
+        np.testing.assert_allclose(
+            emp, dense, atol=0.2 * np.abs(dense).max()
+        )

@@ -1,0 +1,90 @@
+"""Tests for persistence (repro.io) and the CLI (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_bcrs, load_system, save_bcrs, save_system
+from repro.stokesian.packing import random_configuration
+from tests.conftest import random_bcrs
+
+
+class TestIo:
+    def test_bcrs_roundtrip(self, tmp_path):
+        A = random_bcrs(12, 4.0, seed=0)
+        path = tmp_path / "mat.npz"
+        save_bcrs(path, A)
+        B = load_bcrs(path)
+        np.testing.assert_array_equal(B.row_ptr, A.row_ptr)
+        np.testing.assert_array_equal(B.col_ind, A.col_ind)
+        np.testing.assert_array_equal(B.blocks, A.blocks)
+        assert B.nb_cols == A.nb_cols
+
+    def test_system_roundtrip(self, tmp_path):
+        s = random_configuration(15, 0.2, rng=1)
+        path = tmp_path / "sys.npz"
+        save_system(path, s)
+        t = load_system(path)
+        np.testing.assert_allclose(t.positions, s.positions)
+        np.testing.assert_allclose(t.radii, s.radii)
+        np.testing.assert_allclose(t.box, s.box)
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        s = random_configuration(5, 0.1, rng=2)
+        path = tmp_path / "sys.npz"
+        save_system(path, s)
+        with pytest.raises(ValueError, match="BCRS"):
+            load_bcrs(path)
+        A = random_bcrs(3, 2.0, seed=3)
+        path2 = tmp_path / "mat.npz"
+        save_bcrs(path2, A)
+        with pytest.raises(ValueError, match="particle"):
+            load_system(path2)
+
+
+class TestCliParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.n == 100
+        assert args.m == 8
+
+    def test_roofline_machine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["roofline", "--machine", "gpu"])
+
+
+class TestCliCommands:
+    def test_roofline_runs(self, capsys):
+        rc = main(["roofline", "--nb", "1000", "--bpr", "20", "--m-max", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GSPMV model" in out
+        assert "vectors within 2x" in out
+
+    def test_simulate_runs(self, capsys):
+        rc = main(["simulate", "--n", "30", "--phi", "0.3", "--m", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "1st-solve iterations" in out
+
+    def test_pack_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "packed.npz"
+        rc = main(
+            ["pack", "--n", "20", "--phi", "0.2", "--out", str(out_file)]
+        )
+        assert rc == 0
+        loaded = load_system(out_file)
+        assert loaded.n == 20
+
+    def test_sweep_runs(self, capsys):
+        rc = main(
+            ["sweep", "--n", "25", "--phi", "0.3", "--m-values", "2", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "m_optimal" in out

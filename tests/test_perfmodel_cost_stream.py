@@ -1,0 +1,56 @@
+"""Tests for cost conversion and host calibration (cost.py / stream.py)."""
+
+import pytest
+
+from repro.perfmodel.cost import achieved_rates, simulated_seconds
+from repro.perfmodel.machine import SANDY_BRIDGE, WESTMERE, host_machine
+from repro.perfmodel.stream import measure_kernel_flops, measure_stream_bandwidth
+from repro.sparse.traffic import memory_traffic_bytes
+from tests.conftest import random_bcrs
+
+
+class TestSimulatedSeconds:
+    def test_roofline_max(self):
+        A = random_bcrs(50, 10.0, seed=0)
+        c = memory_traffic_bytes(A, 4, k=0.0)
+        t = simulated_seconds(c, WESTMERE)
+        assert t == pytest.approx(
+            max(c.total_bytes / WESTMERE.stream_bw, c.flops / WESTMERE.flop_rate)
+        )
+
+    def test_single_vector_bandwidth_bound(self):
+        """SPMV (m=1) on SD matrices is bandwidth-bound: achieved GB/s at
+        the machine limit, Gflops well below the kernel limit (Table II)."""
+        A = random_bcrs(200, 25.0, seed=1)
+        rates = achieved_rates(memory_traffic_bytes(A, 1, k=0.0), WESTMERE)
+        assert rates.bound == "bandwidth"
+        assert rates.gbytes_per_s == pytest.approx(23.0, rel=1e-6)
+        assert rates.gflops < WESTMERE.kernel_gflops / 2
+
+    def test_many_vectors_compute_bound(self):
+        A = random_bcrs(200, 25.0, seed=1)
+        rates = achieved_rates(memory_traffic_bytes(A, 64, k=0.0), WESTMERE)
+        assert rates.bound == "compute"
+        assert rates.gflops == pytest.approx(WESTMERE.kernel_gflops, rel=1e-6)
+
+    def test_faster_machine_is_faster(self):
+        A = random_bcrs(100, 20.0, seed=2)
+        c = memory_traffic_bytes(A, 8, k=0.0)
+        assert simulated_seconds(c, SANDY_BRIDGE) < simulated_seconds(c, WESTMERE)
+
+
+class TestHostMeasurement:
+    def test_stream_bandwidth_positive(self):
+        bw = measure_stream_bandwidth(quick=True, array_mb=4, repeats=2)
+        # Any machine this runs on moves at least 100 MB/s and less than 10 TB/s.
+        assert 1e8 < bw < 1e13
+
+    def test_kernel_flops_positive(self):
+        gf = measure_kernel_flops(quick=True, n_blocks=500, repeats=2)
+        assert 1e-3 < gf < 1e5
+
+    def test_host_machine_spec(self):
+        spec = host_machine(quick=True)
+        assert spec.name == "host"
+        assert spec.stream_bw > 0
+        assert spec.kernel_gflops > 0

@@ -1,0 +1,66 @@
+"""Tests for repro.perfmodel.machine."""
+
+import pytest
+
+from repro.perfmodel.machine import (
+    CLUSTER_NODE,
+    SANDY_BRIDGE,
+    WESTMERE,
+    MachineSpec,
+)
+
+
+class TestPresets:
+    def test_wsm_published_values(self):
+        assert WESTMERE.cores == 6
+        assert WESTMERE.stream_bw == pytest.approx(23e9)
+        assert WESTMERE.kernel_gflops == pytest.approx(45.0)
+        assert WESTMERE.llc_bytes == 12 * 2**20
+
+    def test_snb_published_values(self):
+        assert SANDY_BRIDGE.cores == 8
+        assert SANDY_BRIDGE.stream_bw == pytest.approx(33e9)
+        assert SANDY_BRIDGE.kernel_gflops == pytest.approx(90.0)
+
+    def test_snb_has_lower_byte_per_flop(self):
+        """SNB's B/F (0.37) is below WSM's (~0.51): more compute per byte."""
+        assert SANDY_BRIDGE.byte_per_flop < WESTMERE.byte_per_flop
+        assert SANDY_BRIDGE.byte_per_flop == pytest.approx(0.367, abs=0.01)
+
+    def test_cluster_node_downclocked(self):
+        assert CLUSTER_NODE.freq_ghz == pytest.approx(2.9)
+        assert CLUSTER_NODE.kernel_gflops < WESTMERE.kernel_gflops
+        assert CLUSTER_NODE.stream_bw == WESTMERE.stream_bw
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MachineSpec("x", 0, 1.0, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            MachineSpec("x", 1, 1.0, 1.0, -1.0, 1.0, 1.0)
+
+
+class TestThreadScaling:
+    def test_full_thread_count_is_identity(self):
+        spec = WESTMERE.with_threads(WESTMERE.cores)
+        assert spec.stream_bw == pytest.approx(WESTMERE.stream_bw)
+        assert spec.kernel_gflops == pytest.approx(WESTMERE.kernel_gflops)
+
+    def test_flops_scale_linearly(self):
+        spec = WESTMERE.with_threads(3)
+        assert spec.kernel_gflops == pytest.approx(WESTMERE.kernel_gflops / 2)
+
+    def test_bandwidth_saturates(self):
+        """Bandwidth at 1 thread is much more than 1/cores of full."""
+        one = WESTMERE.with_threads(1)
+        assert one.stream_bw > WESTMERE.stream_bw / WESTMERE.cores
+
+    def test_byte_per_flop_falls_with_threads(self):
+        """The Figure 8 premise: more threads => lower B/F => bigger MRHS win."""
+        bfs = [WESTMERE.with_threads(t).byte_per_flop for t in (2, 4, 8)]
+        assert bfs[0] > bfs[1] > bfs[2]
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            WESTMERE.with_threads(0)

@@ -1,0 +1,110 @@
+"""Tests for the Tmrhs analysis (repro.perfmodel.mrhs_model)."""
+
+import pytest
+
+from repro.perfmodel.machine import WESTMERE
+from repro.perfmodel.mrhs_model import MrhsCostModel, SolverCounts
+from repro.perfmodel.roofline import GspmvTimeModel
+from tests.conftest import random_bcrs
+
+# The paper's Figure 7 parameters (300k particles, 50% occupancy):
+PAPER_COUNTS = SolverCounts(n_noguess=162, n_first=80, n_second=63, cheb_order=30)
+
+
+def make_model(blocks_per_row=20.0, nb=120, seed=0, counts=PAPER_COUNTS, k0=True):
+    A = random_bcrs(nb, blocks_per_row, seed=seed)
+    tm = GspmvTimeModel(A, WESTMERE, k_override=(lambda m: 0.0) if k0 else None)
+    return MrhsCostModel(A, WESTMERE, counts, time_model=tm)
+
+
+class TestSolverCounts:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolverCounts(0, 0, 0)
+        with pytest.raises(ValueError):
+            SolverCounts(10, 1, 1, cheb_order=0)
+        with pytest.raises(ValueError, match="N1 > N"):
+            SolverCounts(10, 20, 1)
+
+
+class TestAverageStepTime:
+    def test_m1_matches_hand_expansion(self):
+        model = make_model()
+        c = PAPER_COUNTS
+        t1 = model.model.time(1)
+        expected = (c.n_noguess + c.cheb_order + c.n_second) * t1
+        assert model.average_step_time(1) == pytest.approx(expected)
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            make_model().average_step_time(0)
+
+    def test_decreases_then_increases(self):
+        """Tmrhs falls while bandwidth-bound, rises once compute-bound."""
+        model = make_model()
+        ms = model.crossover_m()
+        assert ms is not None and ms > 2
+        before = [model.average_step_time(m) for m in range(1, ms)]
+        assert all(b < a for a, b in zip(before, before[1:]))
+        after = [model.average_step_time(m) for m in range(ms, ms + 10)]
+        assert after[-1] > min(after)
+
+    def test_optimal_near_crossover(self):
+        """The paper's Table VIII property: m_optimal ~= m_s."""
+        model = make_model()
+        ms = model.crossover_m()
+        mopt = model.optimal_m()
+        assert abs(mopt - ms) <= 3
+
+    def test_speedup_exceeds_one_at_optimum(self):
+        model = make_model()
+        assert model.speedup(model.optimal_m()) > 1.0
+
+    def test_original_time_independent_of_m(self):
+        model = make_model()
+        c = PAPER_COUNTS
+        assert model.original_step_time() == pytest.approx(
+            (c.n_noguess + c.n_second + c.cheb_order) * model.model.time(1)
+        )
+
+    def test_paper_speedup_band(self):
+        """With the paper's iteration counts the modelled speedup at the
+        optimum lands in the paper's reported 10-40% band."""
+        model = make_model(blocks_per_row=25.0, nb=200)
+        s = model.speedup(model.optimal_m())
+        assert 1.05 < s < 1.8
+
+
+class TestRegimeExpansions:
+    def test_bandwidth_regime_exact(self):
+        """Eq. 11 expansion equals Eq. 9 for every m below the crossover."""
+        model = make_model()
+        ms = model.crossover_m()
+        for m in range(1, ms):
+            assert model.bandwidth_regime_time(m) == pytest.approx(
+                model.average_step_time(m), rel=1e-12
+            )
+
+    def test_compute_regime_exact(self):
+        """Eq. 12 expansion equals Eq. 9 for every m at/above the crossover."""
+        model = make_model()
+        ms = model.crossover_m()
+        for m in range(ms, ms + 8):
+            assert model.compute_regime_time(m) == pytest.approx(
+                model.average_step_time(m), rel=1e-12
+            )
+
+    def test_compute_regime_increasing(self):
+        """W + R - V/m is increasing in m (V > 0)."""
+        model = make_model()
+        consts = model.regime_constants()
+        assert consts["V"] > 0
+        ms = model.crossover_m()
+        ts = [model.compute_regime_time(m) for m in range(ms, ms + 6)]
+        assert all(b > a for a, b in zip(ts, ts[1:]))
+
+    def test_q_positive_for_sd_like_matrices(self):
+        """Large nnzb makes Q > 0 (the paper's 'typically in SD' claim),
+        which is what makes the bandwidth regime decreasing."""
+        model = make_model(blocks_per_row=25.0, nb=200)
+        assert model.regime_constants()["Q"] > 0

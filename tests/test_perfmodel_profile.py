@@ -1,0 +1,74 @@
+"""Tests for the Figure 1 profile (repro.perfmodel.profile)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.machine import WESTMERE
+from repro.perfmodel.profile import profile_grid, vectors_within_ratio
+from repro.perfmodel.roofline import MatrixShape, relative_time
+
+
+class TestVectorsWithinRatio:
+    def test_consistency_with_relative_time(self):
+        """The returned m satisfies r(m) <= ratio < r(m+1) under Eq. 8."""
+        q, bf = 24.9, 0.51
+        machine = WESTMERE
+        shape = MatrixShape(nb=100_000, blocks_per_row=q)
+        m = vectors_within_ratio(q, machine.byte_per_flop)
+        assert relative_time(shape, m, machine, k=0.0) <= 2.0 + 1e-9
+        assert relative_time(shape, m + 1, machine, k=0.0) > 2.0 - 1e-9
+
+    def test_monotone_in_density_when_compute_allows(self):
+        """At low B/F the profile grows with nnzb/nb (Figure 1's shape)."""
+        ms = [vectors_within_ratio(q, 0.06) for q in (6, 24, 48, 84)]
+        assert all(b >= a for a, b in zip(ms, ms[1:]))
+
+    def test_decreasing_in_byte_per_flop(self):
+        """Higher B/F means the compute bound bites sooner: fewer vectors."""
+        ms = [vectors_within_ratio(30.0, bf) for bf in (0.02, 0.1, 0.3, 0.6)]
+        assert all(b <= a for a, b in zip(ms, ms[1:]))
+
+    def test_at_least_one(self):
+        assert vectors_within_ratio(6.0, 0.6) >= 1
+
+    def test_paper_fig1_scale(self):
+        """Figure 1's color scale spans roughly 10..60 vectors over its
+        parameter box; spot-check the corners are in that ballpark."""
+        low = vectors_within_ratio(6.0, 0.6)
+        high = vectors_within_ratio(84.0, 0.02)
+        assert low < 15
+        assert high >= 40
+
+    def test_k_reduces_vector_count(self):
+        base = vectors_within_ratio(25.0, 0.1, k=0.0)
+        with_k = vectors_within_ratio(25.0, 0.1, k=3.0)
+        assert with_k <= base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vectors_within_ratio(0.0, 0.1)
+        with pytest.raises(ValueError):
+            vectors_within_ratio(10.0, 0.0)
+        with pytest.raises(ValueError):
+            vectors_within_ratio(10.0, 0.1, ratio=0.5)
+
+
+class TestProfileGrid:
+    def test_shape_is_y_major(self):
+        grid = profile_grid(np.array([6.0, 24.0, 84.0]), np.array([0.02, 0.6]))
+        assert grid.shape == (2, 3)
+
+    def test_grid_matches_pointwise(self):
+        qs = np.array([6.0, 30.0])
+        bfs = np.array([0.1, 0.4])
+        grid = profile_grid(qs, bfs)
+        for i, bf in enumerate(bfs):
+            for j, q in enumerate(qs):
+                assert grid[i, j] == vectors_within_ratio(q, bf)
+
+    def test_rows_decrease_with_bf(self):
+        qs = np.linspace(6, 84, 5)
+        bfs = np.array([0.05, 0.2, 0.5])
+        grid = profile_grid(qs, bfs)
+        assert np.all(grid[0] >= grid[1])
+        assert np.all(grid[1] >= grid[2])

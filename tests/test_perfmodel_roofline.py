@@ -1,0 +1,159 @@
+"""Tests for the GSPMV roofline model (repro.perfmodel.roofline)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.machine import SANDY_BRIDGE, WESTMERE
+from repro.perfmodel.roofline import (
+    GspmvTimeModel,
+    MatrixShape,
+    relative_time,
+    time_bandwidth,
+    time_compute,
+    time_gspmv,
+)
+from repro.sparse.traffic import memory_traffic_bytes
+from tests.conftest import random_bcrs
+
+# A typical SD matrix shape: 25 blocks per block row (like the paper's mat2).
+SD_SHAPE = MatrixShape(nb=100_000, blocks_per_row=25.0)
+
+
+class TestShapes:
+    def test_of_matrix(self):
+        A = random_bcrs(40, 7.0, seed=0)
+        shape = MatrixShape.of(A)
+        assert shape.nb == 40
+        assert shape.blocks_per_row == pytest.approx(A.blocks_per_row)
+        assert shape.sa == 72
+        assert shape.fa == 18
+
+    def test_nnzb(self):
+        assert SD_SHAPE.nnzb == pytest.approx(2.5e6)
+
+
+class TestTimeBounds:
+    def test_bandwidth_matches_traffic_module(self):
+        """Tbw must equal Mtr(m)/B with the same counting rules."""
+        A = random_bcrs(50, 10.0, seed=1)
+        shape = MatrixShape.of(A)
+        m, k = 6, 1.5
+        counted = memory_traffic_bytes(A, m, k=k).total_bytes
+        assert time_bandwidth(shape, m, WESTMERE, k) == pytest.approx(
+            counted / WESTMERE.stream_bw
+        )
+
+    def test_compute_linear_in_m(self):
+        t4 = time_compute(SD_SHAPE, 4, WESTMERE)
+        t8 = time_compute(SD_SHAPE, 8, WESTMERE)
+        assert t8 == pytest.approx(2 * t4)
+
+    def test_single_vector_is_bandwidth_bound(self):
+        """T(1) must be the bandwidth bound for SD-like matrices."""
+        assert time_bandwidth(SD_SHAPE, 1, WESTMERE) > time_compute(
+            SD_SHAPE, 1, WESTMERE
+        )
+
+    def test_t_is_max_of_bounds(self):
+        for m in (1, 8, 64):
+            assert time_gspmv(SD_SHAPE, m, WESTMERE) == pytest.approx(
+                max(
+                    time_bandwidth(SD_SHAPE, m, WESTMERE),
+                    time_compute(SD_SHAPE, m, WESTMERE),
+                )
+            )
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            time_bandwidth(SD_SHAPE, 0, WESTMERE)
+        with pytest.raises(ValueError):
+            time_compute(SD_SHAPE, 0, WESTMERE)
+
+
+class TestRelativeTime:
+    def test_r1_is_one_with_consistent_k(self):
+        assert relative_time(SD_SHAPE, 1, WESTMERE, k=0.0) == pytest.approx(1.0)
+
+    def test_r_monotone_nondecreasing(self):
+        rs = [relative_time(SD_SHAPE, m, WESTMERE) for m in range(1, 40)]
+        assert all(b >= a for a, b in zip(rs, rs[1:]))
+
+    def test_paper_headline_8_to_16_vectors_at_2x(self):
+        """Paper: 8-16 vectors in ~2x single-vector time on WSM/SNB for SD
+        matrices (mat2 on WSM: 12; mat3-like on SNB: 16)."""
+        mat2 = MatrixShape(nb=395_000, blocks_per_row=24.9)
+        r = [relative_time(mat2, m, WESTMERE) for m in range(1, 33)]
+        m_at_2x = max(m for m, rv in zip(range(1, 33), r) if rv <= 2.0)
+        assert 8 <= m_at_2x <= 20
+
+    def test_cache_misses_reduce_vectors_at_2x(self):
+        """With k = 0 the profile is optimistic; positive k(m) (cache
+        misses on the X gathers) lowers the m reachable within 2x.  This
+        is why the paper's *measured* mat1 value (8) sits below the k=0
+        profile (~17): a sparse 5.6-blocks/row matrix has high k relative
+        to its small per-row matrix traffic."""
+        mat1 = MatrixShape(nb=300_000, blocks_per_row=5.6)
+
+        def m_at_2x(k):
+            return max(
+                m
+                for m in range(1, 65)
+                if relative_time(mat1, m, WESTMERE, k=k, k1=0.0) <= 2.0
+            )
+
+        assert m_at_2x(3.0) < m_at_2x(1.0) < m_at_2x(0.0)
+
+    def test_snb_allows_more_vectors_than_wsm(self):
+        """Lower B/F (SNB) pushes the compute bound out to larger m."""
+        mat3 = MatrixShape(nb=395_000, blocks_per_row=45.3)
+
+        def m_at_2x(machine):
+            return max(
+                m for m in range(1, 65) if relative_time(mat3, m, machine) <= 2.0
+            )
+
+        assert m_at_2x(SANDY_BRIDGE) >= m_at_2x(WESTMERE)
+
+
+class TestGspmvTimeModel:
+    def test_k_cached_and_nonnegative(self):
+        A = random_bcrs(60, 8.0, seed=2)
+        model = GspmvTimeModel(A, WESTMERE)
+        k1 = model.k(4)
+        k2 = model.k(4)
+        assert k1 == k2 >= 0.0
+
+    def test_k_override(self):
+        A = random_bcrs(30, 6.0, seed=3)
+        model = GspmvTimeModel(A, WESTMERE, k_override=lambda m: 2.0 * m)
+        assert model.k(3) == pytest.approx(6.0)
+
+    def test_relative_time_one_at_m1(self):
+        A = random_bcrs(60, 8.0, seed=4)
+        model = GspmvTimeModel(A, WESTMERE)
+        # r(1) = T(1)/Tbw(1) = 1 when T(1) is bandwidth-bound.
+        assert model.relative_time(1) == pytest.approx(1.0)
+
+    def test_crossover_exists_for_dense_rows(self):
+        A = random_bcrs(100, 20.0, seed=5)
+        model = GspmvTimeModel(A, WESTMERE)
+        ms = model.crossover_m()
+        assert ms is not None
+        assert not model.is_bandwidth_bound(ms)
+        assert model.is_bandwidth_bound(ms - 1)
+
+    def test_diagonal_matrix_never_compute_bound(self):
+        """The paper's example: a huge diagonal matrix is bandwidth-bound
+        for any m."""
+        from repro.sparse.bcrs import BCRSMatrix
+
+        I = BCRSMatrix.block_identity(1000)
+        model = GspmvTimeModel(I, WESTMERE)
+        assert model.crossover_m(m_max=128) is None
+
+    def test_time_piecewise_consistency(self):
+        A = random_bcrs(80, 15.0, seed=6)
+        model = GspmvTimeModel(A, WESTMERE)
+        for m in (1, 4, 16, 64):
+            expected = max(model.time_bandwidth(m), model.time_compute(m))
+            assert model.time(m) == pytest.approx(expected)

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the performance models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.mrhs_model import MrhsCostModel, SolverCounts
+from repro.perfmodel.profile import vectors_within_ratio
+from repro.perfmodel.roofline import (
+    GspmvTimeModel,
+    MatrixShape,
+    relative_time,
+    time_bandwidth,
+    time_compute,
+    time_gspmv,
+)
+from tests.conftest import random_bcrs
+
+
+@st.composite
+def machines(draw):
+    """Machines in the physically sensible balance range.
+
+    The model (like the paper's) assumes single-vector SPMV is
+    bandwidth-bound, i.e. B/F below the SPMV arithmetic-intensity
+    ceiling; every real machine since the 90s satisfies this (the
+    paper's axis spans B/F 0.02-0.6)."""
+    gflops = draw(st.floats(10.0, 500.0))
+    byte_per_flop = draw(st.floats(0.02, 0.6))
+    return MachineSpec(
+        name="hyp",
+        cores=draw(st.integers(1, 32)),
+        freq_ghz=draw(st.floats(1.0, 4.0)),
+        peak_gflops=gflops * 1.5,
+        stream_bw=byte_per_flop * gflops * 1e9,
+        kernel_gflops=gflops,
+        llc_bytes=draw(st.floats(1e6, 1e8)),
+    )
+
+
+@st.composite
+def shapes(draw):
+    return MatrixShape(
+        nb=draw(st.integers(100, 10_000_000)),
+        blocks_per_row=draw(st.floats(1.0, 100.0)),
+    )
+
+
+class TestRooflineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(shape=shapes(), machine=machines(), m=st.integers(1, 64),
+           k=st.floats(0.0, 10.0))
+    def test_t_is_max_of_bounds(self, shape, machine, m, k):
+        t = time_gspmv(shape, m, machine, k)
+        assert t == max(
+            time_bandwidth(shape, m, machine, k), time_compute(shape, m, machine)
+        )
+        assert t > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=shapes(), machine=machines(), m=st.integers(1, 63),
+           k=st.floats(0.0, 10.0))
+    def test_time_monotone_in_m(self, shape, machine, m, k):
+        assert time_gspmv(shape, m + 1, machine, k) > time_gspmv(
+            shape, m, machine, k
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=shapes(), machine=machines(), m=st.integers(1, 64),
+           k=st.floats(0.0, 5.0))
+    def test_relative_time_sublinear(self, shape, machine, m, k):
+        """The whole point of GSPMV: r(m) <= m (with consistent k)."""
+        r = relative_time(shape, m, machine, k=k, k1=k)
+        assert 1.0 - 1e-12 <= r <= m + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(shape=shapes(), machine=machines(), ratio=st.floats(1.1, 4.0))
+    def test_profile_consistent_with_model(self, shape, machine, ratio):
+        q = shape.blocks_per_row
+        bf = machine.byte_per_flop
+        m_star = vectors_within_ratio(q, bf, ratio=ratio)
+        assert relative_time(shape, m_star, machine, k=0.0) <= ratio + 1e-9
+
+
+class TestCostModelProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        machine=machines(),
+        n=st.integers(2, 300),
+        n1_frac=st.floats(0.1, 1.0),
+        n2_frac=st.floats(0.05, 1.0),
+        cheb=st.integers(1, 60),
+        seed=st.integers(0, 99),
+    )
+    def test_optimum_at_or_below_crossover_neighborhood(
+        self, machine, n, n1_frac, n2_frac, cheb, seed
+    ):
+        """The paper's structural result, under the paper's own
+        condition: "Typically in SD, nnzb is large, and hence Q > 0",
+        which is what makes the bandwidth regime decreasing.  Whenever
+        Q > 0 and a crossover exists, the optimum is > 1 and sits at or
+        just past the crossover; when Q <= 0 (iteration savings too
+        small to pay for the block work) m = 1 is legitimately optimal
+        and the claim does not apply."""
+        from hypothesis import assume
+
+        A = random_bcrs(60, 15.0, seed=seed)
+        counts = SolverCounts(
+            n_noguess=n,
+            n_first=max(0, int(n * n1_frac) - 1),
+            n_second=max(0, int(n * n2_frac)),
+            cheb_order=cheb,
+        )
+        tm = GspmvTimeModel(A, machine, k_override=lambda m: 0.0)
+        model = MrhsCostModel(A, machine, counts, time_model=tm)
+        ms = model.crossover_m(512)
+        assume(counts.n_first < counts.n_noguess)
+        assume(ms is not None and ms > 1)
+        assume(model.regime_constants()["Q"] > 0)
+        mopt = model.optimal_m(48)
+        assert mopt > 1
+        assert mopt <= ms + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(machine=machines(), seed=st.integers(0, 99))
+    def test_speedup_vs_original_consistent(self, machine, seed):
+        A = random_bcrs(50, 12.0, seed=seed)
+        counts = SolverCounts(n_noguess=100, n_first=50, n_second=40)
+        tm = GspmvTimeModel(A, machine, k_override=lambda m: 0.0)
+        model = MrhsCostModel(A, machine, counts, time_model=tm)
+        for m in (1, 4, 16):
+            assert model.speedup(m) == model.original_step_time() / (
+                model.average_step_time(m)
+            )

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the sparse substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sparse.bcrs import BCRSMatrix
+from repro.sparse.convert import bcrs_from_scipy, bcrs_to_scipy
+from repro.sparse.gspmv import gspmv
+from repro.sparse.reorder import permute_bcrs
+from repro.sparse.spmv import spmv
+from repro.sparse.traffic import flop_count, memory_traffic_bytes
+
+
+@st.composite
+def bcrs_matrices(draw, max_nb=8, square=True):
+    """Random small BCRS matrices with arbitrary sparsity patterns."""
+    nb_rows = draw(st.integers(1, max_nb))
+    nb_cols = nb_rows if square else draw(st.integers(1, max_nb))
+    n_entries = draw(st.integers(0, nb_rows * nb_cols))
+    rows = draw(
+        st.lists(st.integers(0, nb_rows - 1), min_size=n_entries, max_size=n_entries)
+    )
+    cols = draw(
+        st.lists(st.integers(0, nb_cols - 1), min_size=n_entries, max_size=n_entries)
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    blocks = np.random.default_rng(seed).standard_normal((n_entries, 3, 3))
+    return BCRSMatrix.from_block_coo(nb_rows, nb_cols, rows, cols, blocks)
+
+
+def vectors_for(A, m, seed):
+    return np.random.default_rng(seed).standard_normal((A.n_cols, m))
+
+
+class TestKernelProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(A=bcrs_matrices(), m=st.integers(1, 6), seed=st.integers(0, 1000))
+    def test_gspmv_matches_dense(self, A, m, seed):
+        """Every kernel result equals the dense product, any structure."""
+        X = vectors_for(A, m, seed)
+        expected = A.to_dense() @ X
+        for engine in ("blocked", "scipy"):
+            np.testing.assert_allclose(
+                gspmv(A, X, engine=engine), expected, rtol=1e-10, atol=1e-10
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(A=bcrs_matrices(), seed=st.integers(0, 1000))
+    def test_linearity(self, A, seed):
+        """A(ax + by) = a Ax + b Ay."""
+        rng = np.random.default_rng(seed)
+        x, y = rng.standard_normal((2, A.n_cols))
+        a, b = rng.uniform(-3, 3, 2)
+        left = spmv(A, a * x + b * y)
+        right = a * spmv(A, x) + b * spmv(A, y)
+        np.testing.assert_allclose(left, right, rtol=1e-9, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(A=bcrs_matrices(), m=st.integers(1, 4), seed=st.integers(0, 1000))
+    def test_gspmv_columnwise_consistency(self, A, m, seed):
+        X = vectors_for(A, m, seed)
+        Y = gspmv(A, X)
+        for j in range(m):
+            np.testing.assert_allclose(
+                Y[:, j], spmv(A, X[:, j]), rtol=1e-12, atol=1e-12
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(A=bcrs_matrices(), seed=st.integers(0, 1000))
+    def test_transpose_adjoint_identity(self, A, seed):
+        """<Ax, y> = <x, A^T y> for all x, y."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(A.n_cols)
+        y = rng.standard_normal(A.n_rows)
+        lhs = float(spmv(A, x) @ y)
+        rhs = float(x @ spmv(A.transpose(), y))
+        assert np.isclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+
+class TestStructureProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(A=bcrs_matrices())
+    def test_scipy_roundtrip(self, A):
+        back = bcrs_from_scipy(bcrs_to_scipy(A), block_size=3)
+        np.testing.assert_allclose(back.to_dense(), A.to_dense(), atol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(A=bcrs_matrices(), seed=st.integers(0, 1000))
+    def test_permutation_preserves_spectrum_structure(self, A, seed):
+        """P A P^T is a similarity transform: dense forms agree."""
+        perm = np.random.default_rng(seed).permutation(A.nb_rows)
+        B = permute_bcrs(A, perm)
+        b = A.block_size
+        scalar_perm = (perm[:, None] * b + np.arange(b)).ravel()
+        P = np.eye(A.n_rows)[scalar_perm]
+        np.testing.assert_allclose(
+            B.to_dense(), P @ A.to_dense() @ P.T, atol=1e-12
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(A=bcrs_matrices())
+    def test_row_ptr_invariants(self, A):
+        assert A.row_ptr[0] == 0
+        assert A.row_ptr[-1] == A.nnzb
+        assert np.all(np.diff(A.row_ptr) >= 0)
+        # Columns sorted within each row.
+        for i in range(A.nb_rows):
+            cols, _ = A.block_row(i)
+            assert np.all(np.diff(cols) > 0)  # also strictly: no dups
+
+
+class TestTrafficProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(A=bcrs_matrices(), m=st.integers(1, 16), k=st.floats(0.0, 5.0))
+    def test_traffic_monotone_in_m(self, A, m, k):
+        t_m = memory_traffic_bytes(A, m, k=k).total_bytes
+        t_m1 = memory_traffic_bytes(A, m + 1, k=k).total_bytes
+        assert t_m1 > t_m
+
+    @settings(max_examples=40, deadline=None)
+    @given(A=bcrs_matrices(), m=st.integers(1, 16))
+    def test_flops_exactly_linear_in_m(self, A, m):
+        assert flop_count(A, 2 * m) == 2 * flop_count(A, m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(A=bcrs_matrices(), m=st.integers(1, 8), k=st.floats(0.0, 5.0))
+    def test_traffic_decomposition_nonnegative(self, A, m, k):
+        c = memory_traffic_bytes(A, m, k=k)
+        assert c.vector_bytes >= 0
+        assert c.index_bytes >= 0
+        assert c.block_bytes >= 0
+        assert c.total_bytes == c.vector_bytes + c.index_bytes + c.block_bytes

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the Stokesian dynamics substrate."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.stokesian.chebyshev import ChebyshevSqrt
+from repro.stokesian.lubrication import pair_resistance_block
+from repro.stokesian.neighbors import neighbor_pairs
+from repro.stokesian.particles import ParticleSystem
+from repro.stokesian.resistance import build_resistance_matrix, far_field_viscosity
+
+
+@st.composite
+def particle_systems(draw, max_n=12):
+    """Random small non-overlap-free systems (overlap allowed: the
+    resistance assembly must regularize, never crash)."""
+    n = draw(st.integers(2, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    radii = rng.uniform(0.5, 2.0, n)
+    box = float(6.0 * radii.max() + n)
+    positions = rng.uniform(0, box, (n, 3))
+    system = ParticleSystem(positions, radii, [box] * 3)
+    # Exclude coincident centers (physically impossible; assembly raises).
+    i, j = np.triu_indices(n, k=1)
+    d = np.linalg.norm(
+        system.minimum_image(system.positions[j] - system.positions[i]), axis=1
+    )
+    assume(np.all(d > 1e-6))
+    return system
+
+
+class TestResistanceProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(system=particle_systems())
+    def test_always_spd(self, system):
+        """R = muF I + Rlub is SPD for any configuration (overlaps are
+        gap-regularized)."""
+        R = build_resistance_matrix(system)
+        dense = R.to_dense()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-9)
+        w = np.linalg.eigvalsh(dense)
+        assert w.min() > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(system=particle_systems(), seed=st.integers(0, 999))
+    def test_rigid_translation_null_space_of_lubrication(self, system, seed):
+        """Any uniform translation feels only the diagonal drag."""
+        R = build_resistance_matrix(system, mu_far_field=1.0)
+        u_dir = np.random.default_rng(seed).standard_normal(3)
+        u = np.tile(u_dir, system.n)
+        f = R @ u
+        expected = np.repeat(6 * np.pi * system.radii, 3) * np.tile(
+            u_dir, system.n
+        )
+        np.testing.assert_allclose(f, expected, rtol=1e-8, atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(system=particle_systems(), factor=st.floats(1.2, 3.0))
+    def test_cutoff_monotone_density(self, system, factor):
+        mean_r = float(system.radii.mean())
+        small = build_resistance_matrix(system, cutoff_gap=mean_r)
+        large = build_resistance_matrix(system, cutoff_gap=factor * mean_r)
+        assert large.nnzb >= small.nnzb
+
+    @settings(max_examples=20, deadline=None)
+    @given(phi=st.floats(0.01, 0.6))
+    def test_far_field_viscosity_bounds(self, phi):
+        muF = far_field_viscosity(phi)
+        assert muF >= 1.0
+        assert muF <= 1.0 + 2.5 * 0.6 + 5.2 * 0.36 + 1e-9
+
+
+class TestLubricationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.floats(0.3, 3.0),
+        beta=st.floats(0.2, 5.0),
+        gap_frac=st.floats(1e-4, 0.5),
+        seed=st.integers(0, 999),
+    )
+    def test_swap_symmetry(self, a, beta, gap_frac, seed):
+        """Physics does not care which sphere is 'first': swapping the
+        pair (and flipping the center vector) preserves the tensor."""
+        b = a * beta
+        gap = gap_frac * (a + b)
+        u = np.random.default_rng(seed).standard_normal(3)
+        u /= np.linalg.norm(u)
+        r = (a + b + gap) * u
+        cut = 0.6 * (a + b)
+        A_ab = pair_resistance_block(a, b, r, cutoff_gap=cut)
+        A_ba = pair_resistance_block(b, a, -r, cutoff_gap=cut)
+        np.testing.assert_allclose(A_ab, A_ba, rtol=1e-9, atol=1e-11)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.floats(0.3, 3.0),
+        gap1=st.floats(1e-3, 0.1),
+        gap2=st.floats(0.1, 0.5),
+    )
+    def test_monotone_in_gap(self, a, gap1, gap2):
+        """Closer pairs resist harder (squeeze eigenvalue)."""
+        assume(gap2 > gap1 * 1.5)
+        cut = 1.5 * a
+        r1 = np.array([2 * a + gap1 * a, 0, 0])
+        r2 = np.array([2 * a + gap2 * a, 0, 0])
+        A1 = pair_resistance_block(a, a, r1, cutoff_gap=cut)
+        A2 = pair_resistance_block(a, a, r2, cutoff_gap=cut)
+        assert A1[0, 0] >= A2[0, 0] - 1e-12
+
+
+class TestNeighborProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(system=particle_systems(), factor=st.floats(0.5, 3.0))
+    def test_cell_list_equals_brute_force(self, system, factor):
+        cutoff = factor * float(system.radii.mean()) * 2
+        nl = neighbor_pairs(system, cutoff=cutoff)
+        i, j = np.triu_indices(system.n, k=1)
+        d = np.linalg.norm(
+            system.minimum_image(system.positions[j] - system.positions[i]),
+            axis=1,
+        )
+        expected = set(zip(i[d <= cutoff].tolist(), j[d <= cutoff].tolist()))
+        got = set(zip(nl.i.tolist(), nl.j.tolist()))
+        assert got == expected
+
+
+class TestChebyshevProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lam_min=st.floats(0.1, 10.0),
+        span=st.floats(1.5, 100.0),
+        degree=st.integers(3, 25),
+    )
+    def test_error_bounded_by_rate(self, lam_min, span, degree):
+        """Error <= C * rho^degree with rho = (sqrt(k)-1)/(sqrt(k)+1)."""
+        lam_max = lam_min * span
+        approx = ChebyshevSqrt.fit(lam_min, lam_max, degree)
+        err = approx.max_relative_error(samples=501)
+        kappa = lam_max / lam_min
+        rho = (np.sqrt(kappa) - 1) / (np.sqrt(kappa) + 1)
+        assert err <= 8.0 * rho ** (degree + 1) + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lam_min=st.floats(0.5, 5.0),
+        span=st.floats(2.0, 30.0),
+        degree=st.integers(5, 20),
+        seed=st.integers(0, 999),
+    )
+    def test_endpoint_values_near_exact(self, lam_min, span, degree, seed):
+        lam_max = lam_min * span
+        approx = ChebyshevSqrt.fit(lam_min, lam_max, degree)
+        x = np.random.default_rng(seed).uniform(lam_min, lam_max, 16)
+        rel = np.abs(approx.evaluate_scalar(x) - np.sqrt(x)) / np.sqrt(x)
+        assert rel.max() <= approx.max_relative_error(samples=2001) * 1.5 + 1e-12

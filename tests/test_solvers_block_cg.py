@@ -1,0 +1,147 @@
+"""Tests for block CG (repro.solvers.block_cg)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.block_cg import block_conjugate_gradient
+from repro.solvers.cg import conjugate_gradient
+from repro.solvers.precond import BlockJacobiPreconditioner
+from tests.conftest import random_bcrs
+
+
+def spd_block_system(nb=12, m=4, seed=0):
+    A = random_bcrs(nb, 4.0, seed=seed, spd=True)
+    rng = np.random.default_rng(seed + 50)
+    X_true = rng.standard_normal((A.n_rows, m))
+    return A, X_true, A @ X_true
+
+
+class TestBlockCG:
+    @pytest.mark.parametrize("m", [1, 2, 4, 8])
+    def test_solves_block_system(self, m):
+        A, X_true, B = spd_block_system(m=m, seed=m)
+        res = block_conjugate_gradient(A, B, tol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(res.X, X_true, rtol=1e-5, atol=1e-7)
+
+    def test_m1_matches_cg_solution(self):
+        A, X_true, B = spd_block_system(m=1, seed=9)
+        blk = block_conjugate_gradient(A, B, tol=1e-10)
+        single = conjugate_gradient(A, B[:, 0], tol=1e-10)
+        np.testing.assert_allclose(blk.X[:, 0], single.x, rtol=1e-6, atol=1e-9)
+
+    def test_block_iterations_not_more_than_worst_column(self):
+        """Block CG searches a richer space: it cannot need more
+        iterations than the worst single-vector CG (in exact arithmetic;
+        we allow +2 slack for floating point)."""
+        A, _, B = spd_block_system(nb=20, m=6, seed=1)
+        blk = block_conjugate_gradient(A, B, tol=1e-8)
+        worst = max(
+            conjugate_gradient(A, B[:, j], tol=1e-8).iterations for j in range(6)
+        )
+        assert blk.iterations <= worst + 2
+
+    def test_per_column_convergence(self):
+        A, _, B = spd_block_system(m=3, seed=2)
+        res = block_conjugate_gradient(A, B, tol=1e-9)
+        final = res.final_residuals
+        np.testing.assert_array_less(
+            final, 1e-9 * np.linalg.norm(B, axis=0) + 1e-15
+        )
+
+    def test_initial_guess_helps(self):
+        A, X_true, B = spd_block_system(nb=20, m=4, seed=3)
+        cold = block_conjugate_gradient(A, B)
+        rng = np.random.default_rng(1)
+        warm = block_conjugate_gradient(
+            A, B, X0=X_true + 1e-5 * rng.standard_normal(X_true.shape)
+        )
+        assert warm.iterations < cold.iterations
+
+    def test_gspmv_call_count(self):
+        """One GSPMV for the initial residual plus one per iteration."""
+        A, _, B = spd_block_system(m=2, seed=4)
+        res = block_conjugate_gradient(A, B, tol=1e-10)
+        assert res.gspmv_calls == res.iterations + 1
+
+    def test_duplicate_rhs_columns_handled(self):
+        """Identical columns make P^T A P singular; the least-squares
+        fallback must still produce correct solutions."""
+        A, _, _ = spd_block_system(seed=5)
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal(A.n_rows)
+        B = np.column_stack([b, b, 2 * b])
+        res = block_conjugate_gradient(A, B, tol=1e-8, max_iter=5 * A.n_rows)
+        for j, scale in enumerate([1.0, 1.0, 2.0]):
+            resid = np.linalg.norm(scale * b - A @ res.X[:, j])
+            assert resid <= 1e-6 * np.linalg.norm(scale * b)
+
+    def test_zero_rhs_block(self):
+        A, _, _ = spd_block_system(seed=6)
+        res = block_conjugate_gradient(A, np.zeros((A.n_rows, 3)))
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_preconditioned(self):
+        A, X_true, B = spd_block_system(nb=15, m=4, seed=7)
+        M = BlockJacobiPreconditioner(A)
+        res = block_conjugate_gradient(A, B, preconditioner=M, tol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(res.X, X_true, rtol=1e-5, atol=1e-7)
+
+    def test_input_validation(self):
+        A, _, B = spd_block_system(seed=8)
+        with pytest.raises(ValueError, match="shape"):
+            block_conjugate_gradient(A, B[:, 0])
+        with pytest.raises(ValueError, match="X0"):
+            block_conjugate_gradient(A, B, X0=np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="tol"):
+            block_conjugate_gradient(A, B, tol=-1.0)
+
+    def test_max_iter(self):
+        A, _, B = spd_block_system(nb=20, seed=9)
+        res = block_conjugate_gradient(A, B, max_iter=1, tol=1e-15)
+        assert res.iterations == 1
+        assert not res.converged
+
+
+class TestColumnDeflation:
+    def test_mixed_difficulty_columns_converge_quickly(self):
+        """The stagnation case hypothesis found: columns converging at
+        very different rates must not stall the block (O'Leary's
+        deflation).  Bound: within 3x the worst single-column solve."""
+        rng = np.random.default_rng(42)
+        n = 14
+        Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        lam = np.logspace(0, 4, n)
+        A = (Q * lam) @ Q.T
+        A = 0.5 * (A + A.T)
+        B = rng.standard_normal((n, 3))
+        blk = block_conjugate_gradient(A, B, tol=1e-7, max_iter=20 * n)
+        worst = max(
+            conjugate_gradient(A, B[:, j], tol=1e-7, max_iter=20 * n).iterations
+            for j in range(3)
+        )
+        assert blk.converged
+        assert blk.iterations <= 3 * worst
+
+    def test_deflated_columns_stay_converged(self):
+        """Freezing a converged column must not corrupt it later."""
+        A, X_true, B = spd_block_system(nb=15, m=4, seed=77)
+        # Make column 0 trivially easy: give it the exact solution as
+        # the only nonzero of a pre-seeded guess.
+        X0 = np.zeros_like(B)
+        X0[:, 0] = X_true[:, 0]
+        res = block_conjugate_gradient(A, B, X0=X0, tol=1e-9)
+        assert res.converged
+        np.testing.assert_allclose(res.X, X_true, rtol=1e-5, atol=1e-7)
+
+    def test_residual_history_tracks_frozen_columns(self):
+        A, _, B = spd_block_system(nb=12, m=3, seed=78)
+        res = block_conjugate_gradient(A, B, tol=1e-8)
+        # History rows always report all m columns.
+        assert all(len(r) == 3 for r in res.residual_norms)
+        final = res.residual_norms[-1]
+        np.testing.assert_array_less(
+            final, 1e-8 * np.linalg.norm(B, axis=0) + 1e-15
+        )

@@ -1,0 +1,160 @@
+"""Tests for Krylov recycling and preconditioner reuse."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.cg import conjugate_gradient
+from repro.solvers.recycle import RecyclingCG
+from repro.solvers.reuse import ILUPreconditioner, ReusedPreconditioner
+from tests.conftest import random_bcrs
+
+
+def illconditioned_spd(n=50, cond=1e4, seed=0):
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    lam = np.logspace(0, np.log10(cond), n)
+    return (Q * lam) @ Q.T
+
+
+class TestRecyclingCG:
+    def test_first_solve_matches_plain_cg(self):
+        A = illconditioned_spd()
+        b = np.random.default_rng(1).standard_normal(50)
+        rec = RecyclingCG(basis_size=6)
+        r1 = rec.solve(A, b, tol=1e-8)
+        p1 = conjugate_gradient(A, b, tol=1e-8)
+        assert r1.iterations == p1.iterations  # empty basis = plain CG
+        np.testing.assert_allclose(r1.x, p1.x, rtol=1e-6)
+
+    def test_basis_harvested_after_solve(self):
+        A = illconditioned_spd(seed=2)
+        rec = RecyclingCG(basis_size=5)
+        assert rec.basis is None
+        rec.solve(A, np.ones(50), tol=1e-8)
+        assert rec.basis is not None
+        assert rec.basis.shape[0] == 50
+        assert 1 <= rec.basis.shape[1] <= 5
+
+    def test_recycling_helps_on_repeated_solves(self):
+        """Same matrix, new random RHS: deflating the extreme
+        eigendirections reduces iterations."""
+        A = illconditioned_spd(cond=1e5, seed=3)
+        rng = np.random.default_rng(4)
+        rec = RecyclingCG(basis_size=10)
+        first = rec.solve(A, rng.standard_normal(50), tol=1e-8)
+        later = [
+            rec.solve(A, rng.standard_normal(50), tol=1e-8).iterations
+            for _ in range(3)
+        ]
+        assert min(later) < first.iterations
+
+    def test_solutions_remain_correct_with_recycling(self):
+        A = illconditioned_spd(seed=5)
+        rng = np.random.default_rng(6)
+        rec = RecyclingCG(basis_size=8)
+        for _ in range(3):
+            b = rng.standard_normal(50)
+            res = rec.solve(A, b, tol=1e-9)
+            assert res.converged
+            assert np.linalg.norm(b - A @ res.x) <= 1.1e-9 * np.linalg.norm(b)
+
+    def test_works_on_bcrs(self):
+        A = random_bcrs(15, 4.0, seed=7, spd=True)
+        rec = RecyclingCG(basis_size=4)
+        b = np.ones(A.n_rows)
+        res = rec.solve(A, b, tol=1e-9)
+        assert res.converged
+
+    def test_reset(self):
+        A = illconditioned_spd(seed=8)
+        rec = RecyclingCG(basis_size=4)
+        rec.solve(A, np.ones(50))
+        rec.reset()
+        assert rec.basis is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecyclingCG(basis_size=0)
+
+    def test_stale_basis_wrong_size_ignored(self):
+        rec = RecyclingCG(basis_size=4)
+        A1 = illconditioned_spd(n=50, seed=9)
+        rec.solve(A1, np.ones(50))
+        A2 = illconditioned_spd(n=30, seed=10)
+        res = rec.solve(A2, np.ones(30), tol=1e-8)  # must not crash
+        assert res.converged
+
+
+class TestILUPreconditioner:
+    def test_accelerates_cg(self, spd_bcrs):
+        # Use an ill-conditioned dense-ish SPD matrix via BCRS.
+        A = random_bcrs(25, 6.0, seed=11, spd=True)
+        b = np.random.default_rng(12).standard_normal(A.n_rows)
+        plain = conjugate_gradient(A, b, tol=1e-10)
+        M = ILUPreconditioner(A, drop_tol=1e-4)
+        pre = conjugate_gradient(A, b, tol=1e-10, preconditioner=M)
+        assert pre.converged
+        assert pre.iterations <= plain.iterations
+
+    def test_multivector_apply(self):
+        A = random_bcrs(10, 3.0, seed=13, spd=True)
+        M = ILUPreconditioner(A)
+        V = np.random.default_rng(14).standard_normal((A.n_rows, 3))
+        out = M(V)
+        assert out.shape == V.shape
+        np.testing.assert_allclose(out[:, 1], M(V[:, 1]))
+
+
+class TestReusedPreconditioner:
+    def test_builds_once_then_reuses(self):
+        A = random_bcrs(12, 3.0, seed=15, spd=True)
+        mgr = ReusedPreconditioner(lambda M: ILUPreconditioner(M))
+        m1 = mgr.get(A)
+        mgr.observe(10)
+        m2 = mgr.get(A)
+        assert m1 is m2
+        assert mgr.builds == 1
+        assert mgr.reuses == 1
+
+    def test_rebuilds_on_degradation(self):
+        A = random_bcrs(12, 3.0, seed=16, spd=True)
+        mgr = ReusedPreconditioner(
+            lambda M: ILUPreconditioner(M), rebuild_factor=1.5
+        )
+        mgr.get(A)
+        mgr.observe(10)
+        mgr.observe(12)  # within factor: keep
+        m_keep = mgr.get(A)
+        mgr.observe(20)  # 2x the best: rebuild scheduled
+        m_new = mgr.get(A)
+        assert m_new is not m_keep
+        assert mgr.builds == 2
+
+    def test_force_rebuild(self):
+        A = random_bcrs(12, 3.0, seed=17, spd=True)
+        mgr = ReusedPreconditioner(lambda M: ILUPreconditioner(M))
+        mgr.get(A)
+        mgr.force_rebuild()
+        mgr.get(A)
+        assert mgr.builds == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReusedPreconditioner(lambda M: M, rebuild_factor=0.5)
+        mgr = ReusedPreconditioner(lambda M: M)
+        with pytest.raises(ValueError):
+            mgr.observe(-1)
+
+    def test_best_resets_after_rebuild(self):
+        """After a rebuild the degradation baseline restarts."""
+        A = random_bcrs(12, 3.0, seed=18, spd=True)
+        mgr = ReusedPreconditioner(
+            lambda M: ILUPreconditioner(M), rebuild_factor=1.5
+        )
+        mgr.get(A)
+        mgr.observe(10)
+        mgr.observe(100)  # schedule rebuild
+        mgr.get(A)
+        mgr.observe(100)  # new baseline is 100: no rebuild
+        mgr.get(A)
+        assert mgr.builds == 2

@@ -1,0 +1,208 @@
+"""Tests for repro.sparse.bcrs (BCRS storage format)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.bcrs import BCRSMatrix
+from tests.conftest import random_bcrs
+
+
+def tiny_matrix():
+    """2x2 block matrix with blocks at (0,0), (0,1), (1,1)."""
+    blocks = np.stack([np.eye(3), 2 * np.eye(3), 3 * np.eye(3)])
+    return BCRSMatrix(
+        row_ptr=np.array([0, 2, 3]),
+        col_ind=np.array([0, 1, 1]),
+        blocks=blocks,
+        nb_cols=2,
+    )
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        A = tiny_matrix()
+        assert A.nb_rows == 2
+        assert A.nb_cols == 2
+        assert A.block_size == 3
+        assert A.nnzb == 3
+        assert A.nnz == 27
+        assert A.shape == (6, 6)
+        assert A.blocks_per_row == pytest.approx(1.5)
+
+    def test_row_ptr_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="row_ptr"):
+            BCRSMatrix(
+                row_ptr=np.array([1, 2]),
+                col_ind=np.array([0]),
+                blocks=np.zeros((1, 3, 3)),
+                nb_cols=1,
+            )
+
+    def test_row_ptr_must_be_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            BCRSMatrix(
+                row_ptr=np.array([0, 2, 1]),
+                col_ind=np.array([0, 0]),
+                blocks=np.zeros((2, 3, 3)),
+                nb_cols=1,
+            )
+
+    def test_col_ind_bounds_checked(self):
+        with pytest.raises(ValueError, match="col_ind"):
+            BCRSMatrix(
+                row_ptr=np.array([0, 1]),
+                col_ind=np.array([5]),
+                blocks=np.zeros((1, 3, 3)),
+                nb_cols=2,
+            )
+
+    def test_size_consistency_checked(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            BCRSMatrix(
+                row_ptr=np.array([0, 2]),
+                col_ind=np.array([0]),
+                blocks=np.zeros((1, 3, 3)),
+                nb_cols=1,
+            )
+
+    def test_nonsquare_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            BCRSMatrix(
+                row_ptr=np.array([0, 1]),
+                col_ind=np.array([0]),
+                blocks=np.zeros((1, 3, 2)),
+                nb_cols=1,
+            )
+
+
+class TestFromBlockCoo:
+    def test_duplicates_summed(self):
+        A = BCRSMatrix.from_block_coo(
+            1, 1, [0, 0], [0, 0], np.stack([np.eye(3), np.eye(3)])
+        )
+        assert A.nnzb == 1
+        np.testing.assert_allclose(A.blocks[0], 2 * np.eye(3))
+
+    def test_duplicates_raise_when_disallowed(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            BCRSMatrix.from_block_coo(
+                1, 1, [0, 0], [0, 0],
+                np.stack([np.eye(3), np.eye(3)]),
+                sum_duplicates=False,
+            )
+
+    def test_sorted_within_rows(self):
+        A = BCRSMatrix.from_block_coo(
+            2, 3, [0, 0, 1], [2, 0, 1],
+            np.stack([np.eye(3)] * 3),
+        )
+        cols, _ = A.block_row(0)
+        assert list(cols) == [0, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            BCRSMatrix.from_block_coo(1, 1, [1], [0], np.zeros((1, 3, 3)))
+
+    def test_empty_matrix(self):
+        A = BCRSMatrix.from_block_coo(3, 3, [], [], np.zeros((0, 3, 3)))
+        assert A.nnzb == 0
+        np.testing.assert_array_equal(A.to_dense(), np.zeros((9, 9)))
+
+    def test_dense_roundtrip(self):
+        A = random_bcrs(10, 4.0, seed=3)
+        dense = A.to_dense()
+        assert dense.shape == (30, 30)
+        x = np.random.default_rng(0).standard_normal(30)
+        np.testing.assert_allclose(A @ x, dense @ x, rtol=1e-12)
+
+
+class TestBlockIdentity:
+    def test_identity_matvec(self):
+        I = BCRSMatrix.block_identity(4, scale=2.5)
+        x = np.arange(12, dtype=float)
+        np.testing.assert_allclose(I @ x, 2.5 * x)
+
+    def test_structure(self):
+        I = BCRSMatrix.block_identity(5)
+        assert I.nnzb == 5
+        assert I.blocks_per_row == 1.0
+
+
+class TestAlgebra:
+    def test_add_block_diagonal(self):
+        A = tiny_matrix()
+        D = np.broadcast_to(np.eye(3) * 10, (2, 3, 3)).copy()
+        B = A.add_block_diagonal(D)
+        np.testing.assert_allclose(B.to_dense(), A.to_dense() + 10 * np.eye(6))
+
+    def test_add_block_diagonal_creates_missing_diagonal(self):
+        A = BCRSMatrix.from_block_coo(2, 2, [0], [1], np.eye(3)[None])
+        D = np.broadcast_to(np.eye(3), (2, 3, 3)).copy()
+        B = A.add_block_diagonal(D)
+        np.testing.assert_allclose(B.to_dense(), A.to_dense() + np.eye(6))
+
+    def test_add_block_diagonal_shape_check(self):
+        with pytest.raises(ValueError):
+            tiny_matrix().add_block_diagonal(np.zeros((3, 3, 3)))
+
+    def test_scaled(self):
+        A = tiny_matrix()
+        np.testing.assert_allclose(A.scaled(-2.0).to_dense(), -2.0 * A.to_dense())
+
+    def test_transpose(self):
+        A = random_bcrs(8, 3.0, seed=4)
+        np.testing.assert_allclose(A.transpose().to_dense(), A.to_dense().T)
+
+    def test_transpose_involution(self):
+        A = random_bcrs(8, 3.0, seed=5)
+        np.testing.assert_allclose(
+            A.transpose().transpose().to_dense(), A.to_dense()
+        )
+
+    def test_matmul_operator_vector_and_matrix(self):
+        A = tiny_matrix()
+        x = np.ones(6)
+        X = np.ones((6, 2))
+        assert (A @ x).shape == (6,)
+        assert (A @ X).shape == (6, 2)
+
+    def test_matmul_bad_ndim(self):
+        with pytest.raises(ValueError):
+            tiny_matrix() @ np.ones((6, 2, 2))
+
+
+class TestSymmetry:
+    def test_symmetric_detection(self):
+        A = random_bcrs(10, 4.0, seed=6, symmetric=True)
+        assert A.is_structurally_symmetric()
+        assert A.is_symmetric()
+
+    def test_asymmetric_detection(self):
+        A = BCRSMatrix.from_block_coo(2, 2, [0], [1], np.eye(3)[None])
+        assert not A.is_structurally_symmetric()
+        assert not A.is_symmetric()
+
+    def test_spd_fixture_is_spd(self, spd_bcrs):
+        dense = spd_bcrs.to_dense()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-12)
+        eigvals = np.linalg.eigvalsh(dense)
+        assert eigvals.min() > 0
+
+
+class TestQueries:
+    def test_block_row_view(self):
+        A = tiny_matrix()
+        cols, blks = A.block_row(0)
+        assert list(cols) == [0, 1]
+        np.testing.assert_allclose(blks[1], 2 * np.eye(3))
+
+    def test_diagonal_blocks(self):
+        A = tiny_matrix()
+        D = A.diagonal_blocks()
+        np.testing.assert_allclose(D[0], np.eye(3))
+        np.testing.assert_allclose(D[1], 3 * np.eye(3))
+
+    def test_diagonal_blocks_missing_are_zero(self):
+        A = BCRSMatrix.from_block_coo(2, 2, [0], [1], np.eye(3)[None])
+        D = A.diagonal_blocks()
+        np.testing.assert_allclose(D[0], np.zeros((3, 3)))

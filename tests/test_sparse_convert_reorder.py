@@ -1,0 +1,108 @@
+"""Tests for scipy conversion and reordering (repro.sparse.convert/reorder)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.bcrs import BCRSMatrix
+from repro.sparse.convert import bcrs_from_scipy, bcrs_to_scipy
+from repro.sparse.reorder import permute_bcrs, rcm_permutation, spatial_sort_keys
+from tests.conftest import random_bcrs
+
+
+class TestConvert:
+    def test_roundtrip_dense_equal(self):
+        A = random_bcrs(12, 4.0, seed=0)
+        back = bcrs_from_scipy(bcrs_to_scipy(A), block_size=3)
+        np.testing.assert_allclose(back.to_dense(), A.to_dense())
+
+    def test_to_scipy_formats(self):
+        A = random_bcrs(6, 3.0, seed=1)
+        for fmt in ("csr", "csc", "bsr", "coo"):
+            M = bcrs_to_scipy(A, fmt)
+            assert M.format == fmt
+            np.testing.assert_allclose(M.toarray(), A.to_dense())
+
+    def test_from_scipy_shape_check(self):
+        M = sp.eye(7, format="csr")
+        with pytest.raises(ValueError, match="divisible"):
+            bcrs_from_scipy(M, block_size=3)
+
+    def test_from_scipy_drops_zero_blocks(self):
+        dense = np.zeros((9, 9))
+        dense[0, 0] = 1.0  # only block (0,0) is non-zero
+        A = bcrs_from_scipy(sp.csr_matrix(dense), block_size=3)
+        assert A.nnzb == 1
+
+    def test_from_scipy_identity(self):
+        A = bcrs_from_scipy(sp.eye(9, format="csr"), block_size=3)
+        assert A.nnzb == 3
+        np.testing.assert_allclose(A.to_dense(), np.eye(9))
+
+
+class TestRcm:
+    def test_permutation_is_valid(self):
+        A = random_bcrs(15, 4.0, seed=2, symmetric=True)
+        perm = rcm_permutation(A)
+        assert sorted(perm.tolist()) == list(range(15))
+
+    def test_rcm_reduces_bandwidth_on_random_matrix(self):
+        A = random_bcrs(60, 4.0, seed=3, symmetric=True)
+
+        def bandwidth(M):
+            rows = np.repeat(np.arange(M.nb_rows), np.diff(M.row_ptr))
+            return int(np.abs(rows - M.col_ind).max())
+
+        B = permute_bcrs(A, rcm_permutation(A))
+        assert bandwidth(B) <= bandwidth(A)
+
+    def test_rcm_requires_square(self):
+        A = BCRSMatrix.from_block_coo(2, 3, [0], [2], np.eye(3)[None])
+        with pytest.raises(ValueError):
+            rcm_permutation(A)
+
+
+class TestPermute:
+    def test_similarity_transform(self):
+        """Permuted matrix is P A P^T for permutation matrix P."""
+        A = random_bcrs(8, 3.0, seed=4, symmetric=True)
+        perm = np.random.default_rng(0).permutation(8)
+        B = permute_bcrs(A, perm)
+        b = A.block_size
+        scalar_perm = (perm[:, None] * b + np.arange(b)).ravel()
+        P = np.eye(A.n_rows)[scalar_perm]
+        np.testing.assert_allclose(B.to_dense(), P @ A.to_dense() @ P.T)
+
+    def test_identity_permutation(self):
+        A = random_bcrs(6, 3.0, seed=5)
+        B = permute_bcrs(A, np.arange(6))
+        np.testing.assert_allclose(B.to_dense(), A.to_dense())
+
+    def test_bad_perm_length(self):
+        A = random_bcrs(6, 3.0, seed=5)
+        with pytest.raises(ValueError):
+            permute_bcrs(A, np.arange(5))
+
+
+class TestSpatialSort:
+    def test_sorted_by_cell(self):
+        rng = np.random.default_rng(6)
+        pos = rng.uniform(0, 10, size=(50, 3))
+        box = np.array([10.0, 10.0, 10.0])
+        perm = spatial_sort_keys(pos, box, 4)
+        assert sorted(perm.tolist()) == list(range(50))
+        sortedpos = pos[perm]
+        cells = np.minimum((sortedpos / 10.0 * 4).astype(int), 3)
+        keys = (cells[:, 0] * 4 + cells[:, 1]) * 4 + cells[:, 2]
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_wraps_out_of_box_positions(self):
+        pos = np.array([[11.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        perm = spatial_sort_keys(pos, np.array([10.0, 10.0, 10.0]), 2)
+        assert sorted(perm.tolist()) == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spatial_sort_keys(np.zeros((3, 2)), np.ones(3), 2)
+        with pytest.raises(ValueError):
+            spatial_sort_keys(np.zeros((3, 3)), np.ones(3), 0)

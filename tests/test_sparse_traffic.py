@@ -1,0 +1,106 @@
+"""Tests for the memory-traffic/flop accounting (repro.sparse.traffic)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.bcrs import BCRSMatrix
+from repro.sparse.traffic import (
+    estimate_k,
+    flop_count,
+    memory_traffic_bytes,
+)
+from tests.conftest import random_bcrs
+
+
+class TestFlopCount:
+    def test_matches_formula(self):
+        A = random_bcrs(10, 5.0, seed=0)
+        assert flop_count(A, 4) == 18 * 4 * A.nnzb
+
+    def test_m_validation(self):
+        A = random_bcrs(4, 2.0, seed=0)
+        with pytest.raises(ValueError):
+            flop_count(A, 0)
+
+
+class TestMemoryTraffic:
+    def test_closed_form_k0(self):
+        """Mtr(m) with k=0 must equal the paper's expression exactly."""
+        A = random_bcrs(30, 8.0, seed=1)
+        m = 6
+        counts = memory_traffic_bytes(A, m, k=0.0)
+        nb, nnzb, sx, sa = A.nb_rows, A.nnzb, 8, 72
+        expected = m * nb * 3 * sx + 4 * nb + nnzb * (4 + sa)
+        assert counts.total_bytes == pytest.approx(expected)
+
+    def test_k_increases_traffic(self):
+        A = random_bcrs(30, 8.0, seed=1)
+        t0 = memory_traffic_bytes(A, 4, k=0.0).total_bytes
+        t3 = memory_traffic_bytes(A, 4, k=3.0).total_bytes
+        assert t3 > t0
+        assert t3 - t0 == pytest.approx(4 * A.nb_rows * 3 * 8)
+
+    def test_requires_k_or_cache(self):
+        A = random_bcrs(5, 2.0, seed=2)
+        with pytest.raises(ValueError, match="cache_bytes"):
+            memory_traffic_bytes(A, 2)
+
+    def test_cache_path(self):
+        A = random_bcrs(20, 6.0, seed=3)
+        counts = memory_traffic_bytes(A, 2, cache_bytes=12 * 2**20)
+        assert counts.k >= 0.0
+
+    def test_arithmetic_intensity_grows_with_m(self):
+        """More vectors amortize the matrix stream: flops/byte rises."""
+        A = random_bcrs(50, 10.0, seed=4)
+        ai = [memory_traffic_bytes(A, m, k=0.0).arithmetic_intensity for m in (1, 4, 16)]
+        assert ai[0] < ai[1] < ai[2]
+
+    def test_m_validation(self):
+        A = random_bcrs(4, 2.0, seed=0)
+        with pytest.raises(ValueError):
+            memory_traffic_bytes(A, 0, k=0.0)
+
+    def test_component_breakdown_sums(self):
+        A = random_bcrs(10, 5.0, seed=5)
+        c = memory_traffic_bytes(A, 3, k=1.0)
+        assert c.total_bytes == pytest.approx(
+            c.vector_bytes + c.index_bytes + c.block_bytes
+        )
+
+
+class TestEstimateK:
+    def test_huge_cache_gives_zero_extra(self):
+        """When all X slices fit, only compulsory misses occur: k = 0."""
+        A = random_bcrs(40, 10.0, seed=6)
+        assert estimate_k(A, 4, cache_bytes=1e9) == pytest.approx(0.0)
+
+    def test_tiny_cache_gives_positive_k(self):
+        A = random_bcrs(60, 12.0, seed=7)
+        k = estimate_k(A, 8, cache_bytes=2048)
+        assert k > 0.0
+
+    def test_k_nondecreasing_in_m_for_fixed_cache(self):
+        """Larger working sets cannot reduce misses (same trace, fewer slots)."""
+        A = random_bcrs(80, 10.0, seed=8)
+        cache = 32 * 1024
+        ks = [estimate_k(A, m, cache) for m in (1, 4, 16, 64)]
+        assert all(b >= a - 1e-12 for a, b in zip(ks, ks[1:]))
+
+    def test_diagonal_matrix_has_zero_k(self):
+        """A diagonal matrix touches each X slice exactly once."""
+        I = BCRSMatrix.block_identity(50)
+        assert estimate_k(I, 4, cache_bytes=4096) == pytest.approx(0.0)
+
+    def test_sampling_approximates_full(self):
+        A = random_bcrs(100, 8.0, seed=9)
+        full = estimate_k(A, 4, 16 * 1024)
+        sampled = estimate_k(A, 4, 16 * 1024, sample_rows=50)
+        assert sampled == pytest.approx(full, abs=1.5)
+
+    def test_validation(self):
+        A = random_bcrs(5, 2.0, seed=0)
+        with pytest.raises(ValueError):
+            estimate_k(A, 0, 1024)
+        with pytest.raises(ValueError):
+            estimate_k(A, 1, 0)

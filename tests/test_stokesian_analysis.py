@@ -1,0 +1,133 @@
+"""Tests for the analysis observables (g(r), MSD, contacts)."""
+
+import numpy as np
+import pytest
+
+from repro.stokesian.analysis import (
+    TrajectoryAnalyzer,
+    contact_pairs,
+    radial_distribution,
+)
+from repro.stokesian.brownian_dynamics import BDParameters, BrownianDynamics
+from repro.stokesian.dynamics import SDParameters, StokesianDynamics
+from repro.stokesian.packing import random_configuration
+from repro.stokesian.particles import ParticleSystem
+
+
+class TestRadialDistribution:
+    def test_ideal_gas_is_flat(self):
+        """Random points (no excluded volume): g(r) ~ 1 everywhere."""
+        rng = np.random.default_rng(0)
+        s = ParticleSystem(
+            rng.uniform(0, 50, (400, 3)), np.full(400, 0.01), [50.0] * 3
+        )
+        r, g = radial_distribution(s, n_bins=10)
+        # Ignore the first bin (few pairs, noisy).
+        assert np.all(np.abs(g[1:] - 1.0) < 0.35)
+
+    def test_hard_spheres_have_exclusion_hole(self):
+        """Packed spheres: g = 0 inside contact, peak near contact."""
+        s = random_configuration(150, 0.4, radii=np.full(150, 1.0), rng=1)
+        r, g = radial_distribution(s, n_bins=40)
+        inside = r < 1.9  # inside the contact diameter 2a = 2
+        assert np.all(g[inside] < 0.05)
+        near_contact = (r > 2.0) & (r < 2.6)
+        assert g[near_contact].max() > 1.0
+
+    def test_normalization_long_range(self):
+        s = random_configuration(200, 0.2, radii=np.full(200, 1.0), rng=2)
+        r, g = radial_distribution(s, n_bins=30)
+        tail = g[r > 0.7 * r.max()]
+        assert abs(tail.mean() - 1.0) < 0.25
+
+    def test_validation(self):
+        s = random_configuration(10, 0.2, rng=3)
+        with pytest.raises(ValueError):
+            radial_distribution(s, n_bins=0)
+        with pytest.raises(ValueError):
+            radial_distribution(s, r_max=1e9)
+        one = ParticleSystem([[5.0] * 3], [1.0], [20.0] * 3)
+        with pytest.raises(ValueError):
+            radial_distribution(one)
+
+
+class TestContactPairs:
+    def test_counts_close_pairs(self):
+        s = ParticleSystem(
+            [[5.0, 5.0, 5.0], [7.05, 5.0, 5.0], [15.0, 15.0, 15.0]],
+            [1.0, 1.0, 1.0],
+            [30.0] * 3,
+        )
+        assert contact_pairs(s, gap_fraction=0.05) == 1
+
+    def test_crowding_increases_contacts(self):
+        dilute = random_configuration(60, 0.1, rng=4)
+        dense = random_configuration(60, 0.5, rng=4)
+        assert contact_pairs(dense) > contact_pairs(dilute)
+
+    def test_validation(self):
+        s = random_configuration(5, 0.1, rng=5)
+        with pytest.raises(ValueError):
+            contact_pairs(s, gap_fraction=0.0)
+
+
+class TestTrajectoryAnalyzer:
+    def test_static_system_zero_msd(self):
+        s = random_configuration(10, 0.2, rng=6)
+        an = TrajectoryAnalyzer(s)
+        an.record(s)
+        assert an.mean_squared_displacement() == 0.0
+
+    def test_unwraps_across_boundary(self):
+        s = ParticleSystem([[19.5, 10.0, 10.0]], [1.0], [20.0] * 3)
+        an = TrajectoryAnalyzer(s)
+        moved = s.displaced(np.array([[1.0, 0.0, 0.0]]))  # wraps to 0.5
+        an.record(moved)
+        assert an.mean_squared_displacement() == pytest.approx(1.0)
+
+    def test_works_with_sd_driver(self):
+        s = random_configuration(20, 0.3, rng=7)
+        sd = StokesianDynamics(s, SDParameters(), rng=8)
+        an = TrajectoryAnalyzer(sd.system)
+        for _ in range(3):
+            sd.step()
+            an.record(sd.system)
+        assert an.steps_recorded == 3
+        assert an.mean_squared_displacement() > 0
+
+    def test_diffusion_against_bd_internal_tracker(self):
+        """The analyzer must agree with BD's own unwrapped bookkeeping."""
+        s = random_configuration(15, 0.1, rng=9)
+        bd = BrownianDynamics(s, BDParameters(dt=0.1), rng=10)
+        an = TrajectoryAnalyzer(bd.system)
+        for _ in range(5):
+            bd.step()
+            an.record(bd.system)
+        assert an.mean_squared_displacement() == pytest.approx(
+            bd.mean_squared_displacement(), rel=1e-10
+        )
+
+    def test_crowding_suppresses_diffusion(self):
+        """The motivating physics: D(phi=0.4) < D0 (Stokes-Einstein)."""
+        radii = np.full(40, 1.0)
+        s = random_configuration(40, 0.4, radii=radii, rng=11)
+        sd = StokesianDynamics(s, SDParameters(dt=0.05), rng=12)
+        an = TrajectoryAnalyzer(sd.system)
+        steps = 5
+        for _ in range(steps):
+            sd.step()
+            an.record(sd.system)
+        d_measured = an.diffusion_estimate(steps * 0.05)
+        d0 = TrajectoryAnalyzer.stokes_einstein(1.0)
+        assert d_measured < d0
+
+    def test_validation(self):
+        s = random_configuration(5, 0.1, rng=13)
+        an = TrajectoryAnalyzer(s)
+        with pytest.raises(ValueError):
+            an.diffusion_estimate(0.0)
+        with pytest.raises(ValueError):
+            TrajectoryAnalyzer.stokes_einstein(-1.0)
+        other = random_configuration(6, 0.1, rng=14)
+        with pytest.raises(ValueError):
+            an.record(other)

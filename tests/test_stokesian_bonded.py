@@ -1,0 +1,138 @@
+"""Tests for bonded forces and force-field plumbing in the SD drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.stokesian.bonded import HarmonicBonds, chain_bonds
+from repro.stokesian.dynamics import SDParameters, StokesianDynamics
+from repro.stokesian.particles import ParticleSystem
+
+
+def two_bead_system(dist=4.0):
+    return ParticleSystem(
+        [[10.0, 10.0, 10.0], [10.0 + dist, 10.0, 10.0]],
+        [1.0, 1.0],
+        [40.0] * 3,
+    )
+
+
+class TestHarmonicBonds:
+    def test_force_at_rest_is_zero(self):
+        bonds = chain_bonds([0, 1], rest_length=4.0, stiffness=2.0)
+        f = bonds(two_bead_system(4.0))
+        np.testing.assert_allclose(f, 0.0, atol=1e-14)
+
+    def test_stretched_bond_pulls_together(self):
+        bonds = chain_bonds([0, 1], rest_length=3.0, stiffness=2.0)
+        f = bonds(two_bead_system(4.0))
+        # Particle 0 pulled toward +x (toward particle 1), magnitude k*dx.
+        np.testing.assert_allclose(f[0], [2.0, 0.0, 0.0], atol=1e-12)
+        np.testing.assert_allclose(f[1], [-2.0, 0.0, 0.0], atol=1e-12)
+
+    def test_compressed_bond_pushes_apart(self):
+        bonds = chain_bonds([0, 1], rest_length=5.0, stiffness=1.0)
+        f = bonds(two_bead_system(4.0))
+        assert f[0, 0] < 0  # pushed away from particle 1
+        assert f[1, 0] > 0
+
+    def test_newton_third_law(self):
+        rng = np.random.default_rng(0)
+        s = ParticleSystem(rng.uniform(5, 30, (6, 3)), np.ones(6), [40.0] * 3)
+        bonds = chain_bonds(range(6), rest_length=3.0, stiffness=1.5)
+        f = bonds(s)
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_minimum_image_bonds(self):
+        """A bond across the periodic boundary uses the short path."""
+        s = ParticleSystem(
+            [[1.0, 10.0, 10.0], [39.0, 10.0, 10.0]], [0.5, 0.5], [40.0] * 3
+        )
+        bonds = chain_bonds([0, 1], rest_length=1.0, stiffness=1.0)
+        f = bonds(s)
+        # Distance through the boundary is 2 (stretch 1); force on 0
+        # points in -x (toward the image of particle 1).
+        assert f[0, 0] < 0
+
+    def test_energy(self):
+        bonds = chain_bonds([0, 1], rest_length=3.0, stiffness=2.0)
+        e = bonds.energy(two_bead_system(4.0))
+        assert e == pytest.approx(0.5 * 2.0 * 1.0**2)
+
+    def test_bond_lengths(self):
+        bonds = chain_bonds([0, 1], rest_length=3.0, stiffness=2.0)
+        np.testing.assert_allclose(
+            bonds.bond_lengths(two_bead_system(4.0)), [4.0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="distinct"):
+            HarmonicBonds(
+                i=np.array([0]), j=np.array([0]),
+                rest_length=np.array([1.0]), stiffness=np.array([1.0]),
+            )
+        with pytest.raises(ValueError, match="length"):
+            HarmonicBonds(
+                i=np.array([0]), j=np.array([1, 2]),
+                rest_length=np.array([1.0]), stiffness=np.array([1.0]),
+            )
+        with pytest.raises(ValueError):
+            chain_bonds([0], 1.0, 1.0)
+
+    def test_out_of_range_indices(self):
+        bonds = chain_bonds([0, 5], 1.0, 1.0)
+        with pytest.raises(ValueError, match="exceed"):
+            bonds(two_bead_system())
+
+
+class TestForcesInDrivers:
+    def test_external_forces_zero_by_default(self):
+        s = two_bead_system()
+        sd = StokesianDynamics(s, SDParameters(), rng=0)
+        np.testing.assert_array_equal(sd.external_forces(), np.zeros(6))
+
+    def test_external_forces_shape_check(self):
+        s = two_bead_system()
+        sd = StokesianDynamics(
+            s, SDParameters(), rng=0, forces=lambda sys_: np.zeros((3, 3))
+        )
+        with pytest.raises(ValueError, match="forces"):
+            sd.external_forces()
+
+    def test_deterministic_drag_without_noise(self):
+        """With kT -> 0 a constant force produces pure drag motion."""
+        s = two_bead_system(10.0)
+        pull = np.zeros((2, 3))
+        pull[0, 2] = 50.0
+        params = SDParameters(dt=0.05, kT=1e-20)
+        sd = StokesianDynamics(s, params, rng=1, forces=lambda sys_: pull)
+        z0 = s.positions[0, 2]
+        sd.run(2)
+        assert sd.system.positions[0, 2] > z0  # dragged along +z
+
+    def test_bonded_chain_relaxes_under_sd(self):
+        """A stretched dimer relaxes toward its rest length."""
+        s = two_bead_system(6.0)
+        bonds = chain_bonds([0, 1], rest_length=4.0, stiffness=5.0)
+        params = SDParameters(dt=0.1, kT=1e-20)  # ~no noise
+        sd = StokesianDynamics(s, params, rng=2, forces=bonds)
+        start = bonds.bond_lengths(sd.system)[0]
+        sd.run(6)
+        end = bonds.bond_lengths(sd.system)[0]
+        assert abs(end - 4.0) < abs(start - 4.0)
+
+    def test_mrhs_accepts_forces(self):
+        from repro.stokesian.packing import random_configuration
+
+        system = random_configuration(20, 0.3, rng=3)
+        bonds = chain_bonds(range(5), rest_length=60.0, stiffness=0.5)
+        driver = MrhsStokesianDynamics(
+            system,
+            SDParameters(),
+            MrhsParameters(m=3),
+            rng=4,
+            forces=bonds,
+        )
+        chunk = driver.run_chunk()
+        assert chunk.block_converged
+        assert len(chunk.steps) == 3

@@ -1,0 +1,105 @@
+"""Tests for Brownian force generation."""
+
+import numpy as np
+import pytest
+
+from repro.stokesian.brownian import BrownianForceGenerator
+from tests.conftest import random_bcrs
+
+
+@pytest.fixture(scope="module")
+def spd_matrix():
+    return random_bcrs(8, 3.0, seed=0, spd=True)
+
+
+class TestCholeskyPath:
+    def test_exact_covariance(self, spd_matrix):
+        gen = BrownianForceGenerator(spd_matrix, method="cholesky")
+        cov = gen.empirical_covariance(40000, rng=1)
+        dense = spd_matrix.to_dense()
+        scale = np.abs(dense).max()
+        np.testing.assert_allclose(cov, dense, atol=0.15 * scale)
+
+    def test_accuracy_reported_zero(self, spd_matrix):
+        gen = BrownianForceGenerator(spd_matrix, method="cholesky")
+        assert gen.sqrt_accuracy() == 0.0
+
+
+class TestChebyshevPath:
+    def test_matches_cholesky_statistics(self, spd_matrix):
+        """Chebyshev and Cholesky forces share first/second moments."""
+        cheb = BrownianForceGenerator(spd_matrix, method="chebyshev", degree=40, rng=0)
+        cov = cheb.empirical_covariance(40000, rng=2)
+        dense = spd_matrix.to_dense()
+        scale = np.abs(dense).max()
+        np.testing.assert_allclose(cov, dense, atol=0.15 * scale)
+
+    def test_deterministic_given_z(self, spd_matrix):
+        gen = BrownianForceGenerator(spd_matrix, method="chebyshev", rng=0)
+        z = np.random.default_rng(3).standard_normal(spd_matrix.n_rows)
+        np.testing.assert_array_equal(gen.generate(z), gen.generate(z))
+
+    def test_matches_exact_sqrt_times_z(self, spd_matrix):
+        """f = S(R) z ~ sqrtm(R) z to polynomial accuracy."""
+        gen = BrownianForceGenerator(spd_matrix, method="chebyshev", degree=50, rng=0)
+        dense = spd_matrix.to_dense()
+        w, V = np.linalg.eigh(dense)
+        sqrt_dense = (V * np.sqrt(w)) @ V.T
+        z = np.random.default_rng(4).standard_normal(spd_matrix.n_rows)
+        np.testing.assert_allclose(
+            gen.generate(z), sqrt_dense @ z, rtol=1e-3, atol=1e-5
+        )
+
+    def test_block_generation(self, spd_matrix):
+        gen = BrownianForceGenerator(spd_matrix, method="chebyshev", rng=0)
+        Z = np.random.default_rng(5).standard_normal((spd_matrix.n_rows, 6))
+        F = gen.generate(Z)
+        assert F.shape == Z.shape
+        # Block result equals column-by-column results.
+        for j in range(6):
+            np.testing.assert_allclose(F[:, j], gen.generate(Z[:, j]), rtol=1e-12)
+
+    def test_matmul_hook_forwarded(self, spd_matrix):
+        gen = BrownianForceGenerator(
+            spd_matrix, method="chebyshev", degree=10, rng=0
+        )
+        calls = []
+
+        def counted(X):
+            calls.append(X.ndim)
+            return spd_matrix @ X
+
+        gen.generate(np.ones(spd_matrix.n_rows), matmul=counted)
+        assert len(calls) == 10
+
+    def test_scale_applied(self, spd_matrix):
+        g1 = BrownianForceGenerator(spd_matrix, scale=1.0, rng=0, bounds=(1.0, 1e4))
+        g2 = BrownianForceGenerator(spd_matrix, scale=2.5, rng=0, bounds=(1.0, 1e4))
+        z = np.ones(spd_matrix.n_rows)
+        np.testing.assert_allclose(g2.generate(z), 2.5 * g1.generate(z))
+
+    def test_accuracy_positive(self, spd_matrix):
+        gen = BrownianForceGenerator(spd_matrix, method="chebyshev", degree=20, rng=0)
+        assert 0 < gen.sqrt_accuracy() < 0.1
+
+
+class TestValidation:
+    def test_unknown_method(self, spd_matrix):
+        with pytest.raises(ValueError, match="method"):
+            BrownianForceGenerator(spd_matrix, method="magic")
+
+    def test_bad_scale(self, spd_matrix):
+        with pytest.raises(ValueError, match="scale"):
+            BrownianForceGenerator(spd_matrix, scale=0.0)
+
+    def test_z_shape_check(self, spd_matrix):
+        gen = BrownianForceGenerator(spd_matrix, rng=0)
+        with pytest.raises(ValueError, match="rows"):
+            gen.generate(np.ones(5))
+
+    def test_draws_when_z_missing(self, spd_matrix):
+        gen = BrownianForceGenerator(spd_matrix, rng=0)
+        f1 = gen.generate(rng=7)
+        F = gen.generate(m=3, rng=8)
+        assert f1.shape == (spd_matrix.n_rows,)
+        assert F.shape == (spd_matrix.n_rows, 3)

@@ -1,0 +1,126 @@
+"""Tests for the Chebyshev matrix square root."""
+
+import numpy as np
+import pytest
+
+from repro.stokesian.chebyshev import (
+    ChebyshevSqrt,
+    chebyshev_coefficients,
+    gershgorin_bounds,
+    lanczos_spectrum_bounds,
+)
+from tests.conftest import random_bcrs
+
+
+class TestCoefficients:
+    def test_constant_function(self):
+        c = chebyshev_coefficients(lambda x: np.full_like(x, 5.0), 1.0, 2.0, 4)
+        assert c[0] == pytest.approx(10.0)  # c0/2 convention
+        np.testing.assert_allclose(c[1:], 0.0, atol=1e-12)
+
+    def test_linear_function_exact(self):
+        approx = ChebyshevSqrt(
+            lam_min=1.0,
+            lam_max=3.0,
+            degree=3,
+            coefficients=chebyshev_coefficients(lambda x: 2 * x + 1, 1.0, 3.0, 3),
+        )
+        x = np.linspace(1.0, 3.0, 7)
+        np.testing.assert_allclose(approx.evaluate_scalar(x), 2 * x + 1, rtol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chebyshev_coefficients(np.sqrt, 2.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            chebyshev_coefficients(np.sqrt, 1.0, 2.0, -1)
+
+
+class TestChebyshevSqrt:
+    def test_scalar_accuracy(self):
+        """Error follows the Chebyshev rate ((sqrt(k)-1)/(sqrt(k)+1))^d:
+        for condition 200 at degree 30 that is ~1.4e-2."""
+        approx = ChebyshevSqrt.fit(0.5, 100.0, degree=30)
+        x = np.linspace(0.5, 100.0, 501)
+        np.testing.assert_allclose(approx.evaluate_scalar(x), np.sqrt(x), rtol=5e-2)
+
+    def test_error_decreases_with_degree(self):
+        errs = [
+            ChebyshevSqrt.fit(1.0, 50.0, degree=d).max_relative_error()
+            for d in (5, 15, 30)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_paper_degree_30_accuracy(self):
+        """Degree 30 on a condition-100 interval: rate 0.818^30 ~ 2e-3."""
+        approx = ChebyshevSqrt.fit(1.0, 100.0, degree=30)
+        assert approx.max_relative_error() < 1e-2
+
+    def test_requires_positive_interval(self):
+        with pytest.raises(ValueError, match="positive"):
+            ChebyshevSqrt.fit(0.0, 10.0)
+
+    def test_matrix_apply_matches_dense_sqrtm(self):
+        """S(A) z ~ sqrtm(A) z for SPD A with spectrum inside the interval."""
+        A = random_bcrs(8, 3.0, seed=0, spd=True)
+        dense = A.to_dense()
+        w, V = np.linalg.eigh(dense)
+        sqrt_dense = (V * np.sqrt(w)) @ V.T
+        approx = ChebyshevSqrt.fit(0.9 * w.min(), 1.1 * w.max(), degree=40)
+        z = np.random.default_rng(1).standard_normal(A.n_rows)
+        np.testing.assert_allclose(
+            approx.apply(A, z), sqrt_dense @ z, rtol=1e-4, atol=1e-6
+        )
+
+    def test_block_apply_matches_columnwise(self):
+        A = random_bcrs(8, 3.0, seed=2, spd=True)
+        w = np.linalg.eigvalsh(A.to_dense())
+        approx = ChebyshevSqrt.fit(0.9 * w.min(), 1.1 * w.max(), degree=20)
+        Z = np.random.default_rng(3).standard_normal((A.n_rows, 4))
+        block = approx.apply(A, Z)
+        for j in range(4):
+            np.testing.assert_allclose(
+                block[:, j], approx.apply(A, Z[:, j]), rtol=1e-12
+            )
+
+    def test_matmul_hook_counts_products(self):
+        A = random_bcrs(6, 2.0, seed=4, spd=True)
+        w = np.linalg.eigvalsh(A.to_dense())
+        degree = 12
+        approx = ChebyshevSqrt.fit(0.9 * w.min(), 1.1 * w.max(), degree=degree)
+        calls = []
+
+        def counted(X):
+            calls.append(1)
+            return A @ X
+
+        approx.apply(A, np.ones(A.n_rows), matmul=counted)
+        assert len(calls) == degree  # one product per polynomial order
+
+    def test_degree_zero(self):
+        approx = ChebyshevSqrt.fit(4.0, 4.00001, degree=0)
+        val = approx.evaluate_scalar(np.array([4.0]))[0]
+        assert val == pytest.approx(2.0, rel=1e-4)
+
+
+class TestSpectrumBounds:
+    def test_lanczos_brackets_spectrum(self):
+        A = random_bcrs(20, 5.0, seed=5, spd=True)
+        w = np.linalg.eigvalsh(A.to_dense())
+        lo, hi = lanczos_spectrum_bounds(A, rng=0)
+        assert lo <= w.min() * 1.01
+        assert hi >= w.max() * 0.99
+        assert lo > 0
+
+    def test_gershgorin_brackets_spectrum(self):
+        A = random_bcrs(15, 4.0, seed=6, spd=True)
+        w = np.linalg.eigvalsh(A.to_dense())
+        lo, hi = gershgorin_bounds(A)
+        assert hi >= w.max() - 1e-9
+        assert lo <= w.min() + 1e-9
+        assert lo > 0  # clamped floor
+
+    def test_tiny_matrix_dense_path(self):
+        A = random_bcrs(1, 1.0, seed=7, spd=True)
+        w = np.linalg.eigvalsh(A.to_dense())
+        lo, hi = lanczos_spectrum_bounds(A)
+        assert lo <= w.min() and hi >= w.max()

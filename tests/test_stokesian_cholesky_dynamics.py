@@ -1,0 +1,71 @@
+"""Tests for the Cholesky (small-problem) SD driver."""
+
+import numpy as np
+import pytest
+
+from repro.stokesian.cholesky_dynamics import CholeskyStokesianDynamics
+from repro.stokesian.dynamics import SDParameters, StokesianDynamics
+from repro.stokesian.packing import random_configuration
+
+
+@pytest.fixture(scope="module")
+def system():
+    return random_configuration(25, 0.4, rng=0)
+
+
+class TestCholeskyDriver:
+    def test_one_factorization_per_step(self, system):
+        sd = CholeskyStokesianDynamics(system, SDParameters(), rng=1)
+        recs = sd.run(3)
+        assert all(r.factorizations == 1 for r in recs)
+
+    def test_refinement_needs_few_iterations(self, system):
+        """The paper: 'only a very small number of iterations are
+        needed' — the frozen factor of R_k against R_{k+1/2}."""
+        sd = CholeskyStokesianDynamics(system, SDParameters(), rng=2)
+        recs = sd.run(3)
+        assert all(r.refinement_converged for r in recs)
+        assert all(r.refinement_iterations <= 10 for r in recs)
+
+    def test_phases_recorded(self, system):
+        sd = CholeskyStokesianDynamics(system, SDParameters(), rng=3)
+        rec = sd.step()
+        for phase in ("Factor", "1st solve (direct)", "2nd solve (refinement)"):
+            assert phase in rec.timings.phases
+
+    def test_advances_without_overlap(self, system):
+        sd = CholeskyStokesianDynamics(system, SDParameters(), rng=4)
+        before = sd.system.positions.copy()
+        sd.run(2)
+        assert not np.allclose(sd.system.positions, before)
+        assert sd.system.max_overlap() == 0.0
+
+    def test_matches_iterative_driver_trajectory(self, system):
+        """Direct and iterative pipelines are the same algorithm with
+        different solvers: tight tolerances give matching trajectories.
+
+        Note both must consume the same noise; the iterative driver uses
+        Chebyshev (approximate sqrt), so we give it the exact 'cholesky'
+        Brownian method for the comparison."""
+        params = SDParameters(tol=1e-11, brownian_method="cholesky")
+        direct = CholeskyStokesianDynamics(system, params, rng=7)
+        z = np.random.default_rng(9).standard_normal(system.dof)
+        direct.step(z=z)
+        iterative = StokesianDynamics(system, params, rng=7)
+        iterative.step(z=z)
+        np.testing.assert_allclose(
+            direct.system.positions,
+            iterative.system.positions,
+            rtol=1e-6,
+            atol=1e-6,
+        )
+
+    def test_run_validation(self, system):
+        with pytest.raises(ValueError):
+            CholeskyStokesianDynamics(system, rng=0).run(-1)
+
+    def test_step_index_and_history(self, system):
+        sd = CholeskyStokesianDynamics(system, SDParameters(), rng=5)
+        sd.run(2)
+        assert sd.step_index == 2
+        assert [r.step_index for r in sd.history] == [0, 1]

@@ -1,0 +1,122 @@
+"""Tests for the Ewald-summed periodic RPY mobility."""
+
+import numpy as np
+import pytest
+
+from repro.stokesian.ewald import EwaldParameters, ewald_rpy_mobility_matrix
+from repro.stokesian.mobility import rpy_mobility_matrix
+from repro.stokesian.particles import ParticleSystem
+
+
+@pytest.fixture(scope="module")
+def trio():
+    return ParticleSystem(
+        [[2.0, 3.0, 4.0], [7.0, 5.0, 3.5], [4.5, 8.0, 6.0]],
+        [1.0, 0.7, 1.3],
+        [12.0] * 3,
+    )
+
+
+class TestEwaldParameters:
+    def test_defaults(self):
+        p = EwaldParameters(10.0)
+        assert p.xi == pytest.approx(np.sqrt(np.pi) / 10.0)
+        assert p.r_cut == pytest.approx(p.cut / p.xi)
+        assert p.k_cut == pytest.approx(2 * p.xi * p.cut)
+
+    def test_wave_vectors_exclude_zero(self):
+        p = EwaldParameters(10.0, xi=0.3)
+        k = p.wave_vectors()
+        assert np.all(np.linalg.norm(k, axis=1) > 0)
+        assert np.all(np.linalg.norm(k, axis=1) <= p.k_cut + 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwaldParameters(0.0)
+        with pytest.raises(ValueError):
+            EwaldParameters(10.0, xi=-1.0)
+        with pytest.raises(ValueError):
+            EwaldParameters(10.0, cut=0.0)
+
+
+class TestEwaldMobility:
+    def test_xi_independence(self, trio):
+        """THE correctness check: the physical result cannot depend on
+        the arbitrary Ewald splitting parameter."""
+        ms = [
+            ewald_rpy_mobility_matrix(
+                trio, params=EwaldParameters(12.0, xi=xi, cut=4.0)
+            )
+            for xi in (0.12, 0.25, 0.45)
+        ]
+        scale = np.abs(ms[0]).max()
+        # Truncation at cut=4 leaves ~1e-5-relative tails (the k^4
+        # screening amplifies the reciprocal tail at large xi).
+        np.testing.assert_allclose(ms[1], ms[0], atol=1e-4 * scale)
+        np.testing.assert_allclose(ms[2], ms[0], atol=1e-4 * scale)
+
+    def test_symmetric_positive_definite(self, trio):
+        M = ewald_rpy_mobility_matrix(trio)
+        np.testing.assert_allclose(M, M.T, atol=1e-12)
+        assert np.linalg.eigvalsh(M).min() > 0
+
+    def test_periodic_self_mobility_below_free_space(self, trio):
+        """Hydrodynamic images exert backflow: a periodic particle
+        diffuses slower than a free one (the classic finite-size
+        correction ~ -2.84/(6 pi mu L))."""
+        M = ewald_rpy_mobility_matrix(trio)
+        for p in range(trio.n):
+            free = 1.0 / (6 * np.pi * trio.radii[p])
+            assert M[3 * p, 3 * p] < free
+
+    def test_finite_size_correction_magnitude(self):
+        """For one particle in a cubic box the self-mobility correction
+        is -zeta/(6 pi mu L) with zeta ~ 2.837 (the cubic-lattice
+        constant), a classical result the sum must reproduce."""
+        a, L = 0.5, 20.0
+        s = ParticleSystem([[10.0] * 3], [a], [L] * 3)
+        M = ewald_rpy_mobility_matrix(s)
+        measured = M[0, 0]
+        predicted = 1.0 / (6 * np.pi * a) - 2.837297 / (6 * np.pi * L)
+        assert measured == pytest.approx(predicted, rel=2e-3)
+
+    def test_translation_invariance(self, trio):
+        """Shifting all particles by a constant leaves M unchanged."""
+        M1 = ewald_rpy_mobility_matrix(trio)
+        shifted = trio.displaced(np.tile([1.7, -2.3, 0.9], trio.n))
+        M2 = ewald_rpy_mobility_matrix(shifted)
+        np.testing.assert_allclose(M2, M1, atol=1e-8)
+
+    def test_agrees_with_minimum_image_in_dilute_limit(self):
+        """A small pair in a huge box: periodic corrections ~ r/L remain,
+        but the dominant free-space structure matches min-image RPY."""
+        s = ParticleSystem(
+            [[95.0, 100.0, 100.0], [105.0, 100.0, 100.0]],
+            [1.0, 1.0],
+            [200.0] * 3,
+        )
+        Me = ewald_rpy_mobility_matrix(s)
+        Mf = rpy_mobility_matrix(s)
+        # Self mobilities within the O(1/L) correction.
+        assert Me[0, 0] == pytest.approx(Mf[0, 0], rel=2e-2)
+        # Leading off-diagonal coupling (along the pair axis) agrees to
+        # the O(r/L) periodic correction.
+        assert Me[0, 3] == pytest.approx(Mf[0, 3], rel=0.15)
+
+    def test_requires_cubic_box(self):
+        s = ParticleSystem([[1.0] * 3], [0.4], [4.0, 5.0, 6.0])
+        with pytest.raises(ValueError, match="cubic"):
+            ewald_rpy_mobility_matrix(s)
+
+    def test_params_xi_exclusive(self, trio):
+        with pytest.raises(ValueError, match="params or xi"):
+            ewald_rpy_mobility_matrix(
+                trio, params=EwaldParameters(12.0), xi=0.3
+            )
+
+    def test_viscosity_scaling(self, trio):
+        M1 = ewald_rpy_mobility_matrix(trio, viscosity=1.0)
+        M2 = ewald_rpy_mobility_matrix(trio, viscosity=2.0)
+        np.testing.assert_allclose(M2, 0.5 * M1, rtol=1e-12)
+        with pytest.raises(ValueError):
+            ewald_rpy_mobility_matrix(trio, viscosity=0.0)

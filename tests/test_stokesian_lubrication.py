@@ -1,0 +1,171 @@
+"""Tests for the two-sphere lubrication resistance functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stokesian.lubrication import (
+    MIN_GAP_FRACTION,
+    pair_resistance_block,
+    pair_resistance_blocks,
+    shear_resistance,
+    squeeze_resistance,
+)
+
+
+class TestSqueezeResistance:
+    def test_leading_order_equal_spheres(self):
+        """For tiny gaps X -> 6 pi mu (ab/(a+b))^2 / h (classical)."""
+        a = b = 1.0
+        h = 1e-3
+        x = squeeze_resistance(a, b, h)
+        classical = 6 * np.pi * (a * b / (a + b)) ** 2 / h
+        assert x == pytest.approx(classical, rel=0.05)
+
+    def test_leading_order_unequal_spheres(self):
+        a, b = 1.0, 3.0
+        h = 1e-3  # above the regularization floor of 1e-4 * (a+b)/2
+        x = squeeze_resistance(a, b, h)
+        classical = 6 * np.pi * (a * b / (a + b)) ** 2 / h
+        assert x == pytest.approx(classical, rel=0.05)
+
+    def test_divergence_as_gap_closes(self):
+        xs = [squeeze_resistance(1.0, 1.0, h) for h in (1e-1, 1e-2, 1e-3)]
+        assert xs[0] < xs[1] < xs[2]
+        # 1/h scaling between the two smallest gaps:
+        assert xs[2] / xs[1] == pytest.approx(10.0, rel=0.2)
+
+    def test_gap_regularization(self):
+        """Gaps below the floor are clamped — overlap cannot blow up."""
+        tiny = squeeze_resistance(1.0, 1.0, 1e-12)
+        floor = squeeze_resistance(1.0, 1.0, MIN_GAP_FRACTION * 1.0)
+        assert tiny == pytest.approx(floor)
+
+    def test_viscosity_scaling(self):
+        assert squeeze_resistance(1.0, 1.0, 0.01, viscosity=3.0) == pytest.approx(
+            3.0 * squeeze_resistance(1.0, 1.0, 0.01)
+        )
+
+    def test_symmetric_in_particles(self):
+        """The pair resistance is physical: swapping a and b preserves it."""
+        x_ab = squeeze_resistance(1.0, 2.0, 0.01)
+        x_ba = squeeze_resistance(2.0, 1.0, 0.01)
+        assert x_ab == pytest.approx(x_ba, rel=1e-10)
+
+
+class TestShearResistance:
+    def test_log_divergence(self):
+        """Shear resistance grows like log(1/gap): much slower than squeeze."""
+        y2 = shear_resistance(1.0, 1.0, 1e-2)
+        y3 = shear_resistance(1.0, 1.0, 1e-3)
+        ratio = (y3 - y2) / y2
+        assert 0 < ratio < 1.5  # log growth, not power-law
+
+    def test_weaker_than_squeeze_at_small_gap(self):
+        h = 1e-3
+        assert shear_resistance(1.0, 1.0, h) < squeeze_resistance(1.0, 1.0, h)
+
+    def test_symmetric_in_particles(self):
+        assert shear_resistance(1.0, 2.5, 0.02) == pytest.approx(
+            shear_resistance(2.5, 1.0, 0.02), rel=1e-10
+        )
+
+
+class TestPairBlock:
+    def test_shape_and_symmetry(self):
+        A = pair_resistance_block(
+            1.0, 1.0, np.array([2.05, 0.0, 0.0]), cutoff_gap=1.0
+        )
+        assert A.shape == (3, 3)
+        np.testing.assert_allclose(A, A.T)
+
+    def test_positive_semidefinite(self):
+        A = pair_resistance_block(
+            1.0, 2.0, np.array([3.1, 0.3, -0.2]), cutoff_gap=1.0
+        )
+        w = np.linalg.eigvalsh(A)
+        assert w.min() >= -1e-12
+
+    def test_eigenstructure(self):
+        """Along the center line the eigenvalue is X; transverse it is Y
+        (both shifted by their cutoff values)."""
+        r = np.array([2.01, 0.0, 0.0])
+        cutoff = 0.5
+        A = pair_resistance_block(1.0, 1.0, r, cutoff_gap=cutoff)
+        gap = 0.01
+        x = squeeze_resistance(1.0, 1.0, gap) - squeeze_resistance(1.0, 1.0, cutoff)
+        y = shear_resistance(1.0, 1.0, gap) - shear_resistance(1.0, 1.0, cutoff)
+        assert A[0, 0] == pytest.approx(max(x, 0.0), rel=1e-10)
+        assert A[1, 1] == pytest.approx(max(y, 0.0), rel=1e-10)
+        assert A[2, 2] == pytest.approx(max(y, 0.0), rel=1e-10)
+        assert abs(A[0, 1]) < 1e-12
+
+    def test_zero_beyond_cutoff(self):
+        A = pair_resistance_block(
+            1.0, 1.0, np.array([5.0, 0.0, 0.0]), cutoff_gap=1.0
+        )
+        np.testing.assert_array_equal(A, 0.0)
+
+    def test_continuous_at_cutoff(self):
+        """The shifted tensors decay to ~0 approaching the cutoff."""
+        eps = 1e-6
+        A = pair_resistance_block(
+            1.0, 1.0, np.array([3.0 - eps, 0.0, 0.0]), cutoff_gap=1.0
+        )
+        assert np.abs(A).max() < 1e-3
+
+    def test_rotation_equivariance(self):
+        """Rotating the pair rotates the tensor: A(Qr) = Q A(r) Q^T."""
+        rng = np.random.default_rng(0)
+        Q, _ = np.linalg.qr(rng.standard_normal((3, 3)))
+        r = np.array([2.02, 0.0, 0.0])
+        A = pair_resistance_block(1.0, 1.0, r, cutoff_gap=1.0)
+        A_rot = pair_resistance_block(1.0, 1.0, Q @ r, cutoff_gap=1.0)
+        np.testing.assert_allclose(A_rot, Q @ A @ Q.T, atol=1e-8)
+
+    def test_coincident_centers_rejected(self):
+        with pytest.raises(ValueError, match="coincident"):
+            pair_resistance_block(1.0, 1.0, np.zeros(3), cutoff_gap=1.0)
+
+    def test_cutoff_validation(self):
+        with pytest.raises(ValueError, match="cutoff"):
+            pair_resistance_block(1.0, 1.0, np.array([2.1, 0, 0]), cutoff_gap=0.0)
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(0.5, 2.0, 5)
+        b = rng.uniform(0.5, 2.0, 5)
+        r = rng.standard_normal((5, 3))
+        r *= ((a + b) * 1.05 / np.linalg.norm(r, axis=1))[:, None]
+        blocks = pair_resistance_blocks(a, b, r, cutoff_gap=1.0)
+        for k in range(5):
+            single = pair_resistance_block(a[k], b[k], r[k], cutoff_gap=1.0)
+            np.testing.assert_allclose(blocks[k], single, rtol=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            pair_resistance_blocks(
+                np.ones(2), np.ones(3), np.ones((2, 3)), cutoff_gap=1.0
+            )
+
+
+class TestPairBlockProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.floats(0.3, 3.0),
+        b=st.floats(0.3, 3.0),
+        gap_frac=st.floats(1e-5, 2.0),
+        ux=st.floats(-1, 1),
+        uy=st.floats(-1, 1),
+        uz=st.floats(0.1, 1),
+    )
+    def test_always_psd_and_symmetric(self, a, b, gap_frac, ux, uy, uz):
+        """Property: every pair block is symmetric PSD for any geometry."""
+        u = np.array([ux, uy, uz])
+        u = u / np.linalg.norm(u)
+        r = (a + b + gap_frac * (a + b) / 2) * u
+        A = pair_resistance_block(a, b, r, cutoff_gap=0.7 * (a + b))
+        np.testing.assert_allclose(A, A.T, atol=1e-10)
+        w = np.linalg.eigvalsh(A)
+        assert w.min() >= -1e-9 * max(1.0, w.max())

@@ -1,0 +1,124 @@
+"""Tests for the Oseen/RPY mobility tensors."""
+
+import numpy as np
+import pytest
+
+from repro.stokesian.mobility import oseen_mobility_matrix, rpy_mobility_matrix
+from repro.stokesian.packing import random_configuration
+from repro.stokesian.particles import ParticleSystem
+
+
+def two_spheres(dist, a=1.0, b=1.0, box=50.0):
+    return ParticleSystem(
+        [[10.0, 10.0, 10.0], [10.0 + dist, 10.0, 10.0]], [a, b], [box] * 3
+    )
+
+
+class TestRpyMobility:
+    def test_self_mobility_is_stokes(self):
+        s = ParticleSystem([[5.0, 5.0, 5.0]], [2.0], [20.0] * 3)
+        M = rpy_mobility_matrix(s, viscosity=1.5)
+        np.testing.assert_allclose(
+            M, np.eye(3) / (6 * np.pi * 1.5 * 2.0), rtol=1e-12
+        )
+
+    def test_symmetric(self):
+        s = random_configuration(15, 0.2, rng=0)
+        M = rpy_mobility_matrix(s)
+        np.testing.assert_allclose(M, M.T, atol=1e-14)
+
+    def test_positive_definite_dilute(self):
+        """RPY's defining property holds for free-space-like (dilute)
+        systems; minimum-image truncation can break it marginally at
+        high density, which is why production codes use Ewald sums (the
+        paper's PME future work) and why the BD driver regularizes."""
+        s = random_configuration(20, 0.08, rng=1)
+        M = rpy_mobility_matrix(s)
+        assert np.linalg.eigvalsh(M).min() > 0
+
+    def test_pair_positive_definite_at_any_separation(self):
+        for dist in (0.5, 1.0, 1.99, 2.0, 2.5, 10.0):
+            M = rpy_mobility_matrix(two_spheres(dist))
+            assert np.linalg.eigvalsh(M).min() > 0, dist
+
+    def test_known_pair_values(self):
+        """Check the analytic RPY formula for a simple pair."""
+        r, a = 4.0, 1.0
+        s = two_spheres(r)
+        M = rpy_mobility_matrix(s)
+        pref = 1.0 / (8 * np.pi * r)
+        asq = 2 * a**2
+        parallel = pref * ((1 + asq / (3 * r**2)) + (1 - asq / r**2))
+        perp = pref * (1 + asq / (3 * r**2))
+        assert M[0, 3] == pytest.approx(parallel, rel=1e-12)
+        assert M[1, 4] == pytest.approx(perp, rel=1e-12)
+        assert M[2, 5] == pytest.approx(perp, rel=1e-12)
+
+    def test_overlap_branch_continuous(self):
+        """At exact touching the two formulas agree (RPY is C^0)."""
+        a = 1.0
+        eps = 1e-9
+        M_out = rpy_mobility_matrix(two_spheres(2 * a + eps))
+        M_in = rpy_mobility_matrix(two_spheres(2 * a - eps))
+        np.testing.assert_allclose(M_out[0:3, 3:6], M_in[0:3, 3:6], rtol=1e-6)
+
+    def test_overlap_still_pd(self):
+        M = rpy_mobility_matrix(two_spheres(1.0))
+        assert np.linalg.eigvalsh(M).min() > 0
+
+    def test_decay_with_distance(self):
+        m4 = rpy_mobility_matrix(two_spheres(4.0))[0, 3]
+        m8 = rpy_mobility_matrix(two_spheres(8.0))[0, 3]
+        assert m8 < m4
+        assert m4 / m8 == pytest.approx(2.0, rel=0.1)  # ~1/r decay
+
+    def test_minimum_image_used(self):
+        """Pairs interact through the nearest periodic image."""
+        s = ParticleSystem(
+            [[1.0, 10.0, 10.0], [19.0, 10.0, 10.0]], [0.5, 0.5], [20.0] * 3
+        )
+        M = rpy_mobility_matrix(s)
+        s_direct = two_spheres(2.0, a=0.5, b=0.5)
+        M_direct = rpy_mobility_matrix(s_direct)
+        np.testing.assert_allclose(
+            np.abs(M[0:3, 3:6]), np.abs(M_direct[0:3, 3:6]), rtol=1e-10
+        )
+
+    def test_viscosity_validation(self):
+        with pytest.raises(ValueError):
+            rpy_mobility_matrix(two_spheres(4.0), viscosity=0.0)
+
+
+class TestOseenMobility:
+    def test_known_pair_values(self):
+        r = 5.0
+        M = oseen_mobility_matrix(two_spheres(r))
+        pref = 1.0 / (8 * np.pi * r)
+        assert M[0, 3] == pytest.approx(2 * pref, rel=1e-12)  # (I + rr)(along)
+        assert M[1, 4] == pytest.approx(pref, rel=1e-12)
+
+    def test_symmetric(self):
+        s = random_configuration(10, 0.2, rng=2)
+        M = oseen_mobility_matrix(s)
+        np.testing.assert_allclose(M, M.T, atol=1e-14)
+
+    def test_can_lose_definiteness_at_close_range(self):
+        """Oseen's classical failure: indefinite once r < 3a/2 (no
+        finite-size correction) — the reason RPY exists."""
+        M = oseen_mobility_matrix(two_spheres(1.2))
+        assert np.linalg.eigvalsh(M).min() < 0
+        # RPY stays PD at the same overlapping separation.
+        assert np.linalg.eigvalsh(rpy_mobility_matrix(two_spheres(1.2))).min() > 0
+
+    def test_agrees_with_rpy_far_field(self):
+        """At large separation the finite-size RPY corrections vanish."""
+        s = two_spheres(20.0, box=100.0)
+        M_o = oseen_mobility_matrix(s)
+        M_r = rpy_mobility_matrix(s)
+        np.testing.assert_allclose(M_o[0:3, 3:6], M_r[0:3, 3:6], rtol=0.01)
+
+    def test_single_particle(self):
+        s = ParticleSystem([[5.0] * 3], [1.0], [20.0] * 3)
+        np.testing.assert_allclose(
+            oseen_mobility_matrix(s), np.eye(3) / (6 * np.pi)
+        )

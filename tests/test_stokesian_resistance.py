@@ -1,0 +1,131 @@
+"""Tests for resistance-matrix assembly (repro.stokesian.resistance)."""
+
+import numpy as np
+import pytest
+
+from repro.stokesian.lubrication import pair_resistance_block
+from repro.stokesian.neighbors import neighbor_pairs
+from repro.stokesian.packing import random_configuration
+from repro.stokesian.particles import ParticleSystem
+from repro.stokesian.resistance import build_resistance_matrix, far_field_viscosity
+
+
+@pytest.fixture(scope="module")
+def crowded_system():
+    return random_configuration(50, 0.4, rng=0)
+
+
+class TestFarFieldViscosity:
+    def test_einstein_batchelor_values(self):
+        assert far_field_viscosity(0.0) == pytest.approx(1.0)
+        assert far_field_viscosity(0.1) == pytest.approx(1.0 + 0.25 + 0.052)
+
+    def test_monotone(self):
+        vals = [far_field_viscosity(p) for p in (0.0, 0.1, 0.3, 0.5)]
+        assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            far_field_viscosity(-0.1)
+        with pytest.raises(ValueError):
+            far_field_viscosity(1.0)
+
+
+class TestBuildResistance:
+    def test_block_structure(self, crowded_system):
+        R = build_resistance_matrix(crowded_system)
+        assert R.block_size == 3
+        assert R.nb_rows == crowded_system.n
+        assert R.shape == (crowded_system.dof, crowded_system.dof)
+
+    def test_symmetric(self, crowded_system):
+        R = build_resistance_matrix(crowded_system)
+        assert R.is_symmetric()
+
+    def test_positive_definite(self, crowded_system):
+        R = build_resistance_matrix(crowded_system)
+        w = np.linalg.eigvalsh(R.to_dense())
+        assert w.min() > 0
+
+    def test_rigid_translation_feels_only_drag(self, crowded_system):
+        """Lubrication projects out collective motion: a uniform
+        translation u of ALL particles feels only the far-field drag
+        muF * 6 pi mu a_i * u (pair terms cancel exactly)."""
+        s = crowded_system
+        R = build_resistance_matrix(s)
+        u = np.tile([1.0, 0.0, 0.0], s.n)
+        f = R @ u
+        muF = far_field_viscosity(s.volume_fraction)
+        expected = np.zeros_like(f)
+        expected[0::3] = muF * 6 * np.pi * s.radii
+        np.testing.assert_allclose(f, expected, rtol=1e-9, atol=1e-9)
+
+    def test_isolated_particles_pure_drag(self):
+        """With no close pairs, R is exactly the diagonal drag matrix."""
+        s = ParticleSystem(
+            [[5.0, 5.0, 5.0], [25.0, 25.0, 25.0]], [1.0, 2.0], [50.0] * 3
+        )
+        R = build_resistance_matrix(s, cutoff_gap=1.0)
+        assert R.nnzb == 2  # diagonal only
+        muF = far_field_viscosity(s.volume_fraction)
+        dense = R.to_dense()
+        np.testing.assert_allclose(
+            np.diag(dense)[:3], muF * 6 * np.pi * 1.0, rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            np.diag(dense)[3:], muF * 6 * np.pi * 2.0, rtol=1e-12
+        )
+
+    def test_two_particle_block_content(self):
+        """Off-diagonal block is exactly minus the pair tensor."""
+        s = ParticleSystem(
+            [[10.0, 10.0, 10.0], [12.1, 10.0, 10.0]], [1.0, 1.0], [30.0] * 3
+        )
+        cutoff = 1.0
+        R = build_resistance_matrix(s, cutoff_gap=cutoff, mu_far_field=1.0)
+        A = pair_resistance_block(
+            1.0, 1.0, np.array([2.1, 0.0, 0.0]), cutoff_gap=cutoff
+        )
+        dense = R.to_dense()
+        np.testing.assert_allclose(dense[0:3, 3:6], -A, rtol=1e-12)
+        np.testing.assert_allclose(
+            dense[0:3, 0:3], A + 6 * np.pi * np.eye(3), rtol=1e-12
+        )
+
+    def test_cutoff_controls_density(self, crowded_system):
+        """The Table I knob: larger cutoff => higher nnzb/nb."""
+        mean_r = float(crowded_system.radii.mean())
+        sparse = build_resistance_matrix(crowded_system, cutoff_gap=0.3 * mean_r)
+        dense = build_resistance_matrix(crowded_system, cutoff_gap=2.0 * mean_r)
+        assert dense.blocks_per_row > sparse.blocks_per_row
+
+    def test_precomputed_neighbor_list(self, crowded_system):
+        mean_r = float(crowded_system.radii.mean())
+        nl = neighbor_pairs(crowded_system, max_gap=mean_r)
+        R1 = build_resistance_matrix(
+            crowded_system, cutoff_gap=mean_r, neighbor_list=nl
+        )
+        R2 = build_resistance_matrix(crowded_system, cutoff_gap=mean_r)
+        np.testing.assert_allclose(R1.to_dense(), R2.to_dense())
+
+    def test_viscosity_scaling(self, crowded_system):
+        R1 = build_resistance_matrix(crowded_system, viscosity=1.0, mu_far_field=2.0)
+        R3 = build_resistance_matrix(crowded_system, viscosity=3.0, mu_far_field=2.0)
+        np.testing.assert_allclose(R3.to_dense(), 3.0 * R1.to_dense(), rtol=1e-12)
+
+    def test_validation(self, crowded_system):
+        with pytest.raises(ValueError, match="cutoff_gap"):
+            build_resistance_matrix(crowded_system, cutoff_gap=-1.0)
+        with pytest.raises(ValueError, match="mu_far_field"):
+            build_resistance_matrix(crowded_system, mu_far_field=0.0)
+
+    def test_crowding_worsens_conditioning(self):
+        """The paper's Table V driver: higher occupancy => closer pairs
+        => more ill-conditioned R."""
+        conds = []
+        for phi in (0.1, 0.5):
+            s = random_configuration(40, phi, rng=3)
+            R = build_resistance_matrix(s)
+            w = np.linalg.eigvalsh(R.to_dense())
+            conds.append(w.max() / w.min())
+        assert conds[1] > 3.0 * conds[0]

@@ -1,0 +1,69 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, spawn_rngs, standard_normal_matrix
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).standard_normal(8)
+        b = as_rng(42).standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        assert isinstance(as_rng(ss), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_rng("not-an-rng")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent_streams(self):
+        kids = spawn_rngs(123, 3)
+        draws = [k.standard_normal(16) for k in kids]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_deterministic_from_seed(self):
+        a = [g.standard_normal(4) for g in spawn_rngs(9, 2)]
+        b = [g.standard_normal(4) for g in spawn_rngs(9, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(5)
+        kids = spawn_rngs(gen, 2)
+        assert all(isinstance(k, np.random.Generator) for k in kids)
+
+
+class TestStandardNormalMatrix:
+    def test_shape_and_dtype(self):
+        Z = standard_normal_matrix(1, 30, 4)
+        assert Z.shape == (30, 4)
+        assert Z.dtype == np.float64
+
+    def test_statistics(self):
+        Z = standard_normal_matrix(2, 20000, 2)
+        assert abs(Z.mean()) < 0.05
+        assert abs(Z.std() - 1.0) < 0.05

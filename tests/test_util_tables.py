@@ -1,0 +1,40 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_row, format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["x", "value"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_width_adapts_to_data(self):
+        text = format_table(["h"], [["very-long-cell"]])
+        assert "very-long-cell" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+
+class TestFormatRow:
+    def test_alignment(self):
+        row = format_row([1, "ab"], [4, 4])
+        assert row == "   1    ab"
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_row([1], [4, 4])

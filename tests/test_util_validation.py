@@ -1,0 +1,79 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_index_array,
+    check_positive,
+    check_shape,
+    check_square_blocks,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_nonstrict_accepts_zero(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_nonstrict_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_coerces_to_float(self):
+        out = check_positive("x", 3)
+        assert isinstance(out, float)
+
+
+class TestCheckShape:
+    def test_exact_shape(self):
+        arr = check_shape("a", np.zeros((2, 3)), (2, 3))
+        assert arr.shape == (2, 3)
+
+    def test_wildcard_axis(self):
+        check_shape("a", np.zeros((7, 3)), (None, 3))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape("a", np.zeros(4), (2, 2))
+
+    def test_wrong_extent(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("a", np.zeros((2, 4)), (2, 3))
+
+
+class TestCheckSquareBlocks:
+    def test_accepts(self):
+        check_square_blocks("b", np.zeros((5, 3, 3)), 3)
+
+    def test_rejects_wrong_block_size(self):
+        with pytest.raises(ValueError):
+            check_square_blocks("b", np.zeros((5, 2, 2)), 3)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            check_square_blocks("b", np.zeros((5, 3)), 3)
+
+
+class TestCheckIndexArray:
+    def test_accepts_in_range(self):
+        check_index_array("i", np.array([0, 4]), 5)
+
+    def test_rejects_float_dtype(self):
+        with pytest.raises(ValueError, match="integer"):
+            check_index_array("i", np.array([0.0]), 5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_index_array("i", np.array([5]), 5)
+        with pytest.raises(ValueError):
+            check_index_array("i", np.array([-1]), 5)
+
+    def test_empty_ok(self):
+        check_index_array("i", np.array([], dtype=np.int64), 5)
