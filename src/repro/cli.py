@@ -20,7 +20,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 

@@ -12,15 +12,19 @@ amortized step times — and runs the chunk at that size.
 
 from __future__ import annotations
 
-from typing import List
+import logging
+from typing import List, Optional
 
 from repro.core.mrhs import ChunkRecord, MrhsParameters, MrhsStokesianDynamics
 from repro.core.schedule import AdaptiveM
+from repro.solvers.diagnostics import SolveDiagnostics
 from repro.stokesian.dynamics import SDParameters
 from repro.stokesian.particles import ParticleSystem
 from repro.util.rng import RngLike
 
 __all__ = ["AutoMrhsStokesianDynamics"]
+
+logger = logging.getLogger(__name__)
 
 
 class AutoMrhsStokesianDynamics:
@@ -56,6 +60,9 @@ class AutoMrhsStokesianDynamics:
             system, params, MrhsParameters(m=1), rng=rng, forces=forces
         )
         self.chosen_ms: List[int] = []
+        self.block_diagnostics: List[Optional[SolveDiagnostics]] = []
+        """Per-chunk auxiliary-solve diagnostics, aligned with
+        :attr:`chosen_ms` (robustness telemetry for the m policy)."""
 
     # ------------------------------------------------------------------
     @property
@@ -73,6 +80,18 @@ class AutoMrhsStokesianDynamics:
         m = max(1, min(self.m_cap, m))
         self.chosen_ms.append(m)
         record = self._driver.run_chunk(m=m)
+        diag = record.block_diagnostics
+        self.block_diagnostics.append(diag)
+        if diag is not None:
+            logger.debug(
+                "chunk %d (m=%d): %s", record.chunk_index, m, diag.summary()
+            )
+            if record.fallback_columns:
+                logger.warning(
+                    "chunk %d (m=%d): block solve needed single-RHS "
+                    "fallback on columns %s",
+                    record.chunk_index, m, record.fallback_columns,
+                )
         observe = getattr(self.policy, "observe", None)
         if observe is not None:
             observe(record.average_step_time())

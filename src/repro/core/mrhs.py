@@ -35,18 +35,23 @@ One chunk of ``m`` steps:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from repro.solvers.block_cg import BlockCGResult, block_conjugate_gradient
+from repro.solvers.cg import conjugate_gradient
+from repro.solvers.diagnostics import SolveDiagnostics
 from repro.stokesian.dynamics import SDParameters, StepRecord, StokesianDynamics
 from repro.stokesian.particles import ParticleSystem
 from repro.util.rng import RngLike
 from repro.util.timer import Stopwatch, TimingRecord
 
 __all__ = ["MrhsParameters", "ChunkRecord", "MrhsStokesianDynamics"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,12 @@ class ChunkRecord:
     chunk_timings: TimingRecord
     """Phases amortized over the chunk: "Construct R0", "Cheb vectors",
     "Calc guesses"."""
+    block_diagnostics: Optional[SolveDiagnostics] = None
+    """Convergence record of the auxiliary block solve (restarts,
+    breakdowns, per-column residual history)."""
+    fallback_columns: List[int] = field(default_factory=list)
+    """Guess columns re-solved by single-RHS CG after the block solve
+    reported breakdown or failed its true-residual check."""
 
     @property
     def guess_errors(self) -> List[Optional[float]]:
@@ -146,6 +157,58 @@ class MrhsStokesianDynamics:
         return self.sd.params
 
     # ------------------------------------------------------------------
+    def _solve_block(
+        self, R0, rhs: np.ndarray
+    ) -> tuple[BlockCGResult, List[int]]:
+        """Run the augmented block solve with single-RHS CG fallback.
+
+        When the block solve reports breakdown or fails to converge,
+        every column whose true residual misses the tolerance is
+        re-solved by plain CG (seeded with the block solve's partial
+        solution).  Returns the (possibly repaired) result and the list
+        of fallback column indices.
+        """
+        tol = self.mrhs.block_tol or self.params.tol
+        precond = self.sd.make_preconditioner(R0)
+        block = block_conjugate_gradient(
+            R0,
+            rhs,
+            tol=tol,
+            max_iter=self.params.max_iter,
+            preconditioner=precond,
+        )
+        diag = block.diagnostics
+        if diag is not None:
+            logger.info("chunk block solve: %s", diag.summary())
+        fallback: List[int] = []
+        needs_repair = not block.converged or (
+            diag is not None and (diag.breakdown or diag.stagnated)
+        )
+        if needs_repair:
+            b_norms = np.linalg.norm(rhs, axis=0)
+            stop = tol * np.where(b_norms > 0, b_norms, 1.0)
+            true_rn = np.linalg.norm(rhs - R0 @ block.X, axis=0)
+            for j in np.flatnonzero(true_rn > stop):
+                res = conjugate_gradient(
+                    R0,
+                    rhs[:, j],
+                    x0=block.X[:, j],
+                    tol=tol,
+                    max_iter=self.params.max_iter,
+                    preconditioner=precond,
+                )
+                block.X[:, j] = res.x
+                fallback.append(int(j))
+            if fallback:
+                logger.warning(
+                    "block solve unreliable (%s); re-solved columns %s "
+                    "with single-RHS CG",
+                    "breakdown" if diag is not None and diag.breakdown
+                    else "not converged",
+                    fallback,
+                )
+        return block, fallback
+
     def solve_auxiliary(
         self, R0, Z: np.ndarray
     ) -> tuple[np.ndarray, BlockCGResult, np.ndarray]:
@@ -157,15 +220,8 @@ class MrhsStokesianDynamics:
         """
         gen = self.sd.brownian_generator(R0)
         F_B = gen.generate(Z)
-        tol = self.mrhs.block_tol or self.params.tol
         rhs = -F_B + self.sd.external_forces()[:, None]
-        result = block_conjugate_gradient(
-            R0,
-            rhs,
-            tol=tol,
-            max_iter=self.params.max_iter,
-            preconditioner=self.sd.make_preconditioner(R0),
-        )
+        result, _ = self._solve_block(R0, rhs)
         return F_B, result, result.X
 
     def run_chunk(self, m: Optional[int] = None) -> ChunkRecord:
@@ -188,22 +244,17 @@ class MrhsStokesianDynamics:
             gen = self.sd.brownian_generator(R0)
             F_B = gen.generate(Z)
         with sw.phase("Calc guesses"):
-            tol = self.mrhs.block_tol or self.params.tol
             # The deterministic force at the chunk-start configuration
             # seeds every column (f^P drifts as slowly as R does).
             rhs = -F_B + self.sd.external_forces()[:, None]
-            block = block_conjugate_gradient(
-                R0,
-                rhs,
-                tol=tol,
-                max_iter=self.params.max_iter,
-                preconditioner=self.sd.make_preconditioner(R0),
-            )
+            block, fallback = self._solve_block(R0, rhs)
         U = block.X
 
-        steps = [
-            self.sd.step(z=Z[:, k], u_guess=U[:, k].copy()) for k in range(m)
-        ]
+        steps = []
+        for k in range(m):
+            step = self.sd.step(z=Z[:, k], u_guess=U[:, k].copy())
+            self._log_step(len(self.chunks), k, step)
+            steps.append(step)
         record = ChunkRecord(
             chunk_index=len(self.chunks),
             m=m,
@@ -212,9 +263,35 @@ class MrhsStokesianDynamics:
             block_converged=block.converged,
             steps=steps,
             chunk_timings=sw.record(),
+            block_diagnostics=block.diagnostics,
+            fallback_columns=fallback,
         )
         self.chunks.append(record)
         return record
+
+    @staticmethod
+    def _log_step(chunk_index: int, k: int, step: StepRecord) -> None:
+        """Per-time-step convergence telemetry (the robustness layer's
+        observable for every future perf PR)."""
+        logger.debug(
+            "chunk %d step %d: 1st solve %d it, 2nd solve %d it, "
+            "converged=%s, guess_error=%s",
+            chunk_index,
+            k,
+            step.iterations_first,
+            step.iterations_second,
+            step.converged,
+            "n/a" if step.guess_error is None else f"{step.guess_error:.3e}",
+        )
+        for label, diag in (
+            ("1st", step.diagnostics_first),
+            ("2nd", step.diagnostics_second),
+        ):
+            if diag is not None and (diag.breakdown or not diag.converged):
+                logger.warning(
+                    "chunk %d step %d: %s solve %s",
+                    chunk_index, k, label, diag.summary(),
+                )
 
     def run(self, n_chunks: int) -> List[ChunkRecord]:
         """Advance ``n_chunks * m`` time steps."""

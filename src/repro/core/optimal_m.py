@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
 from repro.perfmodel.machine import MachineSpec
-from repro.perfmodel.mrhs_model import MrhsCostModel, SolverCounts
+from repro.perfmodel.mrhs_model import SolverCounts
 from repro.perfmodel.roofline import GspmvTimeModel
 from repro.stokesian.dynamics import SDParameters
 from repro.stokesian.particles import ParticleSystem

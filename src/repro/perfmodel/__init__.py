@@ -63,4 +63,6 @@ __all__ = [
     "SolverCounts",
     "simulated_seconds",
     "achieved_rates",
+    "measure_stream_bandwidth",
+    "measure_kernel_flops",
 ]

@@ -17,11 +17,22 @@ large-problem path is iterative:
   reuse (the paper's small-problem path, including its "reuse the factor
   from step 2 for step 3" optimization);
 * :mod:`repro.solvers.refine` — iterative refinement with a frozen
-  factorization (the paper's optimization for the second in-step solve).
+  factorization (the paper's optimization for the second in-step solve);
+* :mod:`repro.solvers.diagnostics` — the shared robustness layer: every
+  solver returns a :class:`SolveDiagnostics` (per-column residual
+  history, restarts, breakdown events, stagnation state) built by a
+  :class:`ConvergenceMonitor`, and the iterative solvers verify
+  convergence against the *true* residual with replacement/restart.
 """
 
 from repro.solvers.cg import CGResult, conjugate_gradient
 from repro.solvers.block_cg import BlockCGResult, block_conjugate_gradient
+from repro.solvers.diagnostics import (
+    BreakdownEvent,
+    ConvergenceMonitor,
+    RestartEvent,
+    SolveDiagnostics,
+)
 from repro.solvers.precond import (
     IdentityPreconditioner,
     JacobiPreconditioner,
@@ -37,6 +48,10 @@ __all__ = [
     "conjugate_gradient",
     "BlockCGResult",
     "block_conjugate_gradient",
+    "BreakdownEvent",
+    "ConvergenceMonitor",
+    "RestartEvent",
+    "SolveDiagnostics",
     "IdentityPreconditioner",
     "JacobiPreconditioner",
     "BlockJacobiPreconditioner",

@@ -14,31 +14,51 @@ The recurrences are the block generalization of CG:
     beta   = (R_old^T Z_old)^{-1} (R^T Z)
     P      = Z + P beta
 
-with ``Z = M^{-1} R``.  Two safeguards address the rank-deficiency
-problem O'Leary identified (cited by the paper as the reason block
-methods "have been avoided"):
+with ``Z = M^{-1} R``.  Four safeguards address the rank-deficiency
+and drift problems O'Leary identified (cited by the paper as the
+reason block methods "have been avoided"):
 
 * **column deflation** — converged columns are removed from the active
   block (their solutions are frozen), so the small systems never carry
   near-zero residual directions whose noise would stall the others;
-* the remaining ``m_act x m_act`` systems fall back to least-squares
-  when Cholesky detects residual rank deficiency (e.g. duplicated
-  right-hand sides), degrading gracefully instead of breaking down.
+* **residual replacement** — the *recurred* residual drifts away from
+  the true residual ``B - A X`` as the small systems lose rank, so the
+  true residual is recomputed on apparent convergence, periodically
+  (every ``replace_every`` iterations), and on stagnation; convergence
+  is only ever declared against the true residual;
+* **restarts** — when replacement reveals significant drift, or the
+  worst active column makes no progress for ``stagnation_window``
+  iterations, the Krylov process is restarted from the current
+  (replaced) residual, keeping the frozen deflation state.  Two
+  consecutive stagnation restarts without progress abort the solve
+  honestly instead of looping to ``max_iter``;
+* the remaining ``m_act x m_act`` systems are symmetrized and fall
+  back to least-squares when Cholesky detects rank deficiency (e.g.
+  duplicated right-hand sides); every such event is surfaced as a
+  :class:`~repro.solvers.diagnostics.BreakdownEvent` instead of being
+  swallowed silently.
 
 Convergence is judged per column (``||r_j|| <= tol * ||b_j||``); the
-iteration stops when every column has converged.
+iteration stops when every column has converged against the *true*
+residual.  The full event record is returned in
+``BlockCGResult.diagnostics``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.solvers.cg import DEFAULT_TOL
+from repro.solvers.diagnostics import ConvergenceMonitor, SolveDiagnostics
 
 __all__ = ["BlockCGResult", "block_conjugate_gradient"]
+
+_DRIFT_TOL = 0.1
+"""Relative recurred-vs-true residual mismatch above which the Krylov
+process is restarted from the replaced residual."""
 
 
 @dataclass(frozen=True)
@@ -51,36 +71,46 @@ class BlockCGResult:
     residual_norms: List[np.ndarray] = field(default_factory=list)
     """Per-iteration arrays of the m column residual norms."""
     gspmv_calls: int = 0
-    """Number of A-applications with the full block (the GSPMV count)."""
+    """Number of Krylov A-applications with the full block (the GSPMV
+    count: one for the initial residual plus one per iteration).
+    True-residual recomputations are counted separately in
+    ``diagnostics.matvecs``."""
+    diagnostics: Optional[SolveDiagnostics] = None
+    """Convergence record: restarts, breakdowns, stagnation, true
+    residual norms."""
 
     @property
     def final_residuals(self) -> np.ndarray:
         return self.residual_norms[-1] if self.residual_norms else np.array([])
 
 
-def _solve_small(G: np.ndarray, RHS: np.ndarray) -> np.ndarray:
+def _solve_small(G: np.ndarray, RHS: np.ndarray) -> Tuple[np.ndarray, bool]:
     """Solve the m x m system ``G Y = RHS`` robustly.
 
-    Uses Cholesky when ``G`` is comfortably positive definite, falling
-    back to least-squares (rank-revealing) when columns have nearly
-    converged and ``G`` is close to singular.
+    ``G`` is symmetrized first (both the alpha system ``P^T A P`` and
+    the beta system ``R^T Z`` are symmetric in exact arithmetic but not
+    in floating point).  Cholesky is used when ``G`` is comfortably
+    positive definite; near-singular or indefinite systems fall back to
+    rank-revealing least-squares and are reported as a breakdown so the
+    caller can surface the event rather than trusting the fallback
+    silently.
+
+    Returns ``(Y, breakdown)``.
     """
+    G = 0.5 * (G + G.T)
+    scale = float(np.max(np.abs(np.diag(G)), initial=0.0))
     try:
-        c, low = _cho_factor(G)
-        return _cho_solve((c, low), RHS)
+        L = np.linalg.cholesky(G)
     except np.linalg.LinAlgError:
-        return np.linalg.lstsq(G, RHS, rcond=None)[0]
-
-
-def _cho_factor(G):
-    L = np.linalg.cholesky(G)
-    return L, True
-
-
-def _cho_solve(factor, RHS):
-    L, _ = factor
+        return np.linalg.lstsq(G, RHS, rcond=None)[0], True
+    # Cholesky can succeed on a numerically singular matrix; a tiny
+    # pivot relative to the diagonal scale means the block has
+    # (nearly) lost rank and the triangular solves would amplify noise.
+    d = np.diag(L)
+    if scale > 0 and float(np.min(d)) ** 2 <= 1e-14 * scale:
+        return np.linalg.lstsq(G, RHS, rcond=None)[0], True
     y = np.linalg.solve(L, RHS)
-    return np.linalg.solve(L.T, y)
+    return np.linalg.solve(L.T, y), False
 
 
 def block_conjugate_gradient(
@@ -91,6 +121,8 @@ def block_conjugate_gradient(
     tol: float = DEFAULT_TOL,
     max_iter: Optional[int] = None,
     preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    replace_every: int = 50,
+    stagnation_window: int = 10,
 ) -> BlockCGResult:
     """Solve ``A X = B`` for SPD ``A`` and a block of right-hand sides.
 
@@ -104,11 +136,20 @@ def block_conjugate_gradient(
     X0:
         Initial guesses, shape ``(n, m)`` (zero if omitted).
     tol:
-        Per-column relative residual threshold.
+        Per-column relative residual threshold, applied to the *true*
+        residual ``||b_j - A x_j||``.
     max_iter:
         Iteration cap (default ``10 * n``).
     preconditioner:
         Callable applying ``M^{-1}`` column-wise to an ``(n, m)`` array.
+    replace_every:
+        Recompute the true residual at least every this many iterations
+        (residual replacement); set large to disable periodic
+        replacement (it still happens on apparent convergence and on
+        stagnation).
+    stagnation_window:
+        Iterations without relative progress of the worst active column
+        before a replacement + restart is forced.
     """
     B = np.asarray(B, dtype=np.float64)
     if B.ndim != 2:
@@ -120,6 +161,8 @@ def block_conjugate_gradient(
         max_iter = 10 * n
     if tol <= 0:
         raise ValueError("tol must be positive")
+    if replace_every < 1:
+        raise ValueError("replace_every must be >= 1")
     X = np.zeros((n, m)) if X0 is None else np.array(X0, dtype=np.float64, copy=True)
     if X.shape != (n, m):
         raise ValueError(f"X0 must have shape ({n}, {m})")
@@ -127,58 +170,147 @@ def block_conjugate_gradient(
     apply_m = preconditioner if preconditioner is not None else (lambda V: V)
     b_norms = np.linalg.norm(B, axis=0)
     stop = tol * np.where(b_norms > 0, b_norms, 1.0)
+    monitor = ConvergenceMonitor(
+        "block_cg", stop, stagnation_window=stagnation_window
+    )
 
     R_full = B - (A @ X)
     gspmv_calls = 1
-    res_hist = [np.linalg.norm(R_full, axis=0)]
-    if np.all(res_hist[0] <= stop):
+    monitor.count_matvec()
+    latest_rn = np.linalg.norm(R_full, axis=0)
+    res_hist = [latest_rn.copy()]
+    monitor.observe(latest_rn)
+    if np.all(latest_rn <= stop):
         return BlockCGResult(
             X=X, iterations=0, converged=True,
             residual_norms=res_hist, gspmv_calls=gspmv_calls,
+            diagnostics=monitor.finalize(
+                converged=True, true_residual_norms=latest_rn
+            ),
         )
 
     # Active-column bookkeeping: converged columns are deflated out.
-    act = np.flatnonzero(res_hist[0] > stop)
-    latest_rn = res_hist[0].copy()
+    act = np.flatnonzero(latest_rn > stop)
     R = R_full[:, act].copy()
     Z = apply_m(R)
     P = Z.copy()
     RZ = R.T @ Z
     it = 0
     converged = False
+    true_rn = latest_rn.copy()
+    since_replace = 0
+    stagnation_strikes = 0
+
+    def true_residual() -> np.ndarray:
+        """Recompute ``B - A X`` on the active columns (one GSPMV)."""
+        monitor.count_matvec()
+        return B[:, act] - (A @ X[:, act])
+
+    def restart(Rt: np.ndarray, reason: str):
+        """Rebuild the Krylov process from the (replaced) residual."""
+        monitor.record_restart(reason)
+        Zr = apply_m(Rt)
+        return Zr, Zr.copy(), Rt.T @ Zr
+
     while it < max_iter:
         AP = A @ P
         gspmv_calls += 1
-        G = P.T @ AP
-        # Symmetrize against floating-point asymmetry before factoring.
-        G = 0.5 * (G + G.T)
-        alpha = _solve_small(G, RZ)
+        monitor.count_matvec()
+        alpha, bd = _solve_small(P.T @ AP, RZ)
+        if bd:
+            monitor.record_breakdown(
+                "alpha_singular", f"P^T A P rank-deficient at m_act={len(act)}"
+            )
         X[:, act] += P @ alpha
         R -= AP @ alpha
         it += 1
+        since_replace += 1
         rn_act = np.linalg.norm(R, axis=0)
         latest_rn[act] = rn_act
         res_hist.append(latest_rn.copy())
-        still = rn_act > stop[act]
-        if not np.any(still):
-            converged = True
-            break
-        if not np.all(still):
-            # Deflate: freeze converged columns, shrink the block.
-            keep = np.flatnonzero(still)
-            act = act[keep]
-            R = R[:, keep]
-            P = P[:, keep]
-            RZ = RZ[np.ix_(keep, keep)]
+        monitor.observe(latest_rn, active=act)
+
+        apparent = rn_act <= stop[act]
+        stalled = monitor.stalled
+        periodic = since_replace >= replace_every
+        if apparent.any() or stalled or periodic:
+            # Residual replacement: never trust the recurrence for a
+            # convergence decision, and repair it when it has drifted.
+            Rt = true_residual()
+            rn_true = np.linalg.norm(Rt, axis=0)
+            drift = float(
+                np.max(np.abs(rn_true - rn_act) / np.maximum(rn_true, 1e-300))
+            )
+            since_replace = 0
+            latest_rn[act] = rn_true
+            res_hist[-1] = latest_rn.copy()
+            monitor.amend_last(latest_rn)
+            true_rn[act] = rn_true
+            conv_true = rn_true <= stop[act]
+            if conv_true.all():
+                converged = True
+                break
+            if conv_true.any():
+                # Deflate: freeze converged columns, shrink the block.
+                keep = np.flatnonzero(~conv_true)
+                act = act[keep]
+                Rt = Rt[:, keep]
+                P = P[:, keep]
+                RZ = RZ[np.ix_(keep, keep)]
+            R = Rt
+            if stalled:
+                if drift <= _DRIFT_TOL:
+                    stagnation_strikes += 1
+                else:
+                    stagnation_strikes = 0
+                if stagnation_strikes >= 2:
+                    # Two stagnation restarts with an honest residual
+                    # and still no progress: give up explicitly.
+                    monitor.record_breakdown(
+                        "stagnation",
+                        f"no progress over {stagnation_window}-iteration "
+                        f"window after {monitor.iteration} iterations",
+                    )
+                    monitor.mark_stagnated()
+                    break
+                Z, P, RZ = restart(R, "stagnation")
+                continue
+            if drift > _DRIFT_TOL or conv_true.any():
+                # The recurrence is no longer trustworthy (drift) or
+                # the block shrank with a replaced residual: restart
+                # the Krylov process around the frozen deflation state.
+                reason = "residual_drift" if drift > _DRIFT_TOL else "deflation"
+                Z, P, RZ = restart(R, reason)
+                continue
+            # Mild drift, nothing deflated: adopt the true residual and
+            # continue the existing recurrence.
+
         Z = apply_m(R)
         RZ_new = R.T @ Z
-        beta = _solve_small(0.5 * (RZ + RZ.T), RZ_new)
+        beta, bd = _solve_small(RZ, RZ_new)
+        if bd:
+            monitor.record_breakdown(
+                "beta_singular", f"R^T Z near-singular at m_act={len(act)}"
+            )
         RZ = RZ_new
         P = Z + P @ beta
+
+    if converged or it >= max_iter:
+        # Report the final true residual even when the cap was hit.
+        if not converged:
+            Rt = true_residual()
+            true_rn[act] = np.linalg.norm(Rt, axis=0)
+            latest_rn[act] = true_rn[act]
+            res_hist[-1] = latest_rn.copy()
+            monitor.amend_last(latest_rn)
+            converged = bool(np.all(true_rn <= stop))
     return BlockCGResult(
         X=X,
         iterations=it,
         converged=converged,
         residual_norms=res_hist,
         gspmv_calls=gspmv_calls,
+        diagnostics=monitor.finalize(
+            converged=converged, true_residual_norms=true_rn
+        ),
     )

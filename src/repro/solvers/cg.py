@@ -5,10 +5,15 @@ Figure 6 and Table V: "the conjugate gradient (CG) method was used and
 the iterations were stopped when the residual norm became less than
 1e-6 times the norm of the right-hand side."
 
-The implementation is deliberately textbook (preconditioned CG with a
-true-residual convergence check at the end), because its *iteration
-count as a function of initial-guess quality* is the observable the
-MRHS algorithm improves.
+The implementation is deliberately textbook (preconditioned CG),
+because its *iteration count as a function of initial-guess quality*
+is the observable the MRHS algorithm improves.  It shares the solver
+robustness layer (:mod:`repro.solvers.diagnostics`): convergence is
+verified against the *true* residual ``b - A x`` (not the recurrence),
+with residual replacement and a restart when the recurrence has
+drifted, and breakdown (``p^T A p <= 0``) is reported as an event in
+``CGResult.diagnostics`` instead of being silently folded into a
+non-converged flag.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 import numpy as np
+
+from repro.solvers.diagnostics import ConvergenceMonitor, SolveDiagnostics
 
 __all__ = ["CGResult", "conjugate_gradient"]
 
@@ -32,6 +39,8 @@ class CGResult:
     converged: bool
     residual_norms: List[float] = field(default_factory=list)
     """``||r||_2`` after each iteration, starting with the initial residual."""
+    diagnostics: Optional[SolveDiagnostics] = None
+    """Convergence record: restarts, breakdowns, true residual norm."""
 
     @property
     def final_residual(self) -> float:
@@ -61,7 +70,8 @@ def conjugate_gradient(
         Initial guess (zero if omitted) — the MRHS algorithm's entire
         benefit enters through this argument.
     tol:
-        Relative residual threshold ``||r|| <= tol * ||b||``.
+        Relative residual threshold ``||r|| <= tol * ||b||``, enforced
+        on the true residual.
     max_iter:
         Iteration cap (default ``10 * n``).
     preconditioner:
@@ -83,24 +93,44 @@ def conjugate_gradient(
 
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
-        return CGResult(x=np.zeros(n), iterations=0, converged=True, residual_norms=[0.0])
+        monitor = ConvergenceMonitor("cg", [0.0])
+        monitor.observe([0.0])
+        return CGResult(
+            x=np.zeros(n), iterations=0, converged=True, residual_norms=[0.0],
+            diagnostics=monitor.finalize(
+                converged=True, true_residual_norms=np.array([0.0])
+            ),
+        )
     stop = tol * b_norm
+    monitor = ConvergenceMonitor("cg", [stop])
 
     apply_m = preconditioner if preconditioner is not None else (lambda v: v)
     r = b - (A @ x)
+    monitor.count_matvec()
     res_norms = [float(np.linalg.norm(r))]
+    monitor.observe([res_norms[0]])
     if res_norms[0] <= stop:
-        return CGResult(x=x, iterations=0, converged=True, residual_norms=res_norms)
+        return CGResult(
+            x=x, iterations=0, converged=True, residual_norms=res_norms,
+            diagnostics=monitor.finalize(
+                converged=True, true_residual_norms=np.array([res_norms[0]])
+            ),
+        )
     z = apply_m(r)
     p = z.copy()
     rz = float(r @ z)
     it = 0
     converged = False
+    final_true: Optional[float] = None
     while it < max_iter:
         Ap = A @ p
+        monitor.count_matvec()
         pAp = float(p @ Ap)
         if pAp <= 0:
             # Not SPD along p (breakdown): report non-convergence honestly.
+            monitor.record_breakdown(
+                "indefinite_operator", f"p^T A p = {pAp:.3e} at iteration {it}"
+            )
             break
         alpha = rz / pAp
         x += alpha * p
@@ -108,14 +138,40 @@ def conjugate_gradient(
         it += 1
         rn = float(np.linalg.norm(r))
         res_norms.append(rn)
+        monitor.observe([rn])
         if callback is not None:
             callback(it, x)
         if rn <= stop:
-            converged = True
-            break
+            # Verify against the true residual before declaring victory;
+            # the recurrence can drift below tolerance while the actual
+            # residual has stalled above it.
+            r_true = b - (A @ x)
+            monitor.count_matvec()
+            rn_true = float(np.linalg.norm(r_true))
+            if rn_true <= stop:
+                converged = True
+                final_true = rn_true
+                break
+            # Residual replacement + restart from the honest residual.
+            r = r_true
+            res_norms[-1] = rn_true
+            monitor.amend_last([rn_true])
+            monitor.record_restart("residual_drift")
+            z = apply_m(r)
+            p = z.copy()
+            rz = float(r @ z)
+            continue
         z = apply_m(r)
         rz_new = float(r @ z)
         beta = rz_new / rz
         rz = rz_new
         p = z + beta * p
-    return CGResult(x=x, iterations=it, converged=converged, residual_norms=res_norms)
+    return CGResult(
+        x=x, iterations=it, converged=converged, residual_norms=res_norms,
+        diagnostics=monitor.finalize(
+            converged=converged,
+            true_residual_norms=(
+                None if final_true is None else np.array([final_true])
+            ),
+        ),
+    )

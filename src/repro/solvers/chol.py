@@ -57,6 +57,25 @@ class CholeskySolver:
             raise ValueError(f"b must have {self.n} rows")
         return sla.cho_solve(self._factor, b)
 
+    def solve_diagnosed(self, b: np.ndarray):
+        """Solve and return ``(x, SolveDiagnostics)``.
+
+        A direct solve has no iteration history; the diagnostics record
+        the true residual ``||L L^T x - b||`` per column so direct and
+        iterative paths report convergence through the same interface.
+        """
+        from repro.solvers.diagnostics import ConvergenceMonitor
+
+        x = self.solve(b)
+        b = np.asarray(b, dtype=np.float64)
+        B = b[:, None] if b.ndim == 1 else b
+        Xc = x[:, None] if x.ndim == 1 else x
+        resid = self.lower @ (self.lower.T @ Xc) - B
+        rn = np.linalg.norm(resid, axis=0)
+        monitor = ConvergenceMonitor("cholesky", np.zeros(B.shape[1]))
+        monitor.observe(rn)
+        return x, monitor.finalize(converged=True, true_residual_norms=rn)
+
     def sample_correlated(
         self, rng: RngLike = None, m: int = 1, z: Optional[np.ndarray] = None
     ) -> np.ndarray:

@@ -26,12 +26,14 @@ comparison bench quantifies this.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from repro.solvers.cg import CGResult, DEFAULT_TOL, conjugate_gradient
+from repro.solvers.diagnostics import BreakdownEvent
 
 __all__ = ["RecyclingCG"]
 
@@ -48,6 +50,7 @@ class RecyclingCG:
 
     basis_size: int = 8
     _basis: Optional[np.ndarray] = field(default=None, repr=False)
+    _projection_breakdown: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.basis_size < 1:
@@ -60,6 +63,7 @@ class RecyclingCG:
         n = b.shape[0]
         x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
         W = self._basis
+        self._projection_breakdown = False
         if W is None or W.shape[0] != n or W.shape[1] == 0:
             return x
         r = b - (A @ x)
@@ -69,7 +73,12 @@ class RecyclingCG:
         try:
             coeff = np.linalg.solve(G, W.T @ r)
         except np.linalg.LinAlgError:
+            # W^T A W lost rank (basis directions became linearly
+            # dependent): surface the breakdown and drop the stale
+            # basis so the next solve rebuilds it from scratch.
+            self._projection_breakdown = True
             coeff = np.linalg.lstsq(G, W.T @ r, rcond=None)[0]
+            self._basis = None
         return x + W @ coeff
 
     def solve(
@@ -93,6 +102,23 @@ class RecyclingCG:
             A, b, x0=x_defl, tol=tol, max_iter=max_iter, callback=harvest
         )
         self._refresh_basis(harvested)
+        # Relabel the diagnostics as ours, appending the projection
+        # breakdown (if any) so callers see the full event record.
+        diag = result.diagnostics
+        if diag is not None:
+            events = diag.breakdown_events
+            if self._projection_breakdown:
+                events = (
+                    BreakdownEvent(
+                        iteration=0,
+                        kind="projection_singular",
+                        detail="recycled basis W^T A W rank-deficient; basis dropped",
+                    ),
+                ) + events
+            diag = dataclasses.replace(
+                diag, solver="recycling_cg", breakdown_events=events
+            )
+            result = dataclasses.replace(result, diagnostics=diag)
         return result
 
     # ------------------------------------------------------------------

@@ -11,7 +11,10 @@ step."
 Given an approximate solver ``apply_inv`` (e.g. the Cholesky factor of
 a *nearby* matrix ``R_k`` used against ``R_{k+1/2}``), refinement
 iterates ``x += apply_inv(b - A x)`` until the true residual passes the
-tolerance.
+tolerance.  Refinement always works with the true residual, so no
+replacement is needed; divergence (the contraction factor exceeding 1)
+and stagnation are detected and surfaced as breakdown events in
+``RefinementResult.diagnostics``.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.solvers.cg import DEFAULT_TOL
+from repro.solvers.diagnostics import ConvergenceMonitor, SolveDiagnostics
 
 __all__ = ["RefinementResult", "iterative_refinement"]
 
@@ -32,6 +36,8 @@ class RefinementResult:
     iterations: int
     converged: bool
     residual_norms: List[float]
+    diagnostics: Optional[SolveDiagnostics] = None
+    """Convergence record: divergence/stagnation events, residual history."""
 
 
 def iterative_refinement(
@@ -67,17 +73,43 @@ def iterative_refinement(
         raise ValueError("tol must be positive")
     b_norm = float(np.linalg.norm(b))
     stop = tol * (b_norm if b_norm > 0 else 1.0)
+    monitor = ConvergenceMonitor("iterative_refinement", [stop])
     r = b - (A @ x)
+    monitor.count_matvec()
     norms = [float(np.linalg.norm(r))]
+    monitor.observe(norms)
     it = 0
     converged = norms[0] <= stop
     while not converged and it < max_iter:
         x += apply_inv(r)
         r = b - (A @ x)
+        monitor.count_matvec()
         it += 1
         norms.append(float(np.linalg.norm(r)))
+        monitor.observe([norms[-1]])
         converged = norms[-1] <= stop
-        # Divergence guard: if refinement is not contracting, stop honestly.
-        if it >= 2 and norms[-1] > 2.0 * norms[-3]:
+        if converged:
             break
-    return RefinementResult(x=x, iterations=it, converged=converged, residual_norms=norms)
+        # Divergence guard: if refinement is not contracting, stop
+        # honestly — the frozen factor is too far from A.
+        if it >= 2 and norms[-1] > 2.0 * norms[-3]:
+            monitor.record_breakdown(
+                "divergence",
+                f"residual grew {norms[-1]:.3e} > 2 x {norms[-3]:.3e}; "
+                "approximate inverse is not a contraction",
+            )
+            break
+        if monitor.stalled:
+            monitor.record_breakdown(
+                "stagnation",
+                "refinement residual stopped contracting before tolerance",
+            )
+            monitor.mark_stagnated()
+            break
+    return RefinementResult(
+        x=x, iterations=it, converged=converged, residual_norms=norms,
+        diagnostics=monitor.finalize(
+            converged=converged,
+            true_residual_norms=np.array([norms[-1]]),
+        ),
+    )

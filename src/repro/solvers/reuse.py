@@ -89,9 +89,26 @@ class ReusedPreconditioner:
             self.reuses += 1
         return self._current
 
-    def observe(self, iterations: int) -> None:
-        """Report the iteration count of the solve that used ``get()``'s
-        result; schedules a rebuild when convergence has degraded."""
+    def observe(self, iterations) -> None:
+        """Report the solve that used ``get()``'s result; schedules a
+        rebuild when convergence has degraded.
+
+        Accepts a plain iteration count, or any solver result /
+        :class:`~repro.solvers.diagnostics.SolveDiagnostics` carrying
+        ``iterations`` — in which case a reported breakdown, stagnation
+        or non-convergence also forces a rebuild (a stale factor is the
+        first suspect when a solve goes bad).
+        """
+        if not isinstance(iterations, (int, np.integer)):
+            diag = getattr(iterations, "diagnostics", None) or iterations
+            count = int(getattr(diag, "iterations"))
+            if (
+                getattr(diag, "breakdown", False)
+                or getattr(diag, "stagnated", False)
+                or not getattr(diag, "converged", True)
+            ):
+                self._needs_rebuild = True
+            iterations = count
         if iterations < 0:
             raise ValueError("iterations must be non-negative")
         if self._best_iterations is None or iterations < self._best_iterations:

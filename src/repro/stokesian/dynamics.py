@@ -21,12 +21,13 @@ harnesses can print the same rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Literal, Optional
 
 import numpy as np
 
 from repro.solvers.cg import CGResult, conjugate_gradient
+from repro.solvers.diagnostics import SolveDiagnostics
 from repro.solvers.precond import BlockJacobiPreconditioner
 from repro.sparse.bcrs import BCRSMatrix
 from repro.sparse.kernels import Engine
@@ -108,6 +109,10 @@ class StepRecord:
     guess_error: Optional[float] = None
     """``||u - u_guess|| / ||u||`` of the first solve, when a guess was
     supplied (the Figure 5 observable)."""
+    diagnostics_first: Optional[SolveDiagnostics] = None
+    """Convergence record of the first in-step solve."""
+    diagnostics_second: Optional[SolveDiagnostics] = None
+    """Convergence record of the second (midpoint) solve."""
 
 
 class StokesianDynamics:
@@ -314,6 +319,8 @@ class StokesianDynamics:
             midpoint_scale=mid_scale,
             final_scale=final_scale,
             guess_error=guess_error,
+            diagnostics_first=res1.diagnostics,
+            diagnostics_second=res2.diagnostics,
         )
         self.step_index += 1
         self.history.append(record)

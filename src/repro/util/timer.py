@@ -8,6 +8,7 @@ uses one to produce the per-phase breakdowns of Tables VI and VII
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -22,7 +23,10 @@ class TimingRecord:
     counts: Mapping[str, int]
 
     def total(self) -> float:
-        return float(sum(self.phases.values()))
+        # fsum over sorted keys: exact and order-independent, so
+        # a.merged(b).total() == b.merged(a).total() regardless of dict
+        # insertion order.
+        return math.fsum(self.phases[k] for k in sorted(self.phases))
 
     def fraction(self, phase: str) -> float:
         """Fraction of total time spent in ``phase`` (0 if total is 0)."""

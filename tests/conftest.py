@@ -2,10 +2,8 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.sparse.bcrs import BCRSMatrix
-from repro.sparse.convert import bcrs_from_scipy
 
 
 def random_bcrs(

@@ -2,10 +2,8 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
 from repro.core.original import run_comparison
 from repro.core.timing import (
     PAPER_PHASES,

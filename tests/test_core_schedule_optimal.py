@@ -9,7 +9,6 @@ from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
 from repro.perfmodel.machine import SANDY_BRIDGE, WESTMERE
 from repro.stokesian.dynamics import SDParameters, StokesianDynamics
 from repro.stokesian.packing import random_configuration
-from repro.stokesian.resistance import build_resistance_matrix
 from tests.conftest import random_bcrs
 
 

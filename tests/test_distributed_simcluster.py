@@ -10,7 +10,6 @@ from repro.perfmodel.machine import CLUSTER_NODE
 from repro.sparse.gspmv import gspmv
 from repro.stokesian.packing import random_configuration
 from repro.stokesian.resistance import build_resistance_matrix
-from tests.conftest import random_bcrs
 
 
 @pytest.fixture(scope="module")

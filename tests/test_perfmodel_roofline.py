@@ -1,6 +1,5 @@
 """Tests for the GSPMV roofline model (repro.perfmodel.roofline)."""
 
-import numpy as np
 import pytest
 
 from repro.perfmodel.machine import SANDY_BRIDGE, WESTMERE

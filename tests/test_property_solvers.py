@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.solvers.block_cg import block_conjugate_gradient
 from repro.solvers.cg import conjugate_gradient
 from repro.solvers.chol import CholeskySolver
-from repro.solvers.precond import BlockJacobiPreconditioner, JacobiPreconditioner
 from repro.solvers.refine import iterative_refinement
 
 

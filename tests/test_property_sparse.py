@@ -3,7 +3,6 @@
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra import numpy as hnp
 
 from repro.sparse.bcrs import BCRSMatrix
 from repro.sparse.convert import bcrs_from_scipy, bcrs_to_scipy

@@ -1,0 +1,174 @@
+"""Deterministic regressions for block-CG robustness.
+
+Pins the Hypothesis falsifying example that exposed the stagnation bug
+(`tests/test_property_solvers.py::TestBlockCGProperties::
+test_block_solution_correct`, case n=13 / case-seed 41 / log-cond 4.0,
+B from rng seed 128, tol 1e-8): the recurred residual drifted below
+tolerance while the true residual stalled near 5e-7, so the solver
+looped to ``max_iter`` and reported ``converged=False``.  The fix —
+residual replacement plus drift/stagnation restarts around the frozen
+deflation state — must keep this case converging with a *true*
+residual below tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.solvers.block_cg import block_conjugate_gradient
+from repro.solvers.diagnostics import SolveDiagnostics
+
+
+def ill_conditioned_spd(n, seed, log_cond):
+    """The spd_systems recipe from the property suite, pinned."""
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    lam = np.logspace(0, log_cond, n)
+    A = (Q * lam) @ Q.T
+    return 0.5 * (A + A.T)
+
+
+def true_relative_residuals(A, B, X):
+    return np.linalg.norm(B - A @ X, axis=0) / np.linalg.norm(B, axis=0)
+
+
+PINNED_N = 13
+PINNED_CASE_SEED = 41
+PINNED_LOG_COND = 4.0
+PINNED_B_SEED = 128
+PINNED_M = 3
+PINNED_TOL = 1e-8
+
+
+@pytest.fixture()
+def pinned_case():
+    A = ill_conditioned_spd(PINNED_N, PINNED_CASE_SEED, PINNED_LOG_COND)
+    B = np.random.default_rng(PINNED_B_SEED).standard_normal((PINNED_N, PINNED_M))
+    return A, B
+
+
+class TestPinnedStagnationCase:
+    def test_converges_with_true_residual(self, pinned_case):
+        A, B = pinned_case
+        res = block_conjugate_gradient(
+            A, B, tol=PINNED_TOL, max_iter=20 * PINNED_N
+        )
+        assert res.converged
+        rel = true_relative_residuals(A, B, res.X)
+        np.testing.assert_array_less(rel, PINNED_TOL)
+
+    def test_does_not_loop_to_cap(self, pinned_case):
+        """The old bug burned all 260 iterations; the robust solver
+        needs a small multiple of n at most."""
+        A, B = pinned_case
+        res = block_conjugate_gradient(
+            A, B, tol=PINNED_TOL, max_iter=20 * PINNED_N
+        )
+        assert res.iterations <= 3 * PINNED_N
+
+    def test_diagnostics_attached(self, pinned_case):
+        A, B = pinned_case
+        res = block_conjugate_gradient(
+            A, B, tol=PINNED_TOL, max_iter=20 * PINNED_N
+        )
+        diag = res.diagnostics
+        assert isinstance(diag, SolveDiagnostics)
+        assert diag.converged
+        assert diag.n_columns == PINNED_M
+        assert diag.true_residual_norms is not None
+        np.testing.assert_array_less(
+            diag.true_residual_norms, PINNED_TOL * np.linalg.norm(B, axis=0)
+        )
+        # Recurrence drift on this case forces at least one replacement
+        # beyond the Krylov applications.
+        assert diag.matvecs > res.gspmv_calls
+
+
+class TestTrueResidualContract:
+    """Every converged result satisfies ||B - A X|| <= tol * ||b_j||
+    per column, measured from scratch — not from the recurrence."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 41, 99])
+    @pytest.mark.parametrize("log_cond", [1.0, 3.0, 4.0])
+    def test_converged_implies_true_residual(self, seed, log_cond):
+        n, m, tol = 13, 3, 1e-8
+        A = ill_conditioned_spd(n, seed, log_cond)
+        B = np.random.default_rng(seed + 1000).standard_normal((n, m))
+        res = block_conjugate_gradient(A, B, tol=tol, max_iter=20 * n)
+        if res.converged:
+            rel = true_relative_residuals(A, B, res.X)
+            np.testing.assert_array_less(rel, tol)
+        else:
+            # An honest failure must be flagged, not silent.
+            diag = res.diagnostics
+            assert diag.stagnated or diag.breakdown or res.iterations >= 20 * n
+
+    def test_final_history_row_is_true_residual(self, pinned_case):
+        A, B = pinned_case
+        res = block_conjugate_gradient(
+            A, B, tol=PINNED_TOL, max_iter=20 * PINNED_N
+        )
+        rn = np.linalg.norm(B - A @ res.X, axis=0)
+        np.testing.assert_allclose(
+            res.residual_norms[-1], rn, rtol=1e-6, atol=1e-14
+        )
+
+
+class TestBreakdownSurfacing:
+    def test_duplicate_rhs_reports_breakdown(self):
+        """Identical columns make the small systems rank-deficient;
+        the least-squares fallback must be *surfaced*, not silent."""
+        rng = np.random.default_rng(5)
+        n = 24
+        A = ill_conditioned_spd(n, 5, 2.0)
+        b = rng.standard_normal(n)
+        B = np.column_stack([b, b, 2 * b])
+        res = block_conjugate_gradient(A, B, tol=1e-8, max_iter=10 * n)
+        diag = res.diagnostics
+        assert diag.breakdown
+        kinds = {e.kind for e in diag.breakdown_events}
+        assert kinds & {"alpha_singular", "beta_singular"}
+        # ... and the solutions are still correct.
+        for j, scale in enumerate([1.0, 1.0, 2.0]):
+            resid = np.linalg.norm(scale * b - A @ res.X[:, j])
+            assert resid <= 1e-6 * np.linalg.norm(scale * b)
+
+    def test_breakdown_events_carry_iteration_and_kind(self):
+        rng = np.random.default_rng(6)
+        n = 18
+        A = ill_conditioned_spd(n, 6, 2.0)
+        b = rng.standard_normal(n)
+        B = np.column_stack([b, b])
+        res = block_conjugate_gradient(A, B, tol=1e-8, max_iter=10 * n)
+        for e in res.diagnostics.breakdown_events:
+            assert e.iteration >= 0
+            assert e.kind
+            assert e.detail
+
+
+class TestRestartAccounting:
+    def test_restart_events_recorded_on_hard_case(self):
+        """A case with strong residual drift must restart (or break
+        down honestly) rather than loop to the cap."""
+        n, m = 13, 3
+        A = ill_conditioned_spd(n, PINNED_CASE_SEED, PINNED_LOG_COND)
+        hard = None
+        for seed in range(200):
+            B = np.random.default_rng(seed).standard_normal((n, m))
+            res = block_conjugate_gradient(A, B, tol=1e-10, max_iter=20 * n)
+            if res.diagnostics.restarts > 0:
+                hard = res
+                break
+        assert hard is not None, "expected at least one drift restart at tol=1e-10"
+        for e in hard.diagnostics.restart_events:
+            assert e.iteration >= 0
+            assert e.reason in {"residual_drift", "stagnation", "deflation"}
+
+    def test_gspmv_accounting_excludes_replacements(self, pinned_case):
+        """gspmv_calls keeps its seed meaning (Krylov applications:
+        iterations + 1); replacements appear only in diagnostics."""
+        A, B = pinned_case
+        res = block_conjugate_gradient(
+            A, B, tol=PINNED_TOL, max_iter=20 * PINNED_N
+        )
+        assert res.gspmv_calls == res.iterations + 1
+        assert res.diagnostics.matvecs >= res.gspmv_calls

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.solvers.cg import CGResult, conjugate_gradient
+from repro.solvers.cg import conjugate_gradient
 from repro.solvers.precond import BlockJacobiPreconditioner, JacobiPreconditioner
 from tests.conftest import random_bcrs
 

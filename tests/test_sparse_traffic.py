@@ -1,6 +1,5 @@
 """Tests for the memory-traffic/flop accounting (repro.sparse.traffic)."""
 
-import numpy as np
 import pytest
 
 from repro.sparse.bcrs import BCRSMatrix

@@ -1,6 +1,5 @@
 """Tests for the integrator drift study (repro.stokesian.drift)."""
 
-import numpy as np
 import pytest
 
 from repro.stokesian.drift import drift_difference, ensemble_drift, two_sphere_system
