@@ -34,10 +34,16 @@ Subpackages
 ``repro.distributed``
     Simulated message passing, partitioners, communication plans, and
     the multi-node GSPMV time model.
+``repro.resilience``
+    Checkpoint/restart (bit-exact resume), deterministic fault
+    injection, and the resilient runner with retry/degradation
+    policies.
 """
 
 from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
 from repro.core.original import run_comparison
+from repro.resilience import CheckpointManager, FaultPlan, FaultSpec
+from repro.resilience.runner import ResilientRunner, resume_driver
 from repro.sparse.bcrs import BCRSMatrix
 from repro.sparse.gspmv import gspmv
 from repro.sparse.spmv import spmv
@@ -60,5 +66,10 @@ __all__ = [
     "random_configuration",
     "ParticleSystem",
     "build_resistance_matrix",
+    "CheckpointManager",
+    "FaultPlan",
+    "FaultSpec",
+    "ResilientRunner",
+    "resume_driver",
     "__version__",
 ]

@@ -12,6 +12,14 @@ Small, scriptable entry points over the library's main workflows:
     Build and save a packed configuration (reusable workload).
 ``sweep``
     Sweep the number of right-hand sides and report the best m.
+``resume``
+    Continue a checkpointed ``simulate`` run (bit-exact) from the
+    newest loadable checkpoint in a directory, or a specific file.
+
+``simulate`` grows a resilient mode: passing ``--checkpoint-every`` /
+``--checkpoint-dir`` runs the MRHS driver under the
+:class:`~repro.resilience.runner.ResilientRunner` with periodic
+checkpoints, so a killed process can be continued with ``resume``.
 """
 
 from __future__ import annotations
@@ -37,6 +45,49 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--m", type=int, default=8, help="right-hand sides")
     sim.add_argument("--chunks", type=int, default=1, help="MRHS chunks to run")
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="total time steps for resilient runs (default chunks*m)",
+    )
+    sim.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint every N steps (enables the resilient runner)",
+    )
+    sim.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint directory (enables the resilient runner)",
+    )
+    sim.add_argument(
+        "--out", default=None, help="save the final configuration (.npz)"
+    )
+    # Simulated process kill after a given global step (failure drills
+    # and the kill-and-resume tests).
+    sim.add_argument("--die-after", type=int, default=None, help=argparse.SUPPRESS)
+
+    res = sub.add_parser("resume", help="continue a checkpointed run")
+    res.add_argument(
+        "checkpoint", help="checkpoint .npz file or checkpoint directory"
+    )
+    res.add_argument(
+        "--steps",
+        type=int,
+        required=True,
+        help="run until this global step index",
+    )
+    res.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="keep checkpointing every N steps while resumed",
+    )
+    res.add_argument(
+        "--out", default=None, help="save the final configuration (.npz)"
+    )
+    res.add_argument("--die-after", type=int, default=None, help=argparse.SUPPRESS)
 
     roof = sub.add_parser("roofline", help="GSPMV model for a matrix shape")
     roof.add_argument("--nb", type=int, default=300_000, help="block rows")
@@ -62,7 +113,127 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_run_summary(driver, report, manager, out) -> None:
+    import hashlib
+
+    import numpy as np
+
+    sd = driver.sd if hasattr(driver, "sd") else driver
+    print(
+        f"completed {report.steps_completed} steps "
+        f"(global step {sd.step_index}); retries={report.retries}, "
+        f"dt_backoffs={report.dt_backoffs}, "
+        f"degradations={report.degradations or '[]'}"
+    )
+    if manager is not None and manager.latest() is not None:
+        print(f"latest checkpoint: {manager.latest()}")
+    digest = hashlib.sha256(
+        np.ascontiguousarray(sd.system.positions).tobytes()
+    ).hexdigest()
+    print(f"positions sha256: {digest}")
+    if out:
+        from repro.io import save_system
+
+        save_system(out, sd.system)
+        print(f"saved final configuration to {out}")
+
+
+def _kill_plan(args):
+    from repro.resilience import FaultPlan, FaultSpec
+
+    if args.die_after is None:
+        return None
+    return FaultPlan(
+        specs=(
+            FaultSpec(site="runner.abort", at={"step": int(args.die_after)}),
+        ),
+        seed=args.seed if hasattr(args, "seed") else 0,
+    )
+
+
+def _simulate_resilient(args) -> int:
+    from repro import (
+        MrhsParameters,
+        MrhsStokesianDynamics,
+        SDParameters,
+        random_configuration,
+    )
+    from repro.resilience import (
+        CheckpointManager,
+        ResilientRunner,
+        SimulationKilled,
+    )
+
+    n_steps = args.steps if args.steps is not None else args.chunks * args.m
+    system = random_configuration(args.n, args.phi, rng=args.seed)
+    driver = MrhsStokesianDynamics(
+        system, SDParameters(), MrhsParameters(m=args.m), rng=args.seed + 1
+    )
+    manager = CheckpointManager(args.checkpoint_dir or "checkpoints")
+    runner = ResilientRunner(
+        driver,
+        manager=manager,
+        checkpoint_every=args.checkpoint_every,
+        injector=_kill_plan(args),
+    )
+    try:
+        report = runner.run_steps(n_steps)
+    except SimulationKilled as exc:
+        print(f"killed: {exc}; checkpoints remain in {manager.directory}")
+        return 3
+    _print_run_summary(driver, report, manager, args.out)
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from pathlib import Path
+
+    from repro.resilience import (
+        CheckpointManager,
+        ResilientRunner,
+        SimulationKilled,
+        resume_driver,
+    )
+
+    target = Path(args.checkpoint)
+    if target.is_dir():
+        manager = CheckpointManager(target)
+        state, meta, path = manager.load_latest()
+    else:
+        manager = CheckpointManager(target.parent)
+        state, meta = manager.load(target)
+        path = target
+    driver = resume_driver(state)
+    sd = driver.sd if hasattr(driver, "sd") else driver
+    print(
+        f"resumed {meta.get('kind')} run from {path} "
+        f"at global step {sd.step_index}"
+    )
+    remaining = args.steps - int(sd.step_index)
+    if remaining < 0:
+        print(
+            f"error: checkpoint is already past step {args.steps}",
+            file=sys.stderr,
+        )
+        return 2
+    runner = ResilientRunner(
+        driver,
+        manager=manager,
+        checkpoint_every=args.checkpoint_every,
+        injector=_kill_plan(args),
+    )
+    try:
+        report = runner.run_steps(remaining)
+    except SimulationKilled as exc:
+        print(f"killed: {exc}; checkpoints remain in {manager.directory}")
+        return 3
+    _print_run_summary(driver, report, manager, args.out)
+    return 0
+
+
 def _cmd_simulate(args) -> int:
+    if args.checkpoint_every or args.checkpoint_dir is not None:
+        return _simulate_resilient(args)
     from repro import SDParameters, random_configuration, run_comparison
     from repro.core.timing import average_breakdown
     from repro.util.tables import format_table
@@ -174,6 +345,7 @@ _COMMANDS = {
     "roofline": _cmd_roofline,
     "pack": _cmd_pack,
     "sweep": _cmd_sweep,
+    "resume": _cmd_resume,
 }
 
 

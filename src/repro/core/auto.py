@@ -13,7 +13,9 @@ amortized step times — and runs the chunk at that size.
 from __future__ import annotations
 
 import logging
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
+
+import numpy as np
 
 from repro.core.mrhs import ChunkRecord, MrhsParameters, MrhsStokesianDynamics
 from repro.core.schedule import AdaptiveM
@@ -104,3 +106,45 @@ class AutoMrhsStokesianDynamics:
 
     def total_steps(self) -> int:
         return sum(c.m for c in self.chunks)
+
+    # ------------------------------------------------------------------
+    # checkpointable state
+    # ------------------------------------------------------------------
+    def get_state(self) -> Dict[str, Any]:
+        """Serializable state: the inner driver plus the m history.
+
+        The policy object itself is not serialized (policies may hold
+        arbitrary callables); pass an equivalently-configured policy to
+        :meth:`from_state` when resuming.
+        """
+        return {
+            "kind": "auto",
+            "driver": self._driver.get_state(),
+            "chosen_ms": np.array(self.chosen_ms, dtype=np.int64),
+            "m_cap": self.m_cap,
+        }
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        if state.get("kind") != "auto":
+            raise ValueError(
+                f"not an AutoMrhsStokesianDynamics state: {state.get('kind')!r}"
+            )
+        self._driver.set_state(state["driver"])
+        self.m_cap = int(state["m_cap"])
+        self.chosen_ms = [int(v) for v in state["chosen_ms"]]
+        self.block_diagnostics = [None] * len(self.chosen_ms)
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, Any], *, policy=None, forces=None
+    ) -> "AutoMrhsStokesianDynamics":
+        driver = MrhsStokesianDynamics.from_state(state["driver"], forces=forces)
+        obj = cls.__new__(cls)
+        obj.policy = policy
+        obj.m_cap = int(state["m_cap"])
+        obj._driver = driver
+        obj.chosen_ms = [int(v) for v in state["chosen_ms"]]
+        obj.block_diagnostics = [None] * len(obj.chosen_ms)
+        if policy is None:
+            obj.policy = AdaptiveM(m=4, m_max=obj.m_cap)
+        return obj

@@ -37,14 +37,21 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.resilience.faults import BlockSolveBroken, fire_fault
 from repro.solvers.block_cg import BlockCGResult, block_conjugate_gradient
 from repro.solvers.cg import conjugate_gradient
 from repro.solvers.diagnostics import SolveDiagnostics
-from repro.stokesian.dynamics import SDParameters, StepRecord, StokesianDynamics
+from repro.stokesian.dynamics import (
+    SDParameters,
+    StepRecord,
+    StokesianDynamics,
+    records_from_state,
+    records_to_state,
+)
 from repro.stokesian.particles import ParticleSystem
 from repro.util.rng import RngLike
 from repro.util.timer import Stopwatch, TimingRecord
@@ -92,6 +99,13 @@ class ChunkRecord:
     fallback_columns: List[int] = field(default_factory=list)
     """Guess columns re-solved by single-RHS CG after the block solve
     reported breakdown or failed its true-residual check."""
+    degradations: List[int] = field(default_factory=list)
+    """Chunk sizes this chunk was degraded *to* (``m -> m/2 -> ...``)
+    after repeated block-solve breakdown; empty for a healthy chunk.
+    The recorded :attr:`m` is the size the chunk actually ran at."""
+    retries: int = 0
+    """In-chunk step retries performed by a resilient runner (dt
+    backoff after non-finite positions or overlaps)."""
 
     @property
     def guess_errors(self) -> List[Optional[float]]:
@@ -112,6 +126,31 @@ class ChunkRecord:
     def average_step_time(self) -> float:
         """The Tables VI/VII bottom row: chunk cost amortized per step."""
         return self.total_time() / self.m
+
+
+@dataclass
+class _PendingChunk:
+    """Mutable mid-chunk state (checkpointable, see :meth:`get_state`).
+
+    Exists from :meth:`MrhsStokesianDynamics.begin_chunk` (block solve
+    done) until the last in-chunk step completes, at which point it is
+    frozen into a :class:`ChunkRecord`.
+    """
+
+    chunk_index: int
+    m: int
+    Z: np.ndarray
+    U: np.ndarray
+    block_iterations: int
+    block_gspmv_calls: int
+    block_converged: bool
+    block_diagnostics: Optional[SolveDiagnostics]
+    fallback_columns: List[int]
+    chunk_timings: TimingRecord
+    steps: List[StepRecord] = field(default_factory=list)
+    k: int = 0
+    retries: int = 0
+    degradations: List[int] = field(default_factory=list)
 
 
 class MrhsStokesianDynamics:
@@ -146,6 +185,7 @@ class MrhsStokesianDynamics:
         self.sd = StokesianDynamics(system, params, rng=rng, forces=forces)
         self.mrhs = mrhs
         self.chunks: List[ChunkRecord] = []
+        self._pending: Optional[_PendingChunk] = None
 
     # ------------------------------------------------------------------
     @property
@@ -158,7 +198,7 @@ class MrhsStokesianDynamics:
 
     # ------------------------------------------------------------------
     def _solve_block(
-        self, R0, rhs: np.ndarray
+        self, R0, rhs: np.ndarray, *, chunk_index: Optional[int] = None
     ) -> tuple[BlockCGResult, List[int]]:
         """Run the augmented block solve with single-RHS CG fallback.
 
@@ -167,7 +207,21 @@ class MrhsStokesianDynamics:
         re-solved by plain CG (seeded with the block solve's partial
         solution).  Returns the (possibly repaired) result and the list
         of fallback column indices.
+
+        Raises :class:`~repro.resilience.faults.BlockSolveBroken` when
+        an armed fault plan targets ``mrhs.block_breakdown`` for this
+        chunk — the hook the resilient runner's m-degradation policy
+        tests against.
         """
+        index = len(self.chunks) if chunk_index is None else chunk_index
+        fault = fire_fault(
+            "mrhs.block_breakdown", chunk=index, m=rhs.shape[1]
+        )
+        if fault is not None:
+            raise BlockSolveBroken(
+                f"injected block-solve breakdown in chunk {index} "
+                f"(m={rhs.shape[1]})"
+            )
         tol = self.mrhs.block_tol or self.params.tol
         precond = self.sd.make_preconditioner(R0)
         block = block_conjugate_gradient(
@@ -224,13 +278,16 @@ class MrhsStokesianDynamics:
         result, _ = self._solve_block(R0, rhs)
         return F_B, result, result.X
 
-    def run_chunk(self, m: Optional[int] = None) -> ChunkRecord:
-        """Advance one full Algorithm 2 chunk of ``m`` time steps.
+    def begin_chunk(self, m: Optional[int] = None) -> _PendingChunk:
+        """Steps 1-3 of Algorithm 2: assemble, Brownian block, block solve.
 
-        ``m`` defaults to the driver's :class:`MrhsParameters`; passing
-        a value overrides it for this chunk only (the hook the adaptive
-        scheduling driver uses).
+        Leaves the driver with a pending chunk; advance it one time
+        step at a time with :meth:`step_in_chunk` (the resilient runner
+        and checkpoint layer drive this directly) or all at once with
+        :meth:`run_chunk`.
         """
+        if self._pending is not None:
+            raise RuntimeError("a chunk is already in progress")
         m = self.mrhs.m if m is None else int(m)
         if m < 1:
             raise ValueError("m must be >= 1")
@@ -247,27 +304,75 @@ class MrhsStokesianDynamics:
             # The deterministic force at the chunk-start configuration
             # seeds every column (f^P drifts as slowly as R does).
             rhs = -F_B + self.sd.external_forces()[:, None]
-            block, fallback = self._solve_block(R0, rhs)
-        U = block.X
-
-        steps = []
-        for k in range(m):
-            step = self.sd.step(z=Z[:, k], u_guess=U[:, k].copy())
-            self._log_step(len(self.chunks), k, step)
-            steps.append(step)
-        record = ChunkRecord(
+            block, fallback = self._solve_block(
+                R0, rhs, chunk_index=len(self.chunks)
+            )
+        self._pending = _PendingChunk(
             chunk_index=len(self.chunks),
             m=m,
+            Z=Z,
+            U=block.X,
             block_iterations=block.iterations,
             block_gspmv_calls=block.gspmv_calls,
             block_converged=block.converged,
-            steps=steps,
-            chunk_timings=sw.record(),
             block_diagnostics=block.diagnostics,
             fallback_columns=fallback,
+            chunk_timings=sw.record(),
+        )
+        return self._pending
+
+    @property
+    def pending(self) -> Optional[_PendingChunk]:
+        """The in-progress chunk, if any (``None`` at chunk boundaries)."""
+        return self._pending
+
+    def step_in_chunk(self) -> StepRecord:
+        """Advance one time step of the pending chunk (steps 4-14).
+
+        Finishing the last step freezes the chunk into a
+        :class:`ChunkRecord` and clears the pending state.
+        """
+        p = self._pending
+        if p is None:
+            raise RuntimeError("no chunk in progress; call begin_chunk first")
+        step = self.sd.step(z=p.Z[:, p.k], u_guess=p.U[:, p.k].copy())
+        self._log_step(p.chunk_index, p.k, step)
+        p.steps.append(step)
+        p.k += 1
+        if p.k == p.m:
+            self._finish_chunk()
+        return step
+
+    def _finish_chunk(self) -> ChunkRecord:
+        p = self._pending
+        record = ChunkRecord(
+            chunk_index=p.chunk_index,
+            m=p.m,
+            block_iterations=p.block_iterations,
+            block_gspmv_calls=p.block_gspmv_calls,
+            block_converged=p.block_converged,
+            steps=list(p.steps),
+            chunk_timings=p.chunk_timings,
+            block_diagnostics=p.block_diagnostics,
+            fallback_columns=list(p.fallback_columns),
+            degradations=list(p.degradations),
+            retries=p.retries,
         )
         self.chunks.append(record)
+        self._pending = None
         return record
+
+    def run_chunk(self, m: Optional[int] = None) -> ChunkRecord:
+        """Advance one full Algorithm 2 chunk of ``m`` time steps.
+
+        ``m`` defaults to the driver's :class:`MrhsParameters`; passing
+        a value overrides it for this chunk only (the hook the adaptive
+        scheduling driver uses).
+        """
+        self.begin_chunk(m)
+        while self._pending is not None:
+            self.step_in_chunk()
+        return self.chunks[-1]
 
     @staticmethod
     def _log_step(chunk_index: int, k: int, step: StepRecord) -> None:
@@ -311,3 +416,164 @@ class MrhsStokesianDynamics:
         total = sum(c.total_time() for c in self.chunks)
         steps = sum(c.m for c in self.chunks)
         return total / steps
+
+    # ------------------------------------------------------------------
+    # checkpointable state
+    # ------------------------------------------------------------------
+    def get_state(self) -> Dict[str, Any]:
+        """Full serializable driver state, including mid-chunk position.
+
+        A checkpoint taken between two in-chunk steps stores the block
+        solve's noise ``Z`` and guess matrix ``U``, so resuming replays
+        the remaining steps bit-for-bit without re-running the block
+        solve (whose diagnostics, being telemetry, are dropped).
+        """
+        state: Dict[str, Any] = {
+            "kind": "mrhs",
+            "sd": self.sd.get_state(),
+            "m": self.mrhs.m,
+            "block_tol": self.mrhs.block_tol,
+            "chunks": _chunks_to_state(self.chunks),
+            "pending": None,
+        }
+        p = self._pending
+        if p is not None:
+            state["pending"] = {
+                "chunk_index": p.chunk_index,
+                "m": p.m,
+                "k": p.k,
+                "Z": p.Z.copy(),
+                "U": p.U.copy(),
+                "block_iterations": p.block_iterations,
+                "block_gspmv_calls": p.block_gspmv_calls,
+                "block_converged": p.block_converged,
+                "fallback_columns": list(p.fallback_columns),
+                "retries": p.retries,
+                "degradations": list(p.degradations),
+                "steps": records_to_state(p.steps),
+                "timings_phases": dict(p.chunk_timings.phases),
+                "timings_counts": dict(p.chunk_timings.counts),
+            }
+        return state
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`get_state` in place (bit-exact trajectory)."""
+        if state.get("kind") != "mrhs":
+            raise ValueError(
+                f"not an MrhsStokesianDynamics state: {state.get('kind')!r}"
+            )
+        self.sd.set_state(state["sd"])
+        block_tol = state.get("block_tol")
+        self.mrhs = MrhsParameters(
+            m=int(state["m"]),
+            block_tol=None if block_tol is None else float(block_tol),
+        )
+        self.chunks = _chunks_from_state(state["chunks"])
+        pend = state.get("pending")
+        if pend is None:
+            self._pending = None
+        else:
+            self._pending = _PendingChunk(
+                chunk_index=int(pend["chunk_index"]),
+                m=int(pend["m"]),
+                Z=np.asarray(pend["Z"], dtype=np.float64),
+                U=np.asarray(pend["U"], dtype=np.float64),
+                block_iterations=int(pend["block_iterations"]),
+                block_gspmv_calls=int(pend["block_gspmv_calls"]),
+                block_converged=bool(pend["block_converged"]),
+                block_diagnostics=None,
+                fallback_columns=[int(j) for j in pend["fallback_columns"]],
+                chunk_timings=TimingRecord(
+                    phases=dict(pend["timings_phases"]),
+                    counts={k: int(v) for k, v in pend["timings_counts"].items()},
+                ),
+                steps=records_from_state(pend["steps"]),
+                k=int(pend["k"]),
+                retries=int(pend["retries"]),
+                degradations=[int(v) for v in pend["degradations"]],
+            )
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, Any], *, forces=None
+    ) -> "MrhsStokesianDynamics":
+        """Reconstruct a driver from a checkpointed state."""
+        sd = StokesianDynamics.from_state(state["sd"], forces=forces)
+        driver = cls.__new__(cls)
+        driver.sd = sd
+        driver.mrhs = MrhsParameters(m=1)
+        driver.chunks = []
+        driver._pending = None
+        driver.set_state(state)
+        return driver
+
+
+# ----------------------------------------------------------------------
+# ChunkRecord summaries (checkpoint payloads)
+# ----------------------------------------------------------------------
+def _ragged_to_state(lists: List[List[int]]) -> Dict[str, np.ndarray]:
+    return {
+        "flat": np.array(
+            [v for sub in lists for v in sub], dtype=np.int64
+        ),
+        "counts": np.array([len(sub) for sub in lists], dtype=np.int64),
+    }
+
+
+def _ragged_from_state(state: Dict[str, np.ndarray]) -> List[List[int]]:
+    out: List[List[int]] = []
+    offset = 0
+    flat = state["flat"]
+    for count in state["counts"]:
+        out.append([int(v) for v in flat[offset : offset + int(count)]])
+        offset += int(count)
+    return out
+
+
+def _chunks_to_state(chunks: List[ChunkRecord]) -> Dict[str, Any]:
+    return {
+        "chunk_index": np.array([c.chunk_index for c in chunks], dtype=np.int64),
+        "m": np.array([c.m for c in chunks], dtype=np.int64),
+        "block_iterations": np.array(
+            [c.block_iterations for c in chunks], dtype=np.int64
+        ),
+        "block_gspmv_calls": np.array(
+            [c.block_gspmv_calls for c in chunks], dtype=np.int64
+        ),
+        "block_converged": np.array(
+            [c.block_converged for c in chunks], dtype=bool
+        ),
+        "retries": np.array([c.retries for c in chunks], dtype=np.int64),
+        "steps_per_chunk": np.array([len(c.steps) for c in chunks], dtype=np.int64),
+        "steps": records_to_state([s for c in chunks for s in c.steps]),
+        "fallback": _ragged_to_state([c.fallback_columns for c in chunks]),
+        "degradations": _ragged_to_state([c.degradations for c in chunks]),
+    }
+
+
+def _chunks_from_state(state: Dict[str, Any]) -> List[ChunkRecord]:
+    steps = records_from_state(state["steps"])
+    fallback = _ragged_from_state(state["fallback"])
+    degradations = _ragged_from_state(state["degradations"])
+    empty = TimingRecord(phases={}, counts={})
+    out: List[ChunkRecord] = []
+    offset = 0
+    for i in range(len(state["chunk_index"])):
+        n_steps = int(state["steps_per_chunk"][i])
+        out.append(
+            ChunkRecord(
+                chunk_index=int(state["chunk_index"][i]),
+                m=int(state["m"][i]),
+                block_iterations=int(state["block_iterations"][i]),
+                block_gspmv_calls=int(state["block_gspmv_calls"][i]),
+                block_converged=bool(state["block_converged"][i]),
+                steps=steps[offset : offset + n_steps],
+                chunk_timings=empty,
+                block_diagnostics=None,
+                fallback_columns=fallback[i],
+                degradations=degradations[i],
+                retries=int(state["retries"][i]),
+            )
+        )
+        offset += n_steps
+    return out

@@ -19,6 +19,7 @@ proportionately with the number of vectors, m."  — Section IV.A2.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -27,7 +28,20 @@ import numpy as np
 from repro.distributed.partition import Partition
 from repro.sparse.bcrs import BCRSMatrix
 
-__all__ = ["CommunicationPlan", "build_comm_plan"]
+__all__ = ["CommunicationPlan", "build_comm_plan", "block_checksum"]
+
+
+def block_checksum(payload: np.ndarray) -> int:
+    """CRC-32 over a boundary payload's shape and bytes.
+
+    The verified distributed exchange sends this alongside every
+    boundary-block message; a mismatch on the receiving side marks the
+    block corrupted-in-transit and triggers a bounded re-request
+    (see :class:`repro.distributed.simcluster.DistributedGspmv`).
+    """
+    a = np.ascontiguousarray(payload)
+    crc = zlib.crc32(repr(a.shape).encode())
+    return zlib.crc32(a.tobytes(), crc) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True)

@@ -28,8 +28,13 @@ from typing import List
 
 import numpy as np
 
-from repro.distributed.comm import CommunicationPlan, build_comm_plan
+from repro.distributed.comm import CommunicationPlan, block_checksum, build_comm_plan
 from repro.distributed.mpi_sim import MpiSim
+from repro.resilience.faults import (
+    ExchangeCorruptionError,
+    active_injector,
+    fire_fault,
+)
 from repro.distributed.netmodel import NetworkSpec
 from repro.distributed.partition import Partition
 from repro.perfmodel.machine import MachineSpec
@@ -66,11 +71,40 @@ def _local_submatrix(
 
 
 class DistributedGspmv:
-    """Numerically exact GSPMV distributed over simulated ranks."""
+    """Numerically exact GSPMV distributed over simulated ranks.
 
-    def __init__(self, A: BCRSMatrix, partition: Partition) -> None:
+    Parameters
+    ----------
+    A, partition:
+        Global matrix and row partition.
+    verify_exchange:
+        Attach a CRC-32 checksum (:func:`~repro.distributed.comm.block_checksum`)
+        to every boundary-block message and verify it on receipt.
+        Corrupted blocks are re-requested from their owner for up to
+        ``max_repair_rounds`` status/resend rounds; a block that stays
+        corrupt raises :class:`~repro.resilience.faults.ExchangeCorruptionError`
+        (the point where a real system declares the sender failed).
+        Off by default: the unverified path is byte-identical to the
+        seed implementation.
+    max_repair_rounds:
+        Bounded re-request budget per GSPMV.
+    """
+
+    def __init__(
+        self,
+        A: BCRSMatrix,
+        partition: Partition,
+        *,
+        verify_exchange: bool = False,
+        max_repair_rounds: int = 2,
+    ) -> None:
         if A.nb_rows != A.nb_cols:
             raise ValueError("matrix must be block-square")
+        if max_repair_rounds < 0:
+            raise ValueError("max_repair_rounds must be non-negative")
+        self.verify_exchange = bool(verify_exchange)
+        self.max_repair_rounds = int(max_repair_rounds)
+        self.last_exchange: dict = {"corrupted": [], "repaired": []}
         self.A = A
         self.partition = partition
         self.plan: CommunicationPlan = build_comm_plan(A, partition)
@@ -120,30 +154,117 @@ class DistributedGspmv:
         own_rows = self._own_rows
         col_maps = self._col_maps
 
+        verify = self.verify_exchange
+        max_rounds = self.max_repair_rounds
+
+        def send_boundary(ctx, dest, *, rnd, data_tag, crc_tag):
+            """One boundary-block message (checksum computed pre-fault,
+            so in-transit corruption is detectable)."""
+            payload = Xb[plan.send_cols[ctx.rank][dest]]
+            crc = block_checksum(payload)
+            fault = fire_fault(
+                "comm.exchange", src=ctx.rank, dest=dest, round=rnd
+            )
+            if fault is not None:
+                payload = fault.mutate(payload, active_injector().rng)
+            ctx.send(dest, tag=data_tag, payload=payload)
+            ctx.send(
+                dest, tag=crc_tag, payload=np.array([crc], dtype=np.uint64)
+            )
+
         def program(ctx):
+            ctx.exchange_log = []
             r = ctx.rank
             own = own_rows[r]
+            sends = sorted(plan.send_cols[r])
+            recvs = sorted(plan.recv_cols[r])
             # Post all sends first (nonblocking style).
-            for dest in sorted(plan.send_cols[r]):
-                cols = plan.send_cols[r][dest]
-                ctx.send(dest, tag=0, payload=Xb[cols])
+            for dest in sends:
+                if verify:
+                    send_boundary(ctx, dest, rnd=0, data_tag=0, crc_tag=1)
+                else:
+                    payload = Xb[plan.send_cols[r][dest]]
+                    fault = fire_fault(
+                        "comm.exchange", src=r, dest=dest, round=0
+                    )
+                    if fault is not None:
+                        payload = fault.mutate(payload, active_injector().rng)
+                    ctx.send(dest, tag=0, payload=payload)
             # Local X blocks land at the front of the local numbering.
             n_local_cols = len(col_maps[r])
             X_local = np.zeros((n_local_cols, b, m))
             X_local[: len(own)] = Xb[own]
             # Receive boundary blocks in deterministic source order.
             offset = len(own)
-            for src in sorted(plan.recv_cols[r]):
+            offsets = {}
+            bad = []
+            for src in recvs:
                 payload = yield ctx.recv(src, tag=0)
                 k = payload.shape[0]
+                offsets[src] = offset
                 X_local[offset : offset + k] = payload
                 offset += k
+                if verify:
+                    crc = yield ctx.recv(src, tag=1)
+                    if block_checksum(payload) != int(crc[0]):
+                        bad.append(src)
+                        ctx.exchange_log.append(("corrupted", src, r, 0))
+            if verify:
+                # Bounded repair: every round exchanges a status message
+                # on *every* boundary edge (so no rank can deadlock
+                # waiting for a peer that finished early), then resends
+                # exactly the requested blocks.
+                for rnd in range(1, max_rounds + 1):
+                    status_tag = 3 * rnd
+                    data_tag = 3 * rnd + 1
+                    crc_tag = 3 * rnd + 2
+                    for src in recvs:
+                        flag = 1 if src in bad else 0
+                        ctx.send(
+                            src,
+                            tag=status_tag,
+                            payload=np.array([flag], dtype=np.int64),
+                        )
+                    for dest in sends:
+                        status = yield ctx.recv(dest, tag=status_tag)
+                        if int(status[0]):
+                            send_boundary(
+                                ctx, dest,
+                                rnd=rnd, data_tag=data_tag, crc_tag=crc_tag,
+                            )
+                    still_bad = []
+                    for src in recvs:
+                        if src not in bad:
+                            continue
+                        payload = yield ctx.recv(src, tag=data_tag)
+                        crc = yield ctx.recv(src, tag=crc_tag)
+                        k = payload.shape[0]
+                        X_local[offsets[src] : offsets[src] + k] = payload
+                        if block_checksum(payload) != int(crc[0]):
+                            still_bad.append(src)
+                            ctx.exchange_log.append(("corrupted", src, r, rnd))
+                        else:
+                            ctx.exchange_log.append(("repaired", src, r, rnd))
+                    bad = still_bad
+                if bad:
+                    raise ExchangeCorruptionError(
+                        f"rank {r}: boundary blocks from ranks {bad} stayed "
+                        f"corrupt after {max_rounds} repair rounds; "
+                        "declaring sender(s) failed"
+                    )
             Y_local = gspmv(locals_[r], X_local.reshape(n_local_cols * b, m))
             ctx.result = Y_local
 
         sim = MpiSim(p)
         contexts = sim.run(program)
         self.last_traffic = sim.total_traffic()
+        events = [
+            e for c in contexts for e in getattr(c, "exchange_log", [])
+        ]
+        self.last_exchange = {
+            "corrupted": [e[1:] for e in events if e[0] == "corrupted"],
+            "repaired": [e[1:] for e in events if e[0] == "repaired"],
+        }
 
         Y = np.empty((self.A.n_rows, m))
         for r in range(p):
@@ -220,7 +341,11 @@ class MultiNodeTimeModel:
     def rank_time(self, rank: int, m: int) -> float:
         tc = self.compute_time(rank, m)
         tm = self.comm_time(rank, m)
-        return max(tc, tm) if self.overlap else tc + tm
+        t = max(tc, tm) if self.overlap else tc + tm
+        fault = fire_fault("cluster.straggler", rank=rank, m=m)
+        if fault is not None:
+            t *= fault.factor
+        return t
 
     def time(self, m: int) -> float:
         """``T(m, p)``: the slowest rank bounds the step."""

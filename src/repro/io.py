@@ -4,10 +4,18 @@ NPZ-based, dependency-free serialization so workloads (e.g. the Table I
 matrices, packed configurations that took minutes to relax) can be
 built once and reused across benchmark sessions or shared between
 machines.
+
+All writers go through :func:`atomic_savez`: the archive is written to
+a temporary file in the destination directory, flushed to disk, and
+moved into place with ``os.replace`` — a crash mid-write can never
+leave a truncated, unloadable file under the destination name (the
+resilience layer's checkpoints depend on the same guarantee).
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 from typing import Union
 
@@ -17,6 +25,7 @@ from repro.sparse.bcrs import BCRSMatrix
 from repro.stokesian.particles import ParticleSystem
 
 __all__ = [
+    "atomic_savez",
     "save_bcrs",
     "load_bcrs",
     "save_system",
@@ -26,9 +35,51 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
+def atomic_savez(
+    path: PathLike,
+    *,
+    compress: bool = True,
+    fsync: bool = True,
+    **arrays: np.ndarray,
+) -> Path:
+    """``np.savez(_compressed)`` with write-to-temp + ``os.replace``.
+
+    The temporary file lives in the destination directory so the final
+    rename stays within one filesystem (and therefore atomic).  On any
+    failure the temporary file is removed and the destination — if it
+    existed — is left untouched.
+
+    ``compress=False`` and ``fsync=False`` trade durability-vs-speed:
+    checkpoints use both because their cost budget is a few percent of
+    one time step, their threat model is process death (where the page
+    cache survives), and torn disk state is caught by the checkpoint
+    checksum plus the keep-K retention fallback.  Long-lived artifacts
+    (matrices, packed configurations) keep the durable defaults.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    writer = np.savez_compressed if compress else np.savez
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            writer(fh, **arrays)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
 def save_bcrs(path: PathLike, A: BCRSMatrix) -> None:
-    """Serialize a BCRS matrix to ``.npz``."""
-    np.savez_compressed(
+    """Serialize a BCRS matrix to ``.npz`` (atomically)."""
+    atomic_savez(
         path,
         kind="bcrs",
         row_ptr=A.row_ptr,
@@ -52,8 +103,8 @@ def load_bcrs(path: PathLike) -> BCRSMatrix:
 
 
 def save_system(path: PathLike, system: ParticleSystem) -> None:
-    """Serialize a particle system to ``.npz``."""
-    np.savez_compressed(
+    """Serialize a particle system to ``.npz`` (atomically)."""
+    atomic_savez(
         path,
         kind="particle_system",
         positions=system.positions,

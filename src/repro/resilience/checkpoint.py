@@ -1,0 +1,354 @@
+"""Atomic, versioned, checksummed run checkpoints.
+
+A checkpoint is the full serializable state of a simulation driver —
+particle system, RNG bit-generator states, step index, MRHS chunk
+position, and accumulated per-step/per-chunk summaries — packed into a
+single NPZ archive.  The contract that everything else builds on:
+
+* **Crash safety.**  Writes go through :func:`repro.io.atomic_savez`
+  (temp file + ``os.replace``), so the checkpoint directory never
+  contains a torn file under a checkpoint name.
+* **Corruption detection.**  A SHA-256 digest over every array's bytes
+  (and the JSON state tree) is stored inside the archive and verified
+  on load; a flipped bit raises :class:`CheckpointCorruptionError`
+  instead of resuming from garbage.
+* **Versioning.**  ``meta/format_version`` gates loaders; unknown
+  versions are refused loudly.
+* **Bit-exact resume.**  Restoring a driver from a checkpoint and
+  continuing reproduces the uninterrupted trajectory bit-for-bit
+  (tested for both :class:`~repro.stokesian.dynamics.StokesianDynamics`
+  and :class:`~repro.core.mrhs.MrhsStokesianDynamics`), because the
+  state includes the RNG bit-generator states, the cached Chebyshev
+  spectrum bounds with their refresh age, and — mid-chunk — the block
+  solve's noise ``Z`` and guess matrix ``U``.
+
+The state itself is a JSON-friendly nested dict whose ndarray leaves
+are concatenated byte-exactly into a single blob entry while scalars,
+strings and ``None`` ride in a JSON tree indexing into it
+(:func:`pack_state` / :func:`unpack_state`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import threading
+import zipfile
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.io import atomic_savez
+from repro.util.rng import rng_from_json, rng_state_to_json  # noqa: F401  (re-export)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointCorruptionError",
+    "CheckpointManager",
+    "pack_state",
+    "unpack_state",
+    "rng_state_to_json",
+    "rng_from_json",
+]
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+_TREE_KEY = "__tree__"
+_BLOB_KEY = "__blob__"
+_CHECKSUM_KEY = "__checksum__"
+_ARRAY_TAG = "__array__"
+
+
+class CheckpointCorruptionError(RuntimeError):
+    """The checkpoint file is unreadable or fails its checksum."""
+
+
+# ----------------------------------------------------------------------
+# state tree <-> NPZ arrays
+# ----------------------------------------------------------------------
+def pack_state(state: Mapping[str, Any]) -> Dict[str, np.ndarray]:
+    """Flatten a nested state dict into NPZ-ready arrays.
+
+    ndarray leaves are concatenated byte-exactly into **one** ``uint8``
+    blob (a zip entry per array would dominate the checkpoint budget —
+    a driver state holds dozens of small record arrays); the remaining
+    structure — dicts, lists, scalars, strings, ``None`` — rides in a
+    JSON tree whose ``{"__array__": {dtype, shape, offset, nbytes}}``
+    placeholders index into the blob.
+    """
+    chunks: List[bytes] = []
+    offset = 0
+
+    def encode(obj: Any) -> Any:
+        nonlocal offset
+        if isinstance(obj, np.ndarray):
+            if obj.dtype == object:
+                raise TypeError("cannot checkpoint an object array")
+            raw = np.ascontiguousarray(obj).tobytes()
+            spec = {
+                "dtype": str(obj.dtype),
+                "shape": list(obj.shape),
+                "offset": offset,
+                "nbytes": len(raw),
+            }
+            chunks.append(raw)
+            offset += len(raw)
+            return {_ARRAY_TAG: spec}
+        if isinstance(obj, dict):
+            return {str(k): encode(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [encode(v) for v in obj]
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if obj is None or isinstance(obj, (bool, int, float, str)):
+            return obj
+        raise TypeError(f"cannot checkpoint value of type {type(obj).__name__}")
+
+    tree = encode(dict(state))
+    return {
+        _TREE_KEY: np.array(json.dumps(tree)),
+        _BLOB_KEY: np.frombuffer(b"".join(chunks), dtype=np.uint8),
+    }
+
+
+def unpack_state(arrays: Mapping[str, np.ndarray]) -> Dict[str, Any]:
+    """Inverse of :func:`pack_state`."""
+    tree = json.loads(str(arrays[_TREE_KEY][()]))
+    blob = np.asarray(arrays[_BLOB_KEY]).tobytes()
+
+    def decode(obj: Any) -> Any:
+        if isinstance(obj, dict):
+            if set(obj) == {_ARRAY_TAG}:
+                spec = obj[_ARRAY_TAG]
+                raw = blob[spec["offset"] : spec["offset"] + spec["nbytes"]]
+                return np.frombuffer(raw, dtype=np.dtype(spec["dtype"])).reshape(
+                    spec["shape"]
+                ).copy()
+            return {k: decode(v) for k, v in obj.items()}
+        if isinstance(obj, list):
+            return [decode(v) for v in obj]
+        return obj
+
+    return decode(tree)
+
+
+def _digest(arrays: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over every stored array's identity, dtype, shape, bytes."""
+    h = hashlib.sha256()
+    for key in sorted(arrays):
+        if key == _CHECKSUM_KEY:
+            continue
+        a = np.ascontiguousarray(arrays[key])
+        h.update(key.encode())
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# manager
+# ----------------------------------------------------------------------
+class CheckpointManager:
+    """Writes, retains, verifies, and loads run checkpoints.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory (created if missing).
+    keep:
+        Retention: only the ``keep`` most recent checkpoints are kept
+        on disk (older ones are pruned after each successful save).
+    prefix:
+        Filename prefix; files are ``<prefix>-<step:09d>.npz``.
+    """
+
+    def __init__(
+        self, directory: PathLike, *, keep: int = 3, prefix: str = "ckpt"
+    ) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        if not prefix or "/" in prefix:
+            raise ValueError("prefix must be a non-empty bare name")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = int(keep)
+        self.prefix = prefix
+        self._queue: Optional[queue.Queue] = None
+        self._worker: Optional[threading.Thread] = None
+        self._worker_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}-{step:09d}.npz"
+
+    def checkpoints(self) -> List[Path]:
+        """Existing checkpoint files, oldest first."""
+        return sorted(self.directory.glob(f"{self.prefix}-*.npz"))
+
+    def latest(self) -> Optional[Path]:
+        found = self.checkpoints()
+        return found[-1] if found else None
+
+    # ------------------------------------------------------------------
+    def save(self, state: Mapping[str, Any], *, step: int) -> Path:
+        """Atomically write ``state`` as the checkpoint for ``step``."""
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        payload = {
+            "meta": {
+                "format_version": FORMAT_VERSION,
+                "step": int(step),
+                "kind": str(state.get("kind", "unknown")),
+            },
+            "state": dict(state),
+        }
+        arrays = pack_state(payload)
+        arrays[_CHECKSUM_KEY] = np.array(_digest(arrays))
+        # Uncompressed and without fsync: a checkpoint must cost a few
+        # percent of one step; deflate and fsync dominate the write at
+        # that budget, and neither buys anything against the layer's
+        # threat model (process death + checksum-verified load).
+        path = atomic_savez(
+            self.path_for(step), compress=False, fsync=False, **arrays
+        )
+        self._prune()
+        return path
+
+    def save_async(self, state: Mapping[str, Any], *, step: int) -> Path:
+        """Queue ``state`` for writing on the background writer thread.
+
+        The caller pays only for the enqueue — the driver's
+        ``get_state()`` snapshot is already a full copy, so the
+        pack/digest/write pipeline runs safely off the critical path
+        (async checkpointing; this is how the <5%-of-a-step overhead
+        budget is met).  Call :meth:`flush` to wait for queued writes;
+        a failed background write re-raises there (or on the next
+        ``save_async``).  Returns the path the checkpoint will land at.
+        """
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        self._raise_worker_error()
+        if self._worker is None or not self._worker.is_alive():
+            self._queue = queue.Queue()
+            self._worker = threading.Thread(
+                target=self._drain, name="checkpoint-writer", daemon=True
+            )
+            self._worker.start()
+        self._queue.put((dict(state), int(step)))
+        return self.path_for(step)
+
+    def flush(self) -> None:
+        """Block until every queued async checkpoint is on disk."""
+        if self._queue is not None:
+            self._queue.join()
+        self._raise_worker_error()
+
+    def _drain(self) -> None:
+        while True:
+            state, step = self._queue.get()
+            try:
+                self.save(state, step=step)
+            except BaseException as exc:  # noqa: BLE001 - reported on flush
+                self._worker_error = exc
+            finally:
+                self._queue.task_done()
+
+    def _raise_worker_error(self) -> None:
+        exc, self._worker_error = self._worker_error, None
+        if exc is not None:
+            raise exc
+
+    def _prune(self) -> None:
+        found = self.checkpoints()
+        for old in found[: max(0, len(found) - self.keep)]:
+            try:
+                old.unlink()
+            except OSError:  # pragma: no cover - racing cleanup is benign
+                pass
+
+    # ------------------------------------------------------------------
+    def load(self, path: Optional[PathLike] = None) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Load and verify a checkpoint; returns ``(state, meta)``.
+
+        ``path`` defaults to the most recent checkpoint.  Raises
+        :class:`CheckpointCorruptionError` for truncated archives,
+        checksum mismatches, or unknown format versions, and
+        :class:`FileNotFoundError` when there is nothing to load.
+        """
+        if path is None:
+            path = self.latest()
+            if path is None:
+                raise FileNotFoundError(
+                    f"no checkpoints under {self.directory}"
+                )
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                arrays = {k: np.asarray(data[k]) for k in data.files}
+        except FileNotFoundError:
+            raise
+        except (zipfile.BadZipFile, ValueError, KeyError, OSError, EOFError) as exc:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} is unreadable: {exc}"
+            ) from exc
+        if not {_CHECKSUM_KEY, _TREE_KEY, _BLOB_KEY} <= set(arrays):
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} is missing its checksum or state tree"
+            )
+        stored = str(arrays[_CHECKSUM_KEY][()])
+        if _digest(arrays) != stored:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} failed its content checksum"
+            )
+        payload = unpack_state(arrays)
+        meta = payload.get("meta", {})
+        version = meta.get("format_version")
+        if version != FORMAT_VERSION:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} has format version {version!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        return payload["state"], meta
+
+    def load_latest(self, *, fallback: bool = True) -> Tuple[Dict[str, Any], Dict[str, Any], Path]:
+        """Load the newest *loadable* checkpoint.
+
+        With ``fallback`` (default), a corrupt newest checkpoint is
+        skipped and older ones are tried — the recovery path after a
+        crash plus disk corruption.  Returns ``(state, meta, path)``.
+        """
+        found = self.checkpoints()
+        if not found:
+            raise FileNotFoundError(f"no checkpoints under {self.directory}")
+        last_error: Optional[Exception] = None
+        for path in reversed(found):
+            try:
+                state, meta = self.load(path)
+                return state, meta, path
+            except CheckpointCorruptionError as exc:
+                last_error = exc
+                if not fallback:
+                    raise
+        raise CheckpointCorruptionError(
+            f"all {len(found)} checkpoints under {self.directory} are "
+            f"corrupt; last error: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    def overhead_estimate(self) -> Dict[str, float]:
+        """Size-on-disk summary (bytes) for telemetry/benchmarks."""
+        sizes = [p.stat().st_size for p in self.checkpoints()]
+        return {
+            "count": float(len(sizes)),
+            "total_bytes": float(sum(sizes)),
+            "mean_bytes": float(np.mean(sizes)) if sizes else 0.0,
+        }

@@ -1,0 +1,70 @@
+"""Recovery-policy knobs and the runner's failure taxonomy.
+
+The policies encode the recovery state machine documented in
+DESIGN.md §9:
+
+* **Step retry** (:class:`RetryPolicy`) — a step that produces
+  non-finite positions or overlapping particles is rolled back to the
+  pre-step shadow snapshot and retried with ``dt`` multiplied by
+  ``dt_backoff``; after ``heal_streak`` consecutive healthy steps the
+  step size is doubled back toward its original value.
+* **MRHS degradation** (:class:`DegradePolicy`) — a chunk whose block
+  solve breaks down ``max_block_attempts`` times in a row is retried
+  with ``m`` halved (``m -> m/2 -> ... -> min_m``), rewinding the noise
+  stream so the degraded chunk consumes exactly the noise it uses.
+
+Both policies are bounded: when the budget is exhausted the runner
+raises :class:`ResilienceExhausted` instead of looping forever — an
+honest failure beats a silent hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "DegradePolicy", "ResilienceExhausted"]
+
+
+class ResilienceExhausted(RuntimeError):
+    """All bounded recovery budgets were spent without a healthy step."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded step retry with dt-halving backoff."""
+
+    max_retries: int = 3
+    """Consecutive retries of one step before giving up."""
+    dt_backoff: float = 0.5
+    """Multiplier applied to ``dt`` on each retry."""
+    heal_streak: int = 5
+    """Healthy steps required before ``dt`` is doubled back."""
+    overlap_tol: float = 1e-9
+    """Surface-gap slack below which a pair counts as overlapping
+    (relative to the mean radius)."""
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if not 0 < self.dt_backoff < 1:
+            raise ValueError("dt_backoff must be in (0, 1)")
+        if self.heal_streak < 1:
+            raise ValueError("heal_streak must be >= 1")
+        if self.overlap_tol < 0:
+            raise ValueError("overlap_tol must be non-negative")
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Graceful MRHS degradation ``m -> m/2 -> ... -> min_m``."""
+
+    max_block_attempts: int = 2
+    """Block-solve attempts at one chunk size before halving ``m``."""
+    min_m: int = 1
+    """Floor of the degradation ladder (1 = plain Algorithm 1 guesses)."""
+
+    def __post_init__(self) -> None:
+        if self.max_block_attempts < 1:
+            raise ValueError("max_block_attempts must be >= 1")
+        if self.min_m < 1:
+            raise ValueError("min_m must be >= 1")

@@ -1,0 +1,338 @@
+"""Resilient execution of simulation drivers.
+
+:class:`ResilientRunner` wraps either Stokesian dynamics driver and
+adds the recovery machinery long campaigns need:
+
+* a pre-step **shadow snapshot** (in-memory ``get_state()``) so a step
+  that produces non-finite positions, overlapping particles, or a
+  numerical exception is rolled back and retried with ``dt`` backed
+  off — then healed back to the original ``dt`` after a healthy streak;
+* **graceful MRHS degradation**: a chunk whose auxiliary block solve
+  breaks repeatedly is rewound and retried at ``m/2``, halving until it
+  succeeds (recorded in ``ChunkRecord.degradations``);
+* **periodic checkpoints** through a
+  :class:`~repro.resilience.checkpoint.CheckpointManager`, taken at
+  step granularity — including *mid-chunk* for the MRHS driver — so a
+  killed process resumes bit-exactly;
+* optional **fault-plan arming** for deterministic failure drills.
+
+The runner drives chunked drivers one time step at a time via
+``begin_chunk``/``step_in_chunk``, so every policy (retry, checkpoint,
+abort) applies uniformly to both algorithms.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.faults import (
+    BlockSolveBroken,
+    FaultEvent,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    SimulationKilled,
+    arm,
+    disarm,
+    fire_fault,
+)
+from repro.resilience.policies import DegradePolicy, ResilienceExhausted, RetryPolicy
+from repro.stokesian.neighbors import neighbor_pairs
+from repro.stokesian.particles import ParticleSystem
+
+__all__ = [
+    "ResilientRunner",
+    "RunReport",
+    "resume_driver",
+    "has_overlaps",
+]
+
+logger = logging.getLogger(__name__)
+
+
+def has_overlaps(system: ParticleSystem, rel_tol: float = 1e-9) -> bool:
+    """True when any pair overlaps beyond ``rel_tol * mean_radius``."""
+    nl = neighbor_pairs(system, max_gap=0.0)
+    if nl.n_pairs == 0:
+        return False
+    gaps = nl.dist - (system.radii[nl.i] + system.radii[nl.j])
+    return bool(np.any(gaps < -rel_tol * float(np.mean(system.radii))))
+
+
+@dataclass
+class RunReport:
+    """What the runner did across one :meth:`ResilientRunner.run_steps`."""
+
+    steps_completed: int = 0
+    retries: int = 0
+    dt_backoffs: int = 0
+    dt_heals: int = 0
+    final_dt: float = 0.0
+    degradations: List[Tuple[int, int]] = field(default_factory=list)
+    """``(chunk_index, m_after)`` per degradation event."""
+    checkpoints: List[Path] = field(default_factory=list)
+    faults: List[FaultEvent] = field(default_factory=list)
+
+
+class ResilientRunner:
+    """Run a driver to completion through faults, retries, and kills.
+
+    Parameters
+    ----------
+    driver:
+        A :class:`~repro.stokesian.dynamics.StokesianDynamics` or
+        :class:`~repro.core.mrhs.MrhsStokesianDynamics` instance (fresh
+        or restored via :func:`resume_driver`).
+    retry, degrade:
+        Recovery policies (see :mod:`repro.resilience.policies`).
+    manager:
+        Optional checkpoint manager; with ``checkpoint_every > 0`` a
+        checkpoint is written every that many completed steps (and once
+        more when the run finishes).
+    injector:
+        Optional fault plan/injector armed for the duration of each
+        :meth:`run_steps` call.
+    """
+
+    def __init__(
+        self,
+        driver: Any,
+        *,
+        retry: RetryPolicy = RetryPolicy(),
+        degrade: DegradePolicy = DegradePolicy(),
+        manager: Optional[CheckpointManager] = None,
+        checkpoint_every: int = 0,
+        injector: Optional[Union[FaultInjector, FaultPlan]] = None,
+    ) -> None:
+        if hasattr(driver, "begin_chunk") and hasattr(driver, "sd"):
+            self._chunked = True
+        elif hasattr(driver, "step") and hasattr(driver, "get_state"):
+            self._chunked = False
+        else:
+            raise TypeError(
+                "driver must be StokesianDynamics or MrhsStokesianDynamics "
+                f"(got {type(driver).__name__})"
+            )
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if checkpoint_every and manager is None:
+            raise ValueError("checkpoint_every requires a CheckpointManager")
+        self.driver = driver
+        self.retry = retry
+        self.degrade = degrade
+        self.manager = manager
+        self.checkpoint_every = int(checkpoint_every)
+        self.injector: Optional[FaultInjector] = (
+            injector
+            if injector is None or isinstance(injector, FaultInjector)
+            else FaultInjector(injector)
+        )
+        self._original_dt = float(self._sd().params.dt)
+        self._streak = 0
+
+    # ------------------------------------------------------------------
+    def _sd(self):
+        return self.driver.sd if self._chunked else self.driver
+
+    @property
+    def step_index(self) -> int:
+        """Global time-step counter (continues across resumes)."""
+        return int(self._sd().step_index)
+
+    def _set_dt(self, dt: float) -> None:
+        sd = self._sd()
+        sd.params = replace(sd.params, dt=dt)
+
+    # ------------------------------------------------------------------
+    def run_steps(self, n_steps: int) -> RunReport:
+        """Advance ``n_steps`` healthy time steps (retries don't count).
+
+        The final MRHS chunk is truncated so exactly ``n_steps`` steps
+        run.  Chunk boundaries shape the block-solve guesses, so a
+        trajectory is bit-reproducible only across runs targeting the
+        same total step count: kill-and-resume toward one target is
+        bit-exact, but ``run_steps(5)`` followed by ``run_steps(3)``
+        chunks ``4+1+3`` and will not bit-match a single
+        ``run_steps(8)`` (``4+4``).
+
+        Raises :class:`ResilienceExhausted` when a retry or degradation
+        budget runs out, and :class:`SimulationKilled` when an armed
+        fault plan targets ``runner.abort`` (the simulated process
+        kill; checkpoints written so far remain on disk).
+        """
+        if n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        report = RunReport(final_dt=float(self._sd().params.dt))
+        armed_here = self.injector is not None
+        if armed_here:
+            arm(self.injector)
+        try:
+            while report.steps_completed < n_steps:
+                if self._chunked and self.driver.pending is None:
+                    remaining = n_steps - report.steps_completed
+                    self._begin_chunk_resilient(
+                        min(int(self.driver.mrhs.m), remaining), report
+                    )
+                self._attempt_step(report)
+                report.steps_completed += 1
+                self._after_healthy_step(report)
+            if self.manager is not None:
+                self._save_checkpoint(report)
+        finally:
+            if self.manager is not None:
+                # Queued async writes must be on disk before control
+                # returns (kill-and-resume reads the directory next).
+                self.manager.flush()
+            report.final_dt = float(self._sd().params.dt)
+            if self.injector is not None:
+                report.faults = list(self.injector.events)
+            if armed_here:
+                disarm()
+        return report
+
+    # ------------------------------------------------------------------
+    def _begin_chunk_resilient(self, m_target: int, report: RunReport) -> None:
+        """Block solve with rewind + m-halving on repeated breakdown."""
+        shadow = self.driver.get_state()
+        m = int(m_target)
+        attempts = 0
+        degradations: List[int] = []
+        while True:
+            try:
+                pending = self.driver.begin_chunk(m)
+            except BlockSolveBroken as exc:
+                self.driver.set_state(shadow)
+                attempts += 1
+                logger.warning(
+                    "block solve broke down (attempt %d at m=%d): %s",
+                    attempts, m, exc,
+                )
+                if attempts >= self.degrade.max_block_attempts:
+                    if m <= self.degrade.min_m:
+                        raise ResilienceExhausted(
+                            f"block solve kept breaking down at m={m} "
+                            f"(floor {self.degrade.min_m})"
+                        ) from exc
+                    m = max(self.degrade.min_m, m // 2)
+                    degradations.append(m)
+                    attempts = 0
+                continue
+            pending.degradations.extend(degradations)
+            for m_after in degradations:
+                report.degradations.append((pending.chunk_index, m_after))
+                logger.warning(
+                    "chunk %d degraded to m=%d after repeated block "
+                    "breakdown", pending.chunk_index, m_after,
+                )
+            return
+
+    def _attempt_step(self, report: RunReport) -> None:
+        """One healthy step, retrying with dt backoff on bad outcomes."""
+        shadow = self.driver.get_state()
+        shadow_dt = float(self._sd().params.dt)
+        retries = 0
+        while True:
+            failure = None
+            try:
+                if self._chunked:
+                    self.driver.step_in_chunk()
+                else:
+                    self.driver.step()
+            except FaultInjected:
+                raise
+            except (ValueError, RuntimeError, ArithmeticError,
+                    np.linalg.LinAlgError) as exc:
+                failure = f"step raised {type(exc).__name__}: {exc}"
+            if failure is None:
+                failure = self._health_failure()
+            if failure is None:
+                if self._chunked and self.driver.pending is not None:
+                    self.driver.pending.retries += retries
+                return
+            if retries >= self.retry.max_retries:
+                raise ResilienceExhausted(
+                    f"step {self.step_index} failed after "
+                    f"{retries} retries: {failure}"
+                )
+            self.driver.set_state(shadow)
+            retries += 1
+            report.retries += 1
+            report.dt_backoffs += 1
+            self._streak = 0
+            new_dt = shadow_dt * self.retry.dt_backoff**retries
+            self._set_dt(new_dt)
+            logger.warning(
+                "step %d unhealthy (%s); retry %d with dt=%.3g",
+                self.step_index, failure, retries, new_dt,
+            )
+
+    def _health_failure(self) -> Optional[str]:
+        positions = self._sd().system.positions
+        if not np.isfinite(positions).all():
+            return "non-finite positions"
+        if has_overlaps(self._sd().system, self.retry.overlap_tol):
+            return "overlapping particles"
+        return None
+
+    def _after_healthy_step(self, report: RunReport) -> None:
+        # Heal dt back toward the original after a healthy streak.
+        self._streak += 1
+        current_dt = float(self._sd().params.dt)
+        if (
+            current_dt < self._original_dt
+            and self._streak >= self.retry.heal_streak
+        ):
+            healed = min(self._original_dt, current_dt / self.retry.dt_backoff)
+            self._set_dt(healed)
+            report.dt_heals += 1
+            self._streak = 0
+            logger.info("healthy streak: dt healed to %.3g", healed)
+        # Checkpoint cadence, then the simulated-kill site (in that
+        # order, so a killed run always has a checkpoint at or after
+        # the last cadence boundary).
+        if (
+            self.checkpoint_every
+            and self.step_index % self.checkpoint_every == 0
+        ):
+            self._save_checkpoint(report)
+        fault = fire_fault("runner.abort", step=self.step_index)
+        if fault is not None:
+            raise SimulationKilled(
+                f"simulated kill after step {self.step_index}"
+            )
+
+    def _save_checkpoint(self, report: RunReport) -> None:
+        path = self.manager.save_async(
+            self.driver.get_state(), step=self.step_index
+        )
+        if not report.checkpoints or report.checkpoints[-1] != path:
+            report.checkpoints.append(path)
+
+
+# ----------------------------------------------------------------------
+def resume_driver(
+    state: Dict[str, Any], *, forces=None, policy=None
+) -> Any:
+    """Rebuild the right driver class from a checkpointed state dict."""
+    kind = state.get("kind")
+    if kind == "sd":
+        from repro.stokesian.dynamics import StokesianDynamics
+
+        return StokesianDynamics.from_state(state, forces=forces)
+    if kind == "mrhs":
+        from repro.core.mrhs import MrhsStokesianDynamics
+
+        return MrhsStokesianDynamics.from_state(state, forces=forces)
+    if kind == "auto":
+        from repro.core.auto import AutoMrhsStokesianDynamics
+
+        return AutoMrhsStokesianDynamics.from_state(
+            state, policy=policy, forces=forces
+        )
+    raise ValueError(f"unknown checkpoint kind {kind!r}")

@@ -21,11 +21,12 @@ harnesses can print the same rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Literal, Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Literal, Optional
 
 import numpy as np
 
+from repro.resilience.faults import active_injector, fire_fault
 from repro.solvers.cg import CGResult, conjugate_gradient
 from repro.solvers.diagnostics import SolveDiagnostics
 from repro.solvers.precond import BlockJacobiPreconditioner
@@ -36,7 +37,7 @@ from repro.stokesian.integrators import apply_displacement
 from repro.stokesian.neighbors import NeighborList, neighbor_pairs
 from repro.stokesian.particles import ParticleSystem
 from repro.stokesian.resistance import build_resistance_matrix
-from repro.util.rng import RngLike, as_rng
+from repro.util.rng import RngLike, as_rng, rng_from_json, rng_state_to_json
 from repro.util.timer import Stopwatch, TimingRecord
 
 __all__ = ["SDParameters", "StepRecord", "StokesianDynamics"]
@@ -284,6 +285,9 @@ class StokesianDynamics:
         with sw.phase("Cheb single"):
             gen = self.brownian_generator(R_k)
             f_b = gen.generate(z)
+        fault = fire_fault("brownian.forcing", step=self.step_index)
+        if fault is not None:
+            f_b = fault.mutate(f_b, active_injector().rng)
         with sw.phase("1st solve"):
             rhs = -f_b + self.external_forces()
             res1 = self.solve(R_k, rhs, x0=u_guess, preconditioner=precond)
@@ -331,3 +335,119 @@ class StokesianDynamics:
         if n_steps < 0:
             raise ValueError("n_steps must be non-negative")
         return [self.step() for _ in range(n_steps)]
+
+    # ------------------------------------------------------------------
+    # checkpointable state
+    # ------------------------------------------------------------------
+    def get_state(self) -> Dict[str, Any]:
+        """Full serializable driver state (see ``repro.resilience``).
+
+        Everything that influences the future trajectory is captured:
+        configuration, both RNG bit-generator states, the cached
+        spectrum bounds with their refresh age, and the step counter.
+        ``history`` is kept as compact per-step summaries (timings and
+        solver diagnostics are telemetry, not trajectory state).
+        """
+        lo, hi = self._cached_bounds or (None, None)
+        return {
+            "kind": "sd",
+            "step_index": self.step_index,
+            "positions": self.system.positions.copy(),
+            "radii": self.system.radii.copy(),
+            "box": self.system.box.copy(),
+            "rng_state": rng_state_to_json(self.rng),
+            "aux_rng_state": rng_state_to_json(self._aux_rng),
+            "bounds_lo": lo,
+            "bounds_hi": hi,
+            "bounds_age": self._bounds_age,
+            "params": asdict(self.params),
+            "history": records_to_state(self.history),
+        }
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`get_state` in place (bit-exact trajectory)."""
+        if state.get("kind") != "sd":
+            raise ValueError(f"not a StokesianDynamics state: {state.get('kind')!r}")
+        self.params = SDParameters(**state["params"])
+        self.system = ParticleSystem(
+            positions=state["positions"], radii=state["radii"], box=state["box"]
+        )
+        self.rng = rng_from_json(state["rng_state"])
+        self._aux_rng = rng_from_json(state["aux_rng_state"])
+        self.step_index = int(state["step_index"])
+        lo, hi = state.get("bounds_lo"), state.get("bounds_hi")
+        self._cached_bounds = None if lo is None else (float(lo), float(hi))
+        self._bounds_age = int(state["bounds_age"])
+        self.history = records_from_state(state["history"])
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Dict[str, Any],
+        *,
+        forces: Optional[Callable[[ParticleSystem], np.ndarray]] = None,
+    ) -> "StokesianDynamics":
+        """Reconstruct a driver from a checkpointed state.
+
+        ``forces`` (a callable) cannot be serialized; resuming a run
+        that used one must pass the same callable again.
+        """
+        system = ParticleSystem(
+            positions=state["positions"], radii=state["radii"], box=state["box"]
+        )
+        driver = cls(system, SDParameters(**state["params"]), forces=forces)
+        driver.set_state(state)
+        return driver
+
+
+# ----------------------------------------------------------------------
+# StepRecord summaries (checkpoint payloads)
+# ----------------------------------------------------------------------
+def records_to_state(records: List[StepRecord]) -> Dict[str, np.ndarray]:
+    """Compress step records to flat arrays for checkpointing.
+
+    Wall-clock timings and solver diagnostics are dropped: they are
+    observability data, not trajectory state, and a resumed run gets
+    fresh ones.
+    """
+    return {
+        "step_index": np.array([r.step_index for r in records], dtype=np.int64),
+        "iterations_first": np.array(
+            [r.iterations_first for r in records], dtype=np.int64
+        ),
+        "iterations_second": np.array(
+            [r.iterations_second for r in records], dtype=np.int64
+        ),
+        "converged": np.array([r.converged for r in records], dtype=bool),
+        "midpoint_scale": np.array(
+            [r.midpoint_scale for r in records], dtype=np.float64
+        ),
+        "final_scale": np.array([r.final_scale for r in records], dtype=np.float64),
+        "guess_error": np.array(
+            [np.nan if r.guess_error is None else r.guess_error for r in records],
+            dtype=np.float64,
+        ),
+    }
+
+
+def records_from_state(state: Dict[str, np.ndarray]) -> List[StepRecord]:
+    """Rebuild summary :class:`StepRecord` objects (empty timings)."""
+    empty = TimingRecord(phases={}, counts={})
+    n = len(state["step_index"])
+    return [
+        StepRecord(
+            step_index=int(state["step_index"][i]),
+            iterations_first=int(state["iterations_first"][i]),
+            iterations_second=int(state["iterations_second"][i]),
+            converged=bool(state["converged"][i]),
+            timings=empty,
+            midpoint_scale=float(state["midpoint_scale"][i]),
+            final_scale=float(state["final_scale"][i]),
+            guess_error=(
+                None
+                if np.isnan(state["guess_error"][i])
+                else float(state["guess_error"][i])
+            ),
+        )
+        for i in range(n)
+    ]

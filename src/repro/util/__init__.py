@@ -5,7 +5,7 @@ other subpackage (sparse kernels, performance model, Stokesian dynamics)
 can import them without cycles.
 """
 
-from repro.util.rng import as_rng, spawn_rngs
+from repro.util.rng import as_rng, rng_from_json, rng_state_to_json, spawn_rngs
 from repro.util.timer import Stopwatch, TimingRecord
 from repro.util.tables import format_table, format_row
 from repro.util.validation import (
@@ -17,6 +17,8 @@ from repro.util.validation import (
 __all__ = [
     "as_rng",
     "spawn_rngs",
+    "rng_state_to_json",
+    "rng_from_json",
     "Stopwatch",
     "TimingRecord",
     "format_table",

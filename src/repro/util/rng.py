@@ -10,6 +10,7 @@ independent streams (e.g. one per simulated MPI rank) use
 
 from __future__ import annotations
 
+import json
 from typing import Union
 
 import numpy as np
@@ -56,3 +57,24 @@ def standard_normal_matrix(
     """Return an ``n x m`` standard-normal matrix (the ``Z`` of Algorithm 2)."""
     gen = as_rng(rng)
     return gen.standard_normal((n, m)).astype(dtype, copy=False)
+
+
+def rng_state_to_json(rng: np.random.Generator) -> str:
+    """Serialize a generator's bit-generator state exactly (JSON ints).
+
+    The checkpoint layer stores this string so a resumed run continues
+    the *same* noise sequence bit-for-bit.
+    """
+    return json.dumps(rng.bit_generator.state)
+
+
+def rng_from_json(payload: str) -> np.random.Generator:
+    """Rebuild the generator serialized by :func:`rng_state_to_json`."""
+    state = json.loads(payload)
+    name = state.get("bit_generator", "PCG64")
+    bitgen_cls = getattr(np.random, name, None)
+    if bitgen_cls is None:
+        raise ValueError(f"unknown bit generator {name!r}")
+    bitgen = bitgen_cls()
+    bitgen.state = state
+    return np.random.Generator(bitgen)

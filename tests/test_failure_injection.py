@@ -9,6 +9,11 @@ silent wrong answer or a hang.
 import numpy as np
 import pytest
 
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.distributed.partition import contiguous_partition
+from repro.distributed.simcluster import DistributedGspmv
+from repro.resilience import FaultPlan, FaultSpec, ResilientRunner, armed
+from repro.resilience.faults import ExchangeCorruptionError
 from repro.solvers.block_cg import block_conjugate_gradient
 from repro.solvers.cg import conjugate_gradient
 from repro.solvers.chol import CholeskySolver
@@ -16,8 +21,9 @@ from repro.solvers.refine import iterative_refinement
 from repro.sparse.bcrs import BCRSMatrix
 from repro.stokesian.brownian import BrownianForceGenerator
 from repro.stokesian.chebyshev import ChebyshevSqrt
+from repro.stokesian.dynamics import SDParameters, StokesianDynamics
 from repro.stokesian.lubrication import pair_resistance_block
-from repro.stokesian.packing import relax_overlaps
+from repro.stokesian.packing import random_configuration, relax_overlaps
 from repro.stokesian.particles import ParticleSystem
 from tests.conftest import random_bcrs
 
@@ -122,3 +128,118 @@ class TestStructuralFailures:
     def test_empty_block_coo_roundtrip(self):
         A = BCRSMatrix.from_block_coo(2, 2, [], [], np.zeros((0, 3, 3)))
         assert (A @ np.ones(6) == 0).all()
+
+
+class TestDriverLevelFaults:
+    """Injected faults against the full drivers: recovery, not silence."""
+
+    def test_nan_forcing_triggers_retry_not_propagation(self):
+        """A NaN Brownian force at one step must roll the step back and
+        retry — NaN positions never survive into the trajectory."""
+        system = random_configuration(24, 0.2, rng=0)
+        sd = StokesianDynamics(system, SDParameters(), rng=1)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="brownian.forcing", kind="nan", at={"step": 1}
+                ),
+            )
+        )
+        report = ResilientRunner(sd, injector=plan).run_steps(3)
+        assert report.retries == 1
+        assert np.isfinite(sd.system.positions).all()
+
+    def test_nan_forcing_without_runner_propagates_loudly(self):
+        """The flip side: bare drivers do not hide the corruption —
+        the NaN is visible in the positions, not silently scrubbed."""
+        system = random_configuration(24, 0.2, rng=0)
+        sd = StokesianDynamics(system, SDParameters(), rng=1)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="brownian.forcing", kind="nan", at={"step": 0}
+                ),
+            )
+        )
+        with armed(plan):
+            sd.step()
+        assert not np.isfinite(sd.system.positions).all()
+
+    def test_block_breakdown_in_second_chunk_degrades_and_completes(self):
+        """Repeated block-CG breakdown in chunk 2 of an MRHS run: the
+        chunk degrades m -> m/2, the degradation is recorded, and the
+        run completes with every step accounted for."""
+        system = random_configuration(24, 0.2, rng=0)
+        driver = MrhsStokesianDynamics(
+            system, SDParameters(), MrhsParameters(m=4), rng=1
+        )
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="mrhs.block_breakdown", at={"chunk": 1}, times=2
+                ),
+            )
+        )
+        report = ResilientRunner(driver, injector=plan).run_steps(12)
+        assert report.steps_completed == 12
+        assert (1, 2) in report.degradations
+        degraded = driver.chunks[1]
+        assert degraded.degradations == [2]
+        assert len(degraded.steps) == 2
+        assert sum(len(c.steps) for c in driver.chunks) == 12
+        # Statistics stay coherent: each step carries its solve record.
+        for chunk in driver.chunks:
+            assert len(chunk.first_solve_iterations) == len(chunk.steps)
+
+    def test_corrupted_boundary_block_detected_and_repaired(self):
+        A = random_bcrs(24, 4.0, seed=3, spd=True)
+        part = contiguous_partition(A, 3)
+        X = np.random.default_rng(0).standard_normal((A.n_rows, 4))
+        g = DistributedGspmv(A, part, verify_exchange=True)
+        clean = g.multiply(X)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="comm.exchange", kind="corrupt", at={"round": 0}
+                ),
+            ),
+            seed=5,
+        )
+        with armed(plan):
+            repaired = g.multiply(X)
+        assert np.array_equal(repaired, clean)
+        assert g.last_exchange["corrupted"] == [(0, 1, 0)]
+        assert g.last_exchange["repaired"] == [(0, 1, 1)]
+
+    def test_unverified_exchange_propagates_corruption_silently(self):
+        """Without verification the same fault slips through — the
+        behaviour the checksummed exchange exists to prevent."""
+        A = random_bcrs(24, 4.0, seed=3, spd=True)
+        part = contiguous_partition(A, 3)
+        X = np.random.default_rng(0).standard_normal((A.n_rows, 4))
+        g = DistributedGspmv(A, part)
+        clean = g.multiply(X)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="comm.exchange", kind="corrupt", at={"round": 0}
+                ),
+            ),
+            seed=5,
+        )
+        with armed(plan):
+            corrupted = g.multiply(X)
+        assert not np.array_equal(corrupted, clean)
+
+    def test_unrepairable_corruption_declares_rank_failed(self):
+        A = random_bcrs(24, 4.0, seed=3, spd=True)
+        part = contiguous_partition(A, 3)
+        X = np.random.default_rng(0).standard_normal((A.n_rows, 2))
+        g = DistributedGspmv(A, part, verify_exchange=True)
+        plan = FaultPlan(
+            specs=(FaultSpec(site="comm.exchange", kind="zero", times=None),)
+        )
+        with armed(plan), pytest.raises(
+            ExchangeCorruptionError, match="repair rounds"
+        ):
+            g.multiply(X)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
-from repro.io import load_bcrs, load_system, save_bcrs, save_system
+from repro.io import atomic_savez, load_bcrs, load_system, save_bcrs, save_system
 from repro.stokesian.packing import random_configuration
 from tests.conftest import random_bcrs
 
@@ -40,6 +40,51 @@ class TestIo:
         save_bcrs(path2, A)
         with pytest.raises(ValueError, match="particle"):
             load_system(path2)
+
+
+class TestAtomicWrites:
+    class _Exploding:
+        def __array__(self, dtype=None, copy=None):
+            raise RuntimeError("simulated crash mid-write")
+
+    def test_interrupted_save_bcrs_preserves_previous_file(self, tmp_path):
+        """A failed save must leave the previous archive loadable — no
+        torn file under the destination name, no temp litter."""
+        A = random_bcrs(6, 2.0, seed=4)
+        path = tmp_path / "mat.npz"
+        save_bcrs(path, A)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            atomic_savez(path, kind="bcrs", junk=self._Exploding())
+        B = load_bcrs(path)
+        np.testing.assert_array_equal(B.blocks, A.blocks)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_interrupted_first_save_leaves_nothing(self, tmp_path):
+        path = tmp_path / "never.npz"
+        with pytest.raises(RuntimeError):
+            atomic_savez(path, junk=self._Exploding())
+        assert not path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_suffix_is_normalized(self, tmp_path):
+        returned = atomic_savez(tmp_path / "plain", v=np.ones(2))
+        assert returned == tmp_path / "plain.npz"
+        assert returned.exists()
+
+    def test_uncompressed_mode_roundtrips(self, tmp_path):
+        s = random_configuration(8, 0.15, rng=3)
+        path = tmp_path / "sys.npz"
+        atomic_savez(
+            path,
+            compress=False,
+            fsync=False,
+            kind="particle_system",
+            positions=s.positions,
+            radii=s.radii,
+            box=s.box,
+        )
+        t = load_system(path)
+        np.testing.assert_array_equal(t.positions, s.positions)
 
 
 class TestCliParser:
@@ -88,3 +133,58 @@ class TestCliCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "m_optimal" in out
+
+
+class TestCliResilience:
+    """End-to-end kill-and-resume through the real entry point."""
+
+    BASE = [
+        "simulate", "--n", "24", "--phi", "0.2", "--m", "4",
+        "--steps", "6", "--checkpoint-every", "2",
+    ]
+
+    def test_kill_and_resume_reproduces_uninterrupted_run(
+        self, tmp_path, capsys
+    ):
+        full_out = tmp_path / "full.npz"
+        rc = main(
+            self.BASE
+            + ["--checkpoint-dir", str(tmp_path / "ckA"),
+               "--out", str(full_out)]
+        )
+        assert rc == 0
+
+        rc = main(
+            self.BASE
+            + ["--checkpoint-dir", str(tmp_path / "ckB"), "--die-after", "3"]
+        )
+        assert rc == 3  # the simulated kill's exit code
+        assert "killed" in capsys.readouterr().out
+
+        resumed_out = tmp_path / "resumed.npz"
+        rc = main(
+            ["resume", str(tmp_path / "ckB"), "--steps", "6",
+             "--out", str(resumed_out)]
+        )
+        assert rc == 0
+        full = load_system(full_out)
+        resumed = load_system(resumed_out)
+        assert np.array_equal(resumed.positions, full.positions)
+
+    def test_resume_from_specific_file(self, tmp_path, capsys):
+        rc = main(self.BASE + ["--checkpoint-dir", str(tmp_path / "ck")])
+        assert rc == 0
+        ckpt = sorted((tmp_path / "ck").glob("*.npz"))[0]
+        out_file = tmp_path / "out.npz"
+        rc = main(
+            ["resume", str(ckpt), "--steps", "6", "--out", str(out_file)]
+        )
+        assert rc == 0
+        assert load_system(out_file).n == 24
+
+    def test_resume_past_target_step_errors(self, tmp_path, capsys):
+        rc = main(self.BASE + ["--checkpoint-dir", str(tmp_path / "ck")])
+        assert rc == 0
+        rc = main(["resume", str(tmp_path / "ck"), "--steps", "2"])
+        assert rc == 2
+        assert "already past" in capsys.readouterr().err

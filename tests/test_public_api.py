@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.stokesian",
     "repro.perfmodel",
     "repro.distributed",
+    "repro.resilience",
     "repro.util",
 ]
 
@@ -47,6 +48,12 @@ def test_version_present():
 
 
 def test_key_extension_symbols():
+    from repro import (  # noqa: F401
+        CheckpointManager,
+        FaultPlan,
+        ResilientRunner,
+        resume_driver,
+    )
     from repro.core import AutoMrhsStokesianDynamics  # noqa: F401
     from repro.distributed import DistributedOperator  # noqa: F401
     from repro.solvers import ILUPreconditioner, RecyclingCG  # noqa: F401

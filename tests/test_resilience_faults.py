@@ -1,0 +1,132 @@
+"""Fault-injection machinery: determinism, budgets, disarmed no-ops."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_injector,
+    arm,
+    armed,
+    disarm,
+    fire_fault,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(site="x", kind="gremlin")
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(site="x", times=0)
+
+    def test_matches_requires_every_at_key(self):
+        spec = FaultSpec(site="s", at={"step": 5, "rank": 1})
+        assert spec.matches("s", {"step": 5, "rank": 1})
+        assert not spec.matches("s", {"step": 5, "rank": 2})
+        assert not spec.matches("s", {"step": 5})
+        assert not spec.matches("other", {"step": 5, "rank": 1})
+
+    def test_empty_at_matches_everything(self):
+        spec = FaultSpec(site="s")
+        assert spec.matches("s", {"anything": 42})
+
+    def test_mutate_kinds(self):
+        rng = np.random.default_rng(0)
+        x = np.ones((2, 3))
+        assert np.isnan(
+            FaultSpec(site="s", kind="nan", index=4).mutate(x, rng).ravel()[4]
+        )
+        assert (FaultSpec(site="s", kind="zero").mutate(x, rng) == 0).all()
+        assert (
+            FaultSpec(site="s", kind="scale", factor=3.0).mutate(x, rng) == 3.0
+        ).all()
+        corrupted = FaultSpec(site="s", kind="corrupt").mutate(x, rng)
+        assert not np.array_equal(corrupted, x)
+        # The input is never mutated in place.
+        assert (x == 1.0).all()
+
+    def test_raise_kind_does_not_mutate(self):
+        with pytest.raises(ValueError, match="does not mutate"):
+            FaultSpec(site="s", kind="raise").mutate(
+                np.ones(3), np.random.default_rng(0)
+            )
+
+
+class TestInjector:
+    def test_budget_is_enforced(self):
+        inj = FaultInjector(FaultSpec(site="s", times=2))
+        assert inj.fire("s") is not None
+        assert inj.fire("s") is not None
+        assert inj.fire("s") is None
+
+    def test_unlimited_budget(self):
+        inj = FaultInjector(FaultSpec(site="s", times=None))
+        assert all(inj.fire("s") is not None for _ in range(10))
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="s", at={"step": 1}, kind="zero"),
+                FaultSpec(site="s", kind="scale"),
+            )
+        )
+        inj = FaultInjector(plan)
+        assert inj.fire("s", step=1).kind == "zero"
+        assert inj.fire("s", step=2).kind == "scale"
+
+    def test_events_record_context_and_counts(self):
+        inj = FaultInjector(FaultSpec(site="s", times=None))
+        inj.fire("s", step=1)
+        inj.fire("s", step=2)
+        inj.fire("other")
+        events = inj.events_at("s")
+        assert [e.context for e in events] == [{"step": 1}, {"step": 2}]
+        assert [e.fire_number for e in events] == [1, 2]
+
+    def test_corruption_is_deterministic_per_plan_seed(self):
+        spec = FaultSpec(site="s", kind="corrupt")
+        x = np.linspace(0.0, 1.0, 16)
+        a = spec.mutate(x, FaultInjector(FaultPlan((spec,), seed=9)).rng)
+        b = spec.mutate(x, FaultInjector(FaultPlan((spec,), seed=9)).rng)
+        c = spec.mutate(x, FaultInjector(FaultPlan((spec,), seed=10)).rng)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestGlobalArming:
+    def test_disarmed_site_is_a_noop(self):
+        assert active_injector() is None
+        assert fire_fault("any.site", step=3) is None
+
+    def test_armed_context_scopes_the_injector(self):
+        with armed(FaultSpec(site="s")) as inj:
+            assert active_injector() is inj
+            assert fire_fault("s") is not None
+        assert active_injector() is None
+
+    def test_double_arm_refused(self):
+        with armed(FaultSpec(site="s")):
+            with pytest.raises(RuntimeError, match="already armed"):
+                arm(FaultSpec(site="t"))
+
+    def test_disarmed_after_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with armed(FaultSpec(site="s")):
+                raise RuntimeError("boom")
+        assert active_injector() is None
+
+    def test_arm_accepts_plan_spec_list_or_injector(self):
+        for plan in (
+            FaultSpec(site="s"),
+            [FaultSpec(site="s")],
+            FaultPlan(specs=(FaultSpec(site="s"),)),
+            FaultInjector(FaultSpec(site="s")),
+        ):
+            with armed(plan) as inj:
+                assert inj.fire("s") is not None
+        disarm()  # idempotent
