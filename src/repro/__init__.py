@@ -38,10 +38,21 @@ Subpackages
     Checkpoint/restart (bit-exact resume), deterministic fault
     injection, and the resilient runner with retry/degradation
     policies.
+``repro.health``
+    Numerical health: invariant monitors over the simulation state,
+    graded verdicts, and the step acceptance/rejection controller with
+    MRHS chunk quarantine.
 """
 
 from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
 from repro.core.original import run_comparison
+from repro.health import (
+    HealthMonitor,
+    HealthReport,
+    Severity,
+    StepAcceptanceController,
+    default_checks,
+)
 from repro.resilience import CheckpointManager, FaultPlan, FaultSpec
 from repro.resilience.runner import ResilientRunner, resume_driver
 from repro.sparse.bcrs import BCRSMatrix
@@ -71,5 +82,10 @@ __all__ = [
     "FaultSpec",
     "ResilientRunner",
     "resume_driver",
+    "HealthMonitor",
+    "HealthReport",
+    "Severity",
+    "StepAcceptanceController",
+    "default_checks",
     "__version__",
 ]

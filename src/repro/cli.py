@@ -15,11 +15,18 @@ Small, scriptable entry points over the library's main workflows:
 ``resume``
     Continue a checkpointed ``simulate`` run (bit-exact) from the
     newest loadable checkpoint in a directory, or a specific file.
+``health``
+    Print the :class:`~repro.health.monitor.HealthReport` embedded in a
+    checkpoint — the post-mortem of a dead or degraded run.
 
 ``simulate`` grows a resilient mode: passing ``--checkpoint-every`` /
 ``--checkpoint-dir`` runs the MRHS driver under the
 :class:`~repro.resilience.runner.ResilientRunner` with periodic
 checkpoints, so a killed process can be continued with ``resume``.
+``--health-checks`` attaches an invariant :class:`HealthMonitor`
+(observe only); ``--reject-bad-steps`` additionally lets fatal
+verdicts reject steps (retry with dt halved, MRHS chunk quarantine).
+Both imply the resilient runner.
 """
 
 from __future__ import annotations
@@ -46,6 +53,20 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--chunks", type=int, default=1, help="MRHS chunks to run")
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument(
+        "--dt", type=float, default=0.05, help="time step (default 0.05)"
+    )
+    sim.add_argument(
+        "--health-checks",
+        action="store_true",
+        help="attach invariant health monitoring (implies resilient runner)",
+    )
+    sim.add_argument(
+        "--reject-bad-steps",
+        action="store_true",
+        help="reject steps violating fatal invariants (implies "
+        "--health-checks)",
+    )
+    sim.add_argument(
         "--steps",
         type=int,
         default=None,
@@ -69,6 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
     # Simulated process kill after a given global step (failure drills
     # and the kill-and-resume tests).
     sim.add_argument("--die-after", type=int, default=None, help=argparse.SUPPRESS)
+    # Inject NaN into the Brownian forcing at a given step (health
+    # drills / the health-chaos CI job).
+    sim.add_argument("--nan-at", type=int, default=None, help=argparse.SUPPRESS)
 
     res = sub.add_parser("resume", help="continue a checkpointed run")
     res.add_argument(
@@ -110,10 +134,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--m-values", type=int, nargs="+", default=[2, 4, 8, 16]
     )
     sweep.add_argument("--seed", type=int, default=0)
+
+    health = sub.add_parser(
+        "health", help="print the health report inside a checkpoint"
+    )
+    health.add_argument(
+        "checkpoint", help="checkpoint .npz file or checkpoint directory"
+    )
+    health.add_argument(
+        "--events",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the last N non-OK events (default 10)",
+    )
     return parser
 
 
-def _print_run_summary(driver, report, manager, out) -> None:
+def _print_run_summary(driver, report, manager, out, monitor=None) -> None:
     import hashlib
 
     import numpy as np
@@ -123,8 +161,13 @@ def _print_run_summary(driver, report, manager, out) -> None:
         f"completed {report.steps_completed} steps "
         f"(global step {sd.step_index}); retries={report.retries}, "
         f"dt_backoffs={report.dt_backoffs}, "
+        f"quarantines={report.quarantines}, "
         f"degradations={report.degradations or '[]'}"
     )
+    if monitor is not None:
+        print(monitor.report.summary())
+        if report.rejected_checks:
+            print(f"rejected by invariants: {sorted(set(report.rejected_checks))}")
     if manager is not None and manager.latest() is not None:
         print(f"latest checkpoint: {manager.latest()}")
     digest = hashlib.sha256(
@@ -141,18 +184,31 @@ def _print_run_summary(driver, report, manager, out) -> None:
 def _kill_plan(args):
     from repro.resilience import FaultPlan, FaultSpec
 
-    if args.die_after is None:
+    specs = []
+    if args.die_after is not None:
+        specs.append(
+            FaultSpec(site="runner.abort", at={"step": int(args.die_after)})
+        )
+    if getattr(args, "nan_at", None) is not None:
+        specs.append(
+            FaultSpec(
+                site="brownian.forcing",
+                kind="nan",
+                at={"step": int(args.nan_at)},
+                times=1,
+            )
+        )
+    if not specs:
         return None
     return FaultPlan(
-        specs=(
-            FaultSpec(site="runner.abort", at={"step": int(args.die_after)}),
-        ),
+        specs=tuple(specs),
         seed=args.seed if hasattr(args, "seed") else 0,
     )
 
 
 def _simulate_resilient(args) -> int:
     from repro import (
+        HealthMonitor,
         MrhsParameters,
         MrhsStokesianDynamics,
         SDParameters,
@@ -160,6 +216,7 @@ def _simulate_resilient(args) -> int:
     )
     from repro.resilience import (
         CheckpointManager,
+        ResilienceExhausted,
         ResilientRunner,
         SimulationKilled,
     )
@@ -167,21 +224,43 @@ def _simulate_resilient(args) -> int:
     n_steps = args.steps if args.steps is not None else args.chunks * args.m
     system = random_configuration(args.n, args.phi, rng=args.seed)
     driver = MrhsStokesianDynamics(
-        system, SDParameters(), MrhsParameters(m=args.m), rng=args.seed + 1
+        system,
+        SDParameters(dt=args.dt),
+        MrhsParameters(m=args.m),
+        rng=args.seed + 1,
     )
-    manager = CheckpointManager(args.checkpoint_dir or "checkpoints")
+    manager = None
+    if args.checkpoint_every or args.checkpoint_dir is not None:
+        manager = CheckpointManager(args.checkpoint_dir or "checkpoints")
+    monitor = (
+        HealthMonitor()
+        if (args.health_checks or args.reject_bad_steps)
+        else None
+    )
     runner = ResilientRunner(
         driver,
         manager=manager,
         checkpoint_every=args.checkpoint_every,
         injector=_kill_plan(args),
+        monitor=monitor,
+        reject_on_fatal=args.reject_bad_steps,
     )
     try:
         report = runner.run_steps(n_steps)
     except SimulationKilled as exc:
         print(f"killed: {exc}; checkpoints remain in {manager.directory}")
         return 3
-    _print_run_summary(driver, report, manager, args.out)
+    except ResilienceExhausted as exc:
+        print(f"aborted: {exc}", file=sys.stderr)
+        if monitor is not None:
+            print(monitor.report.summary(), file=sys.stderr)
+            for r in monitor.report.fatal_events():
+                print(
+                    f"  FATAL {r.check} at step {r.step_index}: {r.message}",
+                    file=sys.stderr,
+                )
+        return 4
+    _print_run_summary(driver, report, manager, args.out, monitor=monitor)
     return 0
 
 
@@ -232,7 +311,13 @@ def _cmd_resume(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    if args.checkpoint_every or args.checkpoint_dir is not None:
+    if (
+        args.checkpoint_every
+        or args.checkpoint_dir is not None
+        or args.health_checks
+        or args.reject_bad_steps
+        or args.nan_at is not None
+    ):
         return _simulate_resilient(args)
     from repro import SDParameters, random_configuration, run_comparison
     from repro.core.timing import average_breakdown
@@ -241,7 +326,7 @@ def _cmd_simulate(args) -> int:
     system = random_configuration(args.n, args.phi, rng=args.seed)
     result = run_comparison(
         system,
-        SDParameters(),
+        SDParameters(dt=args.dt),
         n_steps=args.chunks * args.m,
         m=args.m,
         rng=args.seed + 1,
@@ -340,12 +425,51 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_health(args) -> int:
+    from pathlib import Path
+
+    from repro.health.monitor import HealthReport
+    from repro.resilience import CheckpointManager
+
+    target = Path(args.checkpoint)
+    if target.is_dir():
+        manager = CheckpointManager(target)
+        state, meta, path = manager.load_latest()
+    else:
+        manager = CheckpointManager(target.parent)
+        state, meta = manager.load(target)
+        path = target
+    health = state.get("health")
+    if health is None:
+        print(
+            f"{path} carries no health report "
+            f"(run simulate with --health-checks)",
+            file=sys.stderr,
+        )
+        return 2
+    report = HealthReport.from_state(health)
+    print(f"health report from {path} (global step {meta.get('step')}):")
+    print(report.summary())
+    notable = [
+        r for r in report.results if r.severity.name != "OK"
+    ][-args.events :]
+    for r in notable:
+        print(
+            f"  {r.severity.name} {r.check} at step {r.step_index}: "
+            f"{r.message}"
+        )
+    if not notable:
+        print("  no warn/fatal events in the retained window")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "roofline": _cmd_roofline,
     "pack": _cmd_pack,
     "sweep": _cmd_sweep,
     "resume": _cmd_resume,
+    "health": _cmd_health,
 }
 
 

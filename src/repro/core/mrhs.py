@@ -106,6 +106,10 @@ class ChunkRecord:
     retries: int = 0
     """In-chunk step retries performed by a resilient runner (dt
     backoff after non-finite positions or overlaps)."""
+    quarantined: bool = False
+    """True when the block solutions were discarded mid-chunk and the
+    remaining steps fell back to cold-start CG (poisoned guesses)."""
+    quarantine_reason: str = ""
 
     @property
     def guess_errors(self) -> List[Optional[float]]:
@@ -151,6 +155,8 @@ class _PendingChunk:
     k: int = 0
     retries: int = 0
     degradations: List[int] = field(default_factory=list)
+    quarantined: bool = False
+    quarantine_reason: str = ""
 
 
 class MrhsStokesianDynamics:
@@ -319,7 +325,39 @@ class MrhsStokesianDynamics:
             fallback_columns=fallback,
             chunk_timings=sw.record(),
         )
+        if self.sd.health is not None:
+            self.sd.health.observe_block(
+                chunk_index=self._pending.chunk_index,
+                step_index=self.sd.step_index,
+                U=block.X,
+                converged=block.converged,
+            )
+        if not np.isfinite(block.X).all():
+            # A non-finite guess column can never recover inside CG, so
+            # the chunk is born quarantined (its steps cold-start).
+            self.quarantine_chunk(
+                reason="block solve produced non-finite guesses"
+            )
         return self._pending
+
+    def quarantine_chunk(self, reason: str = "") -> None:
+        """Discard the pending chunk's block solutions as poisoned.
+
+        The chunk keeps running — same noise columns ``Z``, same
+        boundaries — but every remaining step's first solve cold-starts
+        instead of being seeded by ``U`` (the stale or corrupted block
+        solution).  Recorded on the eventual :class:`ChunkRecord`.
+        """
+        p = self._pending
+        if p is None:
+            raise RuntimeError("no chunk in progress to quarantine")
+        if not p.quarantined:
+            p.quarantined = True
+            p.quarantine_reason = reason
+            logger.warning(
+                "chunk %d quarantined at step %d of %d: %s",
+                p.chunk_index, p.k, p.m, reason or "unspecified",
+            )
 
     @property
     def pending(self) -> Optional[_PendingChunk]:
@@ -335,7 +373,8 @@ class MrhsStokesianDynamics:
         p = self._pending
         if p is None:
             raise RuntimeError("no chunk in progress; call begin_chunk first")
-        step = self.sd.step(z=p.Z[:, p.k], u_guess=p.U[:, p.k].copy())
+        u_guess = None if p.quarantined else p.U[:, p.k].copy()
+        step = self.sd.step(z=p.Z[:, p.k], u_guess=u_guess)
         self._log_step(p.chunk_index, p.k, step)
         p.steps.append(step)
         p.k += 1
@@ -357,6 +396,8 @@ class MrhsStokesianDynamics:
             fallback_columns=list(p.fallback_columns),
             degradations=list(p.degradations),
             retries=p.retries,
+            quarantined=p.quarantined,
+            quarantine_reason=p.quarantine_reason,
         )
         self.chunks.append(record)
         self._pending = None
@@ -450,6 +491,8 @@ class MrhsStokesianDynamics:
                 "fallback_columns": list(p.fallback_columns),
                 "retries": p.retries,
                 "degradations": list(p.degradations),
+                "quarantined": p.quarantined,
+                "quarantine_reason": p.quarantine_reason,
                 "steps": records_to_state(p.steps),
                 "timings_phases": dict(p.chunk_timings.phases),
                 "timings_counts": dict(p.chunk_timings.counts),
@@ -491,6 +534,8 @@ class MrhsStokesianDynamics:
                 k=int(pend["k"]),
                 retries=int(pend["retries"]),
                 degradations=[int(v) for v in pend["degradations"]],
+                quarantined=bool(pend.get("quarantined", False)),
+                quarantine_reason=str(pend.get("quarantine_reason", "")),
             )
 
     @classmethod
@@ -544,6 +589,8 @@ def _chunks_to_state(chunks: List[ChunkRecord]) -> Dict[str, Any]:
             [c.block_converged for c in chunks], dtype=bool
         ),
         "retries": np.array([c.retries for c in chunks], dtype=np.int64),
+        "quarantined": np.array([c.quarantined for c in chunks], dtype=bool),
+        "quarantine_reason": [c.quarantine_reason for c in chunks],
         "steps_per_chunk": np.array([len(c.steps) for c in chunks], dtype=np.int64),
         "steps": records_to_state([s for c in chunks for s in c.steps]),
         "fallback": _ragged_to_state([c.fallback_columns for c in chunks]),
@@ -558,7 +605,10 @@ def _chunks_from_state(state: Dict[str, Any]) -> List[ChunkRecord]:
     empty = TimingRecord(phases={}, counts={})
     out: List[ChunkRecord] = []
     offset = 0
-    for i in range(len(state["chunk_index"])):
+    n_chunks = len(state["chunk_index"])
+    quarantined = state.get("quarantined", np.zeros(n_chunks, dtype=bool))
+    reasons = state.get("quarantine_reason", [""] * n_chunks)
+    for i in range(n_chunks):
         n_steps = int(state["steps_per_chunk"][i])
         out.append(
             ChunkRecord(
@@ -573,6 +623,8 @@ def _chunks_from_state(state: Dict[str, Any]) -> List[ChunkRecord]:
                 fallback_columns=fallback[i],
                 degradations=degradations[i],
                 retries=int(state["retries"][i]),
+                quarantined=bool(quarantined[i]),
+                quarantine_reason=str(reasons[i]),
             )
         )
         offset += n_steps

@@ -1,0 +1,47 @@
+"""Numerical health: invariant monitors and step acceptance.
+
+The layer between "the solver converged" (solvers, PR 1) and "the
+process survived" (resilience, PR 2): watches the *physics* of the
+simulation state, grades violations (ok/warn/fatal), and lets the
+acceptance controller reject bad steps, back off ``dt``, or quarantine
+a poisoned MRHS chunk.  See DESIGN.md §10.
+"""
+
+from repro.health.acceptance import (
+    StepAcceptanceController,
+    StepOutcome,
+    violation_traced_to_guess,
+)
+from repro.health.invariants import (
+    BoxEscapeCheck,
+    FiniteStateCheck,
+    FluctuationDissipationCheck,
+    HealthContext,
+    InvariantCheck,
+    InvariantResult,
+    OverlapCheck,
+    Severity,
+    SpectrumCheck,
+    default_checks,
+    deepest_relative_overlap,
+)
+from repro.health.monitor import HealthMonitor, HealthReport
+
+__all__ = [
+    "Severity",
+    "InvariantResult",
+    "HealthContext",
+    "InvariantCheck",
+    "FiniteStateCheck",
+    "BoxEscapeCheck",
+    "OverlapCheck",
+    "SpectrumCheck",
+    "FluctuationDissipationCheck",
+    "default_checks",
+    "deepest_relative_overlap",
+    "HealthMonitor",
+    "HealthReport",
+    "StepAcceptanceController",
+    "StepOutcome",
+    "violation_traced_to_guess",
+]

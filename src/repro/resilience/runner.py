@@ -30,11 +30,12 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.health.acceptance import StepAcceptanceController
+from repro.health.monitor import HealthMonitor
 from repro.resilience.checkpoint import CheckpointManager
 from repro.resilience.faults import (
     BlockSolveBroken,
     FaultEvent,
-    FaultInjected,
     FaultInjector,
     FaultPlan,
     SimulationKilled,
@@ -78,6 +79,12 @@ class RunReport:
     """``(chunk_index, m_after)`` per degradation event."""
     checkpoints: List[Path] = field(default_factory=list)
     faults: List[FaultEvent] = field(default_factory=list)
+    quarantines: int = 0
+    """MRHS chunks whose block solutions were discarded after a health
+    violation was traced to a stale/poisoned initial guess."""
+    rejected_checks: List[str] = field(default_factory=list)
+    """Invariant names whose fatal verdicts rejected steps (monitor
+    runs only)."""
 
 
 class ResilientRunner:
@@ -98,6 +105,17 @@ class ResilientRunner:
     injector:
         Optional fault plan/injector armed for the duration of each
         :meth:`run_steps` call.
+    monitor:
+        Optional :class:`~repro.health.monitor.HealthMonitor`.  When
+        given it is attached to the underlying SD driver (so every step
+        is observed), healing consults its verdicts — a step whose
+        invariants go fatal is rejected and retried even if no
+        exception was raised — and checkpoints embed the health report
+        under a ``"health"`` key.
+    reject_on_fatal:
+        With ``False`` the monitor only *observes* (report still
+        recorded and checkpointed) and step rejection falls back to the
+        exception/state-screen diagnosis alone.
     """
 
     def __init__(
@@ -109,6 +127,8 @@ class ResilientRunner:
         manager: Optional[CheckpointManager] = None,
         checkpoint_every: int = 0,
         injector: Optional[Union[FaultInjector, FaultPlan]] = None,
+        monitor: Optional[HealthMonitor] = None,
+        reject_on_fatal: bool = True,
     ) -> None:
         if hasattr(driver, "begin_chunk") and hasattr(driver, "sd"):
             self._chunked = True
@@ -133,8 +153,16 @@ class ResilientRunner:
             if injector is None or isinstance(injector, FaultInjector)
             else FaultInjector(injector)
         )
+        self.monitor = monitor
         self._original_dt = float(self._sd().params.dt)
         self._streak = 0
+        if monitor is not None:
+            self._sd().health = monitor
+        self._controller = StepAcceptanceController(
+            driver,
+            retry=retry,
+            monitor=monitor if reject_on_fatal else None,
+        )
 
     # ------------------------------------------------------------------
     def _sd(self):
@@ -233,52 +261,19 @@ class ResilientRunner:
             return
 
     def _attempt_step(self, report: RunReport) -> None:
-        """One healthy step, retrying with dt backoff on bad outcomes."""
-        shadow = self.driver.get_state()
-        shadow_dt = float(self._sd().params.dt)
-        retries = 0
-        while True:
-            failure = None
-            try:
-                if self._chunked:
-                    self.driver.step_in_chunk()
-                else:
-                    self.driver.step()
-            except FaultInjected:
-                raise
-            except (ValueError, RuntimeError, ArithmeticError,
-                    np.linalg.LinAlgError) as exc:
-                failure = f"step raised {type(exc).__name__}: {exc}"
-            if failure is None:
-                failure = self._health_failure()
-            if failure is None:
-                if self._chunked and self.driver.pending is not None:
-                    self.driver.pending.retries += retries
-                return
-            if retries >= self.retry.max_retries:
-                raise ResilienceExhausted(
-                    f"step {self.step_index} failed after "
-                    f"{retries} retries: {failure}"
-                )
-            self.driver.set_state(shadow)
-            retries += 1
-            report.retries += 1
-            report.dt_backoffs += 1
-            self._streak = 0
-            new_dt = shadow_dt * self.retry.dt_backoff**retries
-            self._set_dt(new_dt)
-            logger.warning(
-                "step %d unhealthy (%s); retry %d with dt=%.3g",
-                self.step_index, failure, retries, new_dt,
-            )
+        """One healthy step, retrying with dt backoff on bad outcomes.
 
-    def _health_failure(self) -> Optional[str]:
-        positions = self._sd().system.positions
-        if not np.isfinite(positions).all():
-            return "non-finite positions"
-        if has_overlaps(self._sd().system, self.retry.overlap_tol):
-            return "overlapping particles"
-        return None
+        The accept/reject/retry loop itself lives in
+        :class:`~repro.health.acceptance.StepAcceptanceController`;
+        this method only folds its outcome into the run report.
+        """
+        outcome = self._controller.attempt_step()
+        report.retries += outcome.retries
+        report.dt_backoffs += outcome.dt_backoffs
+        report.quarantines += outcome.quarantines
+        report.rejected_checks.extend(outcome.rejected_checks)
+        if outcome.retries:
+            self._streak = 0
 
     def _after_healthy_step(self, report: RunReport) -> None:
         # Heal dt back toward the original after a healthy streak.
@@ -308,9 +303,10 @@ class ResilientRunner:
             )
 
     def _save_checkpoint(self, report: RunReport) -> None:
-        path = self.manager.save_async(
-            self.driver.get_state(), step=self.step_index
-        )
+        state = self.driver.get_state()
+        if self.monitor is not None:
+            state["health"] = self.monitor.report.to_state()
+        path = self.manager.save_async(state, step=self.step_index)
         if not report.checkpoints or report.checkpoints[-1] != path:
             report.checkpoints.append(path)
 

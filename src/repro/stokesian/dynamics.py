@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Literal, Optional
 
 import numpy as np
 
+from repro.health.invariants import HealthContext
 from repro.resilience.faults import active_injector, fire_fault
 from repro.solvers.cg import CGResult, conjugate_gradient
 from repro.solvers.diagnostics import SolveDiagnostics
@@ -39,6 +40,7 @@ from repro.stokesian.particles import ParticleSystem
 from repro.stokesian.resistance import build_resistance_matrix
 from repro.util.rng import RngLike, as_rng, rng_from_json, rng_state_to_json
 from repro.util.timer import Stopwatch, TimingRecord
+from repro.util.validation import check_finite, check_shape
 
 __all__ = ["SDParameters", "StepRecord", "StokesianDynamics"]
 
@@ -78,8 +80,12 @@ class SDParameters:
     """Widening factor applied to cached spectrum bounds."""
 
     def __post_init__(self) -> None:
-        if self.dt <= 0 or self.viscosity <= 0 or self.kT <= 0:
-            raise ValueError("dt, viscosity and kT must be positive")
+        for name in ("dt", "viscosity", "kT"):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value <= 0:
+                raise ValueError(
+                    f"{name} must be positive and finite, got {value}"
+                )
         if self.cheb_degree < 1:
             raise ValueError("cheb_degree must be >= 1")
         if not 0 < self.tol < 1:
@@ -147,6 +153,12 @@ class StokesianDynamics:
         self.rng = as_rng(rng)
         self.step_index = 0
         self.history: List[StepRecord] = []
+        self.health = None
+        """Optional :class:`~repro.health.monitor.HealthMonitor`; when
+        attached, every completed step is observed (positions, Brownian
+        forces, velocities, realized displacement, spectrum bounds).
+        The driver only *reports* — acting on verdicts is the
+        acceptance controller's job."""
         self._cached_bounds: Optional[tuple[float, float]] = None
         self._bounds_age = 0
         # Auxiliary stream for Lanczos starting vectors, split off so
@@ -314,6 +326,26 @@ class StokesianDynamics:
             self.system, p.dt * res2.x, nl, safety=p.overlap_safety
         )
         self.system = new_system
+        if self.health is not None:
+            arrays = {
+                "brownian-force": f_b,
+                "velocity": res2.x,
+                "displacement": final_scale * p.dt * res2.x,
+            }
+            if u_guess is not None:
+                arrays["guess"] = u_guess
+            self.health.observe_step(
+                HealthContext(
+                    step_index=self.step_index,
+                    system=self.system,
+                    dt=p.dt,
+                    kT=p.kT,
+                    arrays=arrays,
+                    bounds=self._cached_bounds,
+                    R=R_k,
+                    final_scale=final_scale,
+                )
+            )
         record = StepRecord(
             step_index=self.step_index,
             iterations_first=res1.iterations,
@@ -365,13 +397,27 @@ class StokesianDynamics:
         }
 
     def set_state(self, state: Dict[str, Any]) -> None:
-        """Restore :meth:`get_state` in place (bit-exact trajectory)."""
+        """Restore :meth:`get_state` in place (bit-exact trajectory).
+
+        Arrays are shape- and finiteness-validated *before* any live
+        state is overwritten: a corrupted checkpoint fails loudly here,
+        at resume, instead of poisoning the trajectory ten steps later.
+        """
         if state.get("kind") != "sd":
             raise ValueError(f"not a StokesianDynamics state: {state.get('kind')!r}")
-        self.params = SDParameters(**state["params"])
-        self.system = ParticleSystem(
-            positions=state["positions"], radii=state["radii"], box=state["box"]
+        positions = check_shape(
+            "checkpoint positions", state["positions"], (None, 3)
         )
+        radii = check_shape("checkpoint radii", state["radii"], (positions.shape[0],))
+        box = check_shape("checkpoint box", state["box"], (3,))
+        for name, arr in (
+            ("checkpoint positions", positions),
+            ("checkpoint radii", radii),
+            ("checkpoint box", box),
+        ):
+            check_finite(name, arr)
+        self.params = SDParameters(**state["params"])
+        self.system = ParticleSystem(positions=positions, radii=radii, box=box)
         self.rng = rng_from_json(state["rng_state"])
         self._aux_rng = rng_from_json(state["aux_rng_state"])
         self.step_index = int(state["step_index"])

@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.util.rng import RngLike, as_rng
+from repro.util.validation import check_finite
 
 __all__ = [
     "ECOLI_RADII_ANGSTROM",
@@ -83,6 +84,11 @@ class ParticleSystem:
             raise ValueError("box must be 3 positive edge lengths")
         if np.any(radii <= 0):
             raise ValueError("all radii must be positive")
+        # Geometry must be finite; positions are deliberately left
+        # permissive — bare drivers propagate a NaN state loudly rather
+        # than masking it (the health layer is what flags it).
+        check_finite("radii", radii)
+        check_finite("box", box)
         if np.any(2 * radii.max() > box):
             raise ValueError("box must be larger than the largest sphere diameter")
         positions = np.mod(positions, box)

@@ -9,6 +9,7 @@ from repro.util.rng import as_rng, rng_from_json, rng_state_to_json, spawn_rngs
 from repro.util.timer import Stopwatch, TimingRecord
 from repro.util.tables import format_table, format_row
 from repro.util.validation import (
+    check_finite,
     check_positive,
     check_shape,
     check_square_blocks,
@@ -23,6 +24,7 @@ __all__ = [
     "TimingRecord",
     "format_table",
     "format_row",
+    "check_finite",
     "check_positive",
     "check_shape",
     "check_square_blocks",

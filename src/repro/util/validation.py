@@ -24,8 +24,17 @@ def check_positive(name: str, value: float, *, strict: bool = True) -> float:
 
 
 def check_shape(name: str, arr: np.ndarray, shape: Sequence[int | None]) -> np.ndarray:
-    """Validate ``arr.shape`` against ``shape`` (``None`` = any extent)."""
+    """Validate ``arr.shape`` against ``shape`` (``None`` = any extent).
+
+    Also rejects non-numeric dtypes (object, str, ...): an array of the
+    right shape but the wrong kind still produces opaque errors three
+    calls deeper, which is exactly what these helpers exist to prevent.
+    """
     arr = np.asarray(arr)
+    if arr.dtype.kind not in "biufc":
+        raise ValueError(
+            f"{name} must have a numeric dtype, got dtype {arr.dtype}"
+        )
     if arr.ndim != len(shape):
         raise ValueError(
             f"{name} must have {len(shape)} dimensions, got {arr.ndim}"
@@ -34,6 +43,31 @@ def check_shape(name: str, arr: np.ndarray, shape: Sequence[int | None]) -> np.n
         if want is not None and got != want:
             raise ValueError(
                 f"{name} has shape {arr.shape}; expected extent {want} on axis {axis}"
+            )
+    return arr
+
+
+def check_finite(name: str, arr: np.ndarray) -> np.ndarray:
+    """Validate that every entry of ``arr`` is finite (no NaN/inf).
+
+    The message names the count and the first offending index, so a
+    poisoned checkpoint or a diverged solve is traceable to the exact
+    entry.  Integer and boolean arrays pass trivially; object arrays
+    are rejected as non-numeric.
+    """
+    arr = np.asarray(arr)
+    if arr.dtype.kind not in "biufc":
+        raise ValueError(
+            f"{name} must have a numeric dtype, got dtype {arr.dtype}"
+        )
+    if arr.dtype.kind in "fc":
+        bad = ~np.isfinite(arr)
+        if bad.any():
+            flat = np.flatnonzero(bad.reshape(-1))
+            first = np.unravel_index(int(flat[0]), arr.shape or (1,))
+            raise ValueError(
+                f"{name} has {int(bad.sum())} non-finite entries "
+                f"(first at index {tuple(int(i) for i in first)})"
             )
     return arr
 

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for the invariant checks.
+
+The contract: random *valid* states never trip a check, and injected
+corruptions (NaN, overlap, box escape, destroyed variance) always trip
+exactly the right check at the right severity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.health.invariants import (
+    BoxEscapeCheck,
+    FiniteStateCheck,
+    FluctuationDissipationCheck,
+    HealthContext,
+    OverlapCheck,
+    Severity,
+    SpectrumCheck,
+    deepest_relative_overlap,
+    default_checks,
+)
+from repro.stokesian.packing import random_configuration
+from repro.stokesian.particles import ParticleSystem
+from repro.stokesian.resistance import build_resistance_matrix
+
+
+def _valid_system(seed, n=12, phi=0.2):
+    return random_configuration(n, phi, rng=seed)
+
+
+def _ctx(system, step=0, **kw):
+    return HealthContext(step_index=step, system=system, **kw)
+
+
+def _escaped(system, particle=0):
+    """A system with one particle outside the box, bypassing the
+    wrapping constructor (simulates in-memory corruption)."""
+    positions = system.positions.copy()
+    positions[particle] = system.box + 1.0
+    bad = ParticleSystem.__new__(ParticleSystem)
+    object.__setattr__(bad, "positions", positions)
+    object.__setattr__(bad, "radii", system.radii.copy())
+    object.__setattr__(bad, "box", system.box.copy())
+    return bad
+
+
+class TestValidStatesNeverTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_all_default_checks_ok(self, seed):
+        system = _valid_system(seed)
+        ctx = _ctx(system)
+        for check in default_checks():
+            result = check.check(ctx)
+            assert result.severity is Severity.OK, (
+                f"{result.check} tripped on a valid state: {result.message}"
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_spectrum_ok_on_real_resistance(self, seed):
+        system = _valid_system(seed)
+        R = build_resistance_matrix(system)
+        result = SpectrumCheck().check(_ctx(system, R=R, bounds=(0.5, 50.0)))
+        assert result.severity is Severity.OK
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        dt=st.floats(1e-4, 1.0),
+        kT=st.floats(0.1, 10.0),
+    )
+    def test_fd_ok_when_untruncated(self, seed, dt, kT):
+        """Realized == intended displacement keeps the FD monitor quiet
+        regardless of dt/kT."""
+        rng = np.random.default_rng(seed)
+        system = _valid_system(seed)
+        check = FluctuationDissipationCheck(window=4, band_slack=1e12)
+        for step in range(6):
+            u = rng.standard_normal(system.dof)
+            ctx = _ctx(system, step=step, dt=dt, kT=kT)
+            ctx.arrays = {"velocity": u, "displacement": dt * u}
+            result = check.check(ctx)
+            assert result.severity is Severity.OK
+
+
+class TestCorruptionsAlwaysTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        which=st.sampled_from(["positions", "velocity", "brownian-force"]),
+        bad=st.sampled_from([np.nan, np.inf, -np.inf]),
+    )
+    def test_nonfinite_trips_finite_state(self, seed, which, bad):
+        system = _valid_system(seed)
+        rng = np.random.default_rng(seed)
+        ctx = _ctx(system)
+        if which == "positions":
+            positions = system.positions.copy()
+            positions[int(rng.integers(system.n)), int(rng.integers(3))] = bad
+            ctx.system = _escaped(system)  # reuse bypass construction
+            object.__setattr__(ctx.system, "positions", positions)
+        else:
+            arr = rng.standard_normal(system.dof)
+            arr[int(rng.integers(arr.size))] = bad
+            ctx.arrays = {which: arr}
+        result = FiniteStateCheck().check(ctx)
+        assert result.severity is Severity.FATAL
+        assert "non-finite" in result.message
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        particle=st.integers(0, 11),
+    )
+    def test_escape_trips_box_escape(self, seed, particle):
+        system = _valid_system(seed)
+        result = BoxEscapeCheck().check(_ctx(_escaped(system, particle)))
+        assert result.severity is Severity.FATAL
+        assert "outside" in result.message
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), depth=st.floats(0.2, 0.9))
+    def test_overlap_trips_overlap_check(self, seed, depth):
+        system = _valid_system(seed)
+        # Move particle 1 to overlap particle 0 by `depth` of the sum
+        # of radii (through-the-constructor: wrapping keeps validity).
+        positions = system.positions.copy()
+        gap = (1.0 - depth) * float(system.radii[0] + system.radii[1])
+        positions[1] = positions[0] + np.array([gap, 0.0, 0.0])
+        overlapping = system.with_positions(positions)
+        assert deepest_relative_overlap(overlapping) > 0
+        result = OverlapCheck(rel_tol=1e-9).check(_ctx(overlapping))
+        assert result.severity is Severity.FATAL
+        assert "overlap" in result.message
+
+    def test_nonpositive_bounds_trip_spectrum(self):
+        system = _valid_system(3)
+        result = SpectrumCheck().check(_ctx(system, bounds=(-1.0, 10.0)))
+        assert result.severity is Severity.FATAL
+        assert "positive-definiteness" in result.message
+
+    def test_indefinite_diagonal_block_trips_spectrum(self):
+        system = _valid_system(4)
+        R = build_resistance_matrix(system)
+        # Flip diagonal block (0, 0) to -I in place.
+        start, stop = int(R.row_ptr[0]), int(R.row_ptr[1])
+        entry = start + int(
+            np.flatnonzero(R.col_ind[start:stop] == 0)[0]
+        )
+        R.blocks[entry] = -np.eye(3)
+        result = SpectrumCheck().check(_ctx(system, R=R))
+        assert result.severity is Severity.FATAL
+
+    def test_huge_condition_warns(self):
+        system = _valid_system(5)
+        result = SpectrumCheck(cond_warn=1e10).check(
+            _ctx(system, bounds=(1e-12, 1e3))
+        )
+        assert result.severity is Severity.WARN
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), scale=st.floats(0.05, 0.6))
+    def test_truncation_trips_fd(self, seed, scale):
+        """Systematic displacement truncation below sqrt(0.5) in
+        variance goes fatal once the window fills."""
+        rng = np.random.default_rng(seed)
+        system = _valid_system(seed)
+        check = FluctuationDissipationCheck(
+            window=4, fatal_truncation=0.5, band_slack=1e12
+        )
+        worst = Severity.OK
+        for step in range(8):
+            u = rng.standard_normal(system.dof)
+            ctx = _ctx(system, step=step, dt=0.05)
+            ctx.arrays = {"velocity": u, "displacement": scale * 0.05 * u}
+            worst = max(worst, check.check(ctx).severity)
+        # realized/intended variance = scale^2 < 0.36 < fatal 0.5
+        assert worst is Severity.FATAL
+
+
+class TestFdWindowMechanics:
+    def _feed(self, check, steps, dt=0.05, scale=1.0, start=0):
+        rng = np.random.default_rng(0)
+        system = _valid_system(0)
+        results = []
+        for step in range(start, start + steps):
+            u = rng.standard_normal(system.dof)
+            ctx = _ctx(system, step=step, dt=dt)
+            ctx.arrays = {"velocity": u, "displacement": scale * dt * u}
+            results.append(check.check(ctx))
+        return results
+
+    def test_dt_change_flushes_window(self):
+        check = FluctuationDissipationCheck(window=4, band_slack=1e12)
+        self._feed(check, 3, dt=0.05, scale=0.1)
+        # dt changes before the window fills with truncated entries:
+        # the old entries must not contaminate the new-dt verdict.
+        results = self._feed(check, 3, dt=0.025, scale=1.0, start=3)
+        assert all(r.severity is Severity.OK for r in results)
+
+    def test_drop_since_withdraws_entries(self):
+        check = FluctuationDissipationCheck(window=4, band_slack=1e12)
+        self._feed(check, 3, scale=0.1)
+        check.drop_since(1)
+        assert len(check._entries) == 1
+
+    def test_reset_clears(self):
+        check = FluctuationDissipationCheck(window=4)
+        self._feed(check, 3)
+        check.reset()
+        assert len(check._entries) == 0
+
+
+class TestParameterValidation:
+    def test_fd_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            FluctuationDissipationCheck(window=1)
+
+    def test_fd_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            FluctuationDissipationCheck(
+                warn_truncation=0.4, fatal_truncation=0.5
+            )
+
+    def test_overlap_rejects_negative_tol(self):
+        with pytest.raises(ValueError):
+            OverlapCheck(rel_tol=-1.0)

@@ -1,0 +1,197 @@
+"""HealthMonitor: cadence, short-circuit, ring buffer, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.health.invariants import (
+    HealthContext,
+    InvariantCheck,
+    InvariantResult,
+    Severity,
+)
+from repro.health.monitor import HealthMonitor, HealthReport
+from repro.resilience.checkpoint import pack_state, unpack_state
+from repro.stokesian.packing import random_configuration
+
+
+class _Const(InvariantCheck):
+    """Test double returning a fixed severity; counts invocations."""
+
+    def __init__(self, name, severity=Severity.OK, cadence=1):
+        self.name = name
+        self.cadence = cadence
+        self.severity = severity
+        self.calls = 0
+        self.dropped = []
+
+    def check(self, ctx):
+        self.calls += 1
+        return self._result(ctx, self.severity, f"{self.name} fired")
+
+    def drop_since(self, step_index):
+        self.dropped.append(step_index)
+
+
+def _ctx(step=0):
+    return HealthContext(
+        step_index=step, system=random_configuration(8, 0.1, rng=0)
+    )
+
+
+class TestScheduling:
+    def test_cadence_skips_steps(self):
+        every3 = _Const("slow", cadence=3)
+        monitor = HealthMonitor([_Const("fast"), every3])
+        for step in range(9):
+            monitor.observe_step(_ctx(step))
+        assert every3.calls == 3  # steps 0, 3, 6
+        assert monitor.report.total == 9 + 3
+
+    def test_tuple_overrides_cadence(self):
+        check = _Const("c", cadence=1)
+        monitor = HealthMonitor([(check, 5)])
+        for step in range(10):
+            monitor.observe_step(_ctx(step))
+        assert check.calls == 2
+
+    def test_fatal_finite_state_short_circuits(self):
+        downstream = _Const("overlap")
+        finite = _Const("finite-state", severity=Severity.FATAL)
+        monitor = HealthMonitor([finite, downstream])
+        monitor.observe_step(_ctx(0))
+        assert downstream.calls == 0
+
+    def test_other_fatal_does_not_short_circuit(self):
+        downstream = _Const("after")
+        fatal = _Const("overlap", severity=Severity.FATAL)
+        monitor = HealthMonitor([fatal, downstream])
+        monitor.observe_step(_ctx(0))
+        assert downstream.calls == 1
+
+    def test_rejects_bad_cadence(self):
+        with pytest.raises(ValueError):
+            HealthMonitor([(_Const("c"), 0)])
+
+    def test_default_checks_run_on_real_state(self):
+        monitor = HealthMonitor()
+        results = monitor.observe_step(_ctx(0))
+        assert len(results) == 5
+        assert all(r.severity is Severity.OK for r in results)
+
+
+class TestVerdicts:
+    def test_fatal_for_finds_step(self):
+        monitor = HealthMonitor([_Const("bad", severity=Severity.FATAL)])
+        monitor.observe_step(_ctx(7))
+        assert monitor.fatal_for(7).check == "bad"
+        assert monitor.fatal_for(6) is None
+
+    def test_rollback_withdraws_results_and_notifies_checks(self):
+        check = _Const("warned", severity=Severity.WARN)
+        monitor = HealthMonitor([check])
+        for step in range(4):
+            monitor.observe_step(_ctx(step))
+        monitor.rollback(2)
+        assert monitor.report.total == 2
+        assert monitor.report.counts[Severity.WARN] == 2
+        assert monitor.report.rollbacks == 2
+        assert check.dropped == [2]
+
+    def test_observe_block_fatal_on_nan_guesses(self):
+        monitor = HealthMonitor([])
+        U = np.ones((12, 4))
+        U[3, 2] = np.nan
+        results = monitor.observe_block(
+            chunk_index=1, step_index=5, U=U, converged=True
+        )
+        assert results[0].severity is Severity.FATAL
+        assert results[0].check == "block-guesses"
+        assert monitor.fatal_for(5) is not None
+
+    def test_observe_block_warns_on_nonconverged(self):
+        monitor = HealthMonitor([])
+        results = monitor.observe_block(
+            chunk_index=0, step_index=0, U=np.ones((6, 2)), converged=False
+        )
+        assert results[0].severity is Severity.WARN
+
+    def test_observe_block_ok(self):
+        monitor = HealthMonitor([])
+        results = monitor.observe_block(
+            chunk_index=0, step_index=0, U=np.ones((6, 2)), converged=True
+        )
+        assert results[0].severity is Severity.OK
+
+
+class TestReport:
+    def test_ring_evicts_but_counts_survive(self):
+        report = HealthReport(maxlen=4)
+        for step in range(10):
+            report.add(
+                InvariantResult(
+                    check="c", severity=Severity.OK, step_index=step
+                )
+            )
+        assert len(report.results) == 4
+        assert report.total == 10
+
+    def test_worst_tracks_counters_not_ring(self):
+        report = HealthReport(maxlen=2)
+        report.add(
+            InvariantResult(check="c", severity=Severity.FATAL, step_index=0)
+        )
+        for step in range(1, 5):
+            report.add(
+                InvariantResult(
+                    check="c", severity=Severity.OK, step_index=step
+                )
+            )
+        assert report.fatal_events() == []  # evicted from the ring
+        assert report.worst() is Severity.FATAL  # but remembered
+
+    def test_summary_mentions_rollbacks(self):
+        report = HealthReport()
+        report.add(
+            InvariantResult(check="c", severity=Severity.WARN, step_index=3)
+        )
+        report.drop_since(0)
+        assert "withdrawn" in report.summary()
+
+    def test_rejects_bad_maxlen(self):
+        with pytest.raises(ValueError):
+            HealthReport(maxlen=0)
+
+    def test_state_roundtrip_through_checkpoint_packing(self):
+        monitor = HealthMonitor(
+            [_Const("a"), _Const("b", severity=Severity.WARN)]
+        )
+        for step in range(5):
+            monitor.observe_step(_ctx(step))
+        monitor.rollback(4)
+        original = monitor.report
+        packed = pack_state({"health": original.to_state()})
+        restored = HealthReport.from_state(unpack_state(packed)["health"])
+        assert restored.summary() == original.summary()
+        assert [r.step_index for r in restored.results] == [
+            r.step_index for r in original.results
+        ]
+        assert [r.check for r in restored.results] == [
+            r.check for r in original.results
+        ]
+        assert restored.counts == original.counts
+        assert restored.rollbacks == original.rollbacks
+
+    def test_empty_report_roundtrip(self):
+        report = HealthReport()
+        restored = HealthReport.from_state(
+            unpack_state(pack_state({"h": report.to_state()}))["h"]
+        )
+        assert restored.total == 0
+        assert restored.worst() is Severity.OK
+
+    def test_reset_clears_report_and_checks(self):
+        check = _Const("c")
+        monitor = HealthMonitor([check])
+        monitor.observe_step(_ctx(0))
+        monitor.reset()
+        assert monitor.report.total == 0

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.util.validation import (
+    check_finite,
     check_index_array,
     check_positive,
     check_shape,
@@ -46,6 +47,46 @@ class TestCheckShape:
     def test_wrong_extent(self):
         with pytest.raises(ValueError, match="axis 1"):
             check_shape("a", np.zeros((2, 4)), (2, 3))
+
+    def test_rejects_object_dtype(self):
+        with pytest.raises(ValueError, match="numeric dtype"):
+            check_shape("a", np.array([object(), object()]), (2,))
+
+    def test_rejects_string_dtype(self):
+        with pytest.raises(ValueError, match="numeric dtype"):
+            check_shape("a", np.array([["x", "y", "z"]]), (None, 3))
+
+    def test_accepts_integer_and_bool(self):
+        check_shape("a", np.zeros((2, 3), dtype=np.int32), (2, 3))
+        check_shape("a", np.zeros((2, 3), dtype=bool), (2, 3))
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        arr = check_finite("a", np.arange(6.0).reshape(2, 3))
+        assert arr.shape == (2, 3)
+
+    def test_accepts_integer_trivially(self):
+        check_finite("a", np.arange(5))
+
+    def test_rejects_nan_with_location(self):
+        arr = np.zeros((2, 3))
+        arr[1, 2] = np.nan
+        with pytest.raises(ValueError, match=r"1 non-finite.*\(1, 2\)"):
+            check_finite("a", arr)
+
+    def test_rejects_inf_and_counts(self):
+        arr = np.array([np.inf, 1.0, -np.inf])
+        with pytest.raises(ValueError, match="2 non-finite"):
+            check_finite("a", arr)
+
+    def test_rejects_object_dtype(self):
+        with pytest.raises(ValueError, match="numeric dtype"):
+            check_finite("a", np.array([None, 1.0]))
+
+    def test_scalar_array(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite("a", np.float64(np.nan))
 
 
 class TestCheckSquareBlocks:
