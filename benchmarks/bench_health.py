@@ -28,7 +28,10 @@ from repro.resilience import ResilienceExhausted, ResilientRunner, RetryPolicy
 from repro.stokesian.dynamics import SDParameters, StokesianDynamics
 from repro.stokesian.packing import random_configuration
 
-OUT_DIR = Path(__file__).parent / "out"
+try:
+    from benchmarks._emit import OUT_DIR, emit_report, utc_now
+except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+    from _emit import OUT_DIR, emit_report, utc_now
 
 # examples/quickstart.py scale.
 N_PARTICLES = 150
@@ -43,6 +46,18 @@ DRILL_N = 40
 DRILL_PHI = 0.45
 DRILL_DT = 5.0
 DRILL_STEPS = 12
+
+CONFIG = {
+    "n_particles": N_PARTICLES,
+    "phi": PHI,
+    "m": M,
+    "n_chunks": N_CHUNKS,
+    "overhead_target_pct": OVERHEAD_TARGET_PCT,
+    "drill_n": DRILL_N,
+    "drill_phi": DRILL_PHI,
+    "drill_dt": DRILL_DT,
+    "drill_steps": DRILL_STEPS,
+}
 
 
 def _driver(seed: int = 11, monitor: HealthMonitor | None = None):
@@ -90,10 +105,7 @@ def measure_rejection_drill() -> dict:
     runner = ResilientRunner(
         driver, retry=RetryPolicy(max_retries=8), monitor=monitor
     )
-    out = {
-        "drill_dt": DRILL_DT,
-        "drill_steps": DRILL_STEPS,
-    }
+    out = {}
     try:
         report = runner.run_steps(DRILL_STEPS)
     except ResilienceExhausted as exc:
@@ -124,12 +136,7 @@ def measure_rejection_drill() -> dict:
 
 
 def collect() -> dict:
-    results = {
-        "n_particles": N_PARTICLES,
-        "phi": PHI,
-        "m": M,
-        "overhead_target_pct": OVERHEAD_TARGET_PCT,
-    }
+    results = {}
     results.update(measure_overhead())
     results.update(measure_rejection_drill())
     return results
@@ -146,15 +153,13 @@ def _passed(results: dict) -> bool:
     )
 
 
-def write_report(results: dict, out_path: Path) -> None:
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    out_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-
-
 def test_health_overhead(benchmark):
     results = collect()
     assert _passed(results), results
-    write_report(results, OUT_DIR / "BENCH_health.json")
+    emit_report(
+        "health", config=CONFIG, metrics=results, timestamp=utc_now(),
+        passed=True,
+    )
 
     # Benchmark one full default-catalogue observation on a live state.
     from repro.health.invariants import HealthContext
@@ -178,11 +183,13 @@ def test_health_overhead(benchmark):
 
 def main() -> int:
     results = collect()
-    out = Path("BENCH_health.json")
-    write_report(results, out)
-    write_report(results, OUT_DIR / "BENCH_health.json")
-    print(json.dumps(results, indent=2, sort_keys=True))
     ok = _passed(results)
+    emit_report(
+        "health", config=CONFIG, metrics=results, timestamp=utc_now(),
+        passed=ok,
+        out_paths=[Path("BENCH_health.json"), OUT_DIR / "BENCH_health.json"],
+    )
+    print(json.dumps(results, indent=2, sort_keys=True))
     print("PASS" if ok else "FAIL")
     return 0 if ok else 1
 

@@ -34,7 +34,10 @@ from repro.resilience import (
 from repro.stokesian.dynamics import SDParameters
 from repro.stokesian.packing import random_configuration
 
-OUT_DIR = Path(__file__).parent / "out"
+try:
+    from benchmarks._emit import OUT_DIR, emit_report, utc_now
+except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+    from _emit import OUT_DIR, emit_report, utc_now
 
 # examples/quickstart.py scale.
 N_PARTICLES = 150
@@ -42,6 +45,14 @@ PHI = 0.4
 M = 8
 N_STEPS = 8
 KILL_AT = 5
+
+CONFIG = {
+    "n_particles": N_PARTICLES,
+    "phi": PHI,
+    "m": M,
+    "n_steps": N_STEPS,
+    "kill_at": KILL_AT,
+}
 
 
 def _driver(seed: int = 11) -> MrhsStokesianDynamics:
@@ -126,27 +137,20 @@ def measure_resume(ckpt_dir: Path) -> dict:
 
 
 def collect(base_dir: Path) -> dict:
-    results = {
-        "n_particles": N_PARTICLES,
-        "phi": PHI,
-        "m": M,
-        "n_steps": N_STEPS,
-    }
+    results = {}
     results.update(measure_overhead(base_dir / "overhead"))
     results.update(measure_resume(base_dir / "resume"))
     return results
-
-
-def write_report(results: dict, out_path: Path) -> None:
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    out_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 
 def test_resilience_overhead(benchmark, tmp_path):
     results = collect(tmp_path)
     assert results["resume_bitexact"]
     assert results["checkpoint_overhead_pct"] < 5.0
-    write_report(results, OUT_DIR / "BENCH_resilience.json")
+    emit_report(
+        "resilience", config=CONFIG, metrics=results, timestamp=utc_now(),
+        passed=True,
+    )
 
     # Benchmark the checkpoint round-trip itself (save + verify-load).
     driver = _driver()
@@ -163,10 +167,16 @@ def test_resilience_overhead(benchmark, tmp_path):
 def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         results = collect(Path(tmp))
-    out = Path("BENCH_resilience.json")
-    write_report(results, out)
-    print(json.dumps(results, indent=2, sort_keys=True))
     ok = results["resume_bitexact"] and results["checkpoint_overhead_pct"] < 5.0
+    emit_report(
+        "resilience", config=CONFIG, metrics=results, timestamp=utc_now(),
+        passed=ok,
+        out_paths=[
+            Path("BENCH_resilience.json"),
+            OUT_DIR / "BENCH_resilience.json",
+        ],
+    )
+    print(json.dumps(results, indent=2, sort_keys=True))
     print("PASS" if ok else "FAIL")
     return 0 if ok else 1
 

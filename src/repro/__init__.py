@@ -42,6 +42,9 @@ Subpackages
     Numerical health: invariant monitors over the simulation state,
     graded verdicts, and the step acceptance/rejection controller with
     MRHS chunk quarantine.
+``repro.telemetry``
+    Observability: hierarchical span tracing, a metrics registry, and
+    the measured-vs-model roofline report.
 """
 
 from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
@@ -62,6 +65,7 @@ from repro.stokesian.dynamics import SDParameters, StokesianDynamics
 from repro.stokesian.packing import random_configuration
 from repro.stokesian.particles import ParticleSystem
 from repro.stokesian.resistance import build_resistance_matrix
+from repro.telemetry import NULL_HUB, MetricsRegistry, TelemetryHub, Tracer
 
 __version__ = "1.0.0"
 
@@ -87,5 +91,9 @@ __all__ = [
     "Severity",
     "StepAcceptanceController",
     "default_checks",
+    "TelemetryHub",
+    "NULL_HUB",
+    "Tracer",
+    "MetricsRegistry",
     "__version__",
 ]

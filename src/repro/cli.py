@@ -18,6 +18,12 @@ Small, scriptable entry points over the library's main workflows:
 ``health``
     Print the :class:`~repro.health.monitor.HealthReport` embedded in a
     checkpoint — the post-mortem of a dead or degraded run.
+``trace``
+    Render the span tree and per-phase wall-time totals recorded in a
+    telemetry directory (``simulate --telemetry-dir``).
+``report``
+    Metrics summary plus the measured-vs-model roofline table joining
+    recorded GSPMV/SPMV spans against :mod:`repro.perfmodel`.
 
 ``simulate`` grows a resilient mode: passing ``--checkpoint-every`` /
 ``--checkpoint-dir`` runs the MRHS driver under the
@@ -26,12 +32,15 @@ checkpoints, so a killed process can be continued with ``resume``.
 ``--health-checks`` attaches an invariant :class:`HealthMonitor`
 (observe only); ``--reject-bad-steps`` additionally lets fatal
 verdicts reject steps (retry with dt halved, MRHS chunk quarantine).
-Both imply the resilient runner.
+Both imply the resilient runner, as does ``--telemetry-dir`` (which
+attaches a :class:`~repro.telemetry.TelemetryHub` writing
+``trace.jsonl`` + ``metrics.json`` for ``trace`` / ``report``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -85,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint directory (enables the resilient runner)",
     )
     sim.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="record span trace + metrics into this directory "
+        "(enables the resilient runner)",
+    )
+    sim.add_argument(
         "--out", default=None, help="save the final configuration (.npz)"
     )
     # Simulated process kill after a given global step (failure drills
@@ -107,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument(
         "--checkpoint-every", type=int, default=0, metavar="N",
         help="keep checkpointing every N steps while resumed",
+    )
+    res.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="continue recording telemetry into this directory "
+        "(trace appends; counters restore from the checkpoint)",
     )
     res.add_argument(
         "--out", default=None, help="save the final configuration (.npz)"
@@ -147,6 +168,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         metavar="N",
         help="show the last N non-OK events (default 10)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="render the span tree of a telemetry directory"
+    )
+    trace.add_argument(
+        "run", help="telemetry directory (or a trace.jsonl file)"
+    )
+    trace.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        metavar="D",
+        help="limit the tree to D levels",
+    )
+
+    rep = sub.add_parser(
+        "report", help="metrics summary + measured-vs-model roofline"
+    )
+    rep.add_argument("run", help="telemetry directory")
+    rep.add_argument(
+        "--machine",
+        choices=["wsm", "snb", "host"],
+        default="wsm",
+        help="machine model to join measurements against (default wsm)",
+    )
+    rep.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="flag rows deviating more than this fraction (default 0.25)",
+    )
+    fmt = rep.add_mutually_exclusive_group()
+    fmt.add_argument(
+        "--json", action="store_true", help="emit a single JSON document"
+    )
+    fmt.add_argument(
+        "--markdown", action="store_true", help="emit a markdown document"
     )
     return parser
 
@@ -206,6 +265,24 @@ def _kill_plan(args):
     )
 
 
+def _make_hub(args):
+    """Build a ``TelemetryHub`` from ``--telemetry-dir``, or ``None``."""
+    if getattr(args, "telemetry_dir", None) is None:
+        return None
+    from repro.telemetry import TelemetryHub
+
+    return TelemetryHub(args.telemetry_dir)
+
+
+def _close_hub(hub, **attrs) -> None:
+    if hub is not None:
+        import repro.telemetry as _telemetry
+
+        hub.close(**attrs)
+        if _telemetry.active_hub is hub:
+            _telemetry.uninstall()
+
+
 def _simulate_resilient(args) -> int:
     from repro import (
         HealthMonitor,
@@ -220,14 +297,17 @@ def _simulate_resilient(args) -> int:
         ResilientRunner,
         SimulationKilled,
     )
+    from repro.telemetry import NULL_HUB
 
     n_steps = args.steps if args.steps is not None else args.chunks * args.m
     system = random_configuration(args.n, args.phi, rng=args.seed)
+    hub = _make_hub(args)
     driver = MrhsStokesianDynamics(
         system,
         SDParameters(dt=args.dt),
         MrhsParameters(m=args.m),
         rng=args.seed + 1,
+        telemetry=NULL_HUB if hub is None else hub,
     )
     manager = None
     if args.checkpoint_every or args.checkpoint_dir is not None:
@@ -246,21 +326,28 @@ def _simulate_resilient(args) -> int:
         reject_on_fatal=args.reject_bad_steps,
     )
     try:
-        report = runner.run_steps(n_steps)
-    except SimulationKilled as exc:
-        print(f"killed: {exc}; checkpoints remain in {manager.directory}")
-        return 3
-    except ResilienceExhausted as exc:
-        print(f"aborted: {exc}", file=sys.stderr)
-        if monitor is not None:
-            print(monitor.report.summary(), file=sys.stderr)
-            for r in monitor.report.fatal_events():
-                print(
-                    f"  FATAL {r.check} at step {r.step_index}: {r.message}",
-                    file=sys.stderr,
-                )
-        return 4
+        try:
+            report = runner.run_steps(n_steps)
+        except SimulationKilled as exc:
+            _close_hub(hub, killed=True)
+            hub = None
+            print(f"killed: {exc}; checkpoints remain in {manager.directory}")
+            return 3
+        except ResilienceExhausted as exc:
+            print(f"aborted: {exc}", file=sys.stderr)
+            if monitor is not None:
+                print(monitor.report.summary(), file=sys.stderr)
+                for r in monitor.report.fatal_events():
+                    print(
+                        f"  FATAL {r.check} at step {r.step_index}: {r.message}",
+                        file=sys.stderr,
+                    )
+            return 4
+    finally:
+        _close_hub(hub)
     _print_run_summary(driver, report, manager, args.out, monitor=monitor)
+    if args.telemetry_dir is not None:
+        print(f"telemetry written to {args.telemetry_dir}")
     return 0
 
 
@@ -282,7 +369,8 @@ def _cmd_resume(args) -> int:
         manager = CheckpointManager(target.parent)
         state, meta = manager.load(target)
         path = target
-    driver = resume_driver(state)
+    hub = _make_hub(args)
+    driver = resume_driver(state, telemetry=hub)
     sd = driver.sd if hasattr(driver, "sd") else driver
     print(
         f"resumed {meta.get('kind')} run from {path} "
@@ -302,10 +390,15 @@ def _cmd_resume(args) -> int:
         injector=_kill_plan(args),
     )
     try:
-        report = runner.run_steps(remaining)
-    except SimulationKilled as exc:
-        print(f"killed: {exc}; checkpoints remain in {manager.directory}")
-        return 3
+        try:
+            report = runner.run_steps(remaining)
+        except SimulationKilled as exc:
+            _close_hub(hub, killed=True)
+            hub = None
+            print(f"killed: {exc}; checkpoints remain in {manager.directory}")
+            return 3
+    finally:
+        _close_hub(hub)
     _print_run_summary(driver, report, manager, args.out)
     return 0
 
@@ -317,6 +410,7 @@ def _cmd_simulate(args) -> int:
         or args.health_checks
         or args.reject_bad_steps
         or args.nan_at is not None
+        or args.telemetry_dir is not None
     ):
         return _simulate_resilient(args)
     from repro import SDParameters, random_configuration, run_comparison
@@ -463,6 +557,95 @@ def _cmd_health(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from repro.telemetry.hub import TRACE_FILENAME
+    from repro.telemetry.report import (
+        render_phase_totals,
+        render_trace_tree,
+    )
+    from repro.telemetry.tracer import read_trace
+
+    target = Path(args.run)
+    trace_path = target / TRACE_FILENAME if target.is_dir() else target
+    if not trace_path.exists():
+        print(f"error: no trace at {trace_path}", file=sys.stderr)
+        return 2
+    events = read_trace(trace_path)
+    if not events:
+        print(f"{trace_path} holds no span events", file=sys.stderr)
+        return 2
+    print(f"trace: {trace_path} ({len(events)} spans)")
+    print()
+    print(render_trace_tree(events, max_depth=args.depth))
+    print()
+    print(render_phase_totals(events))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import json as _json
+
+    from repro.telemetry.report import (
+        RooflineReport,
+        load_run_metrics,
+        resolve_machine,
+    )
+
+    machine = resolve_machine(args.machine)
+    try:
+        roofline = RooflineReport.from_run(
+            args.run, machine, threshold=args.threshold
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    metrics = load_run_metrics(args.run)
+
+    if args.json:
+        print(
+            _json.dumps(
+                {"metrics": metrics, "roofline": roofline.as_dict()},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    md = args.markdown
+    print("## Metrics" if md else f"metrics summary ({args.run}):")
+    if metrics is None:
+        print("(no metrics.json in the run directory)")
+    else:
+        rows = []
+        rows += sorted(metrics.get("counters", {}).items())
+        rows += sorted(metrics.get("gauges", {}).items())
+        rows += [
+            (name, f"mean={h['mean']:.3e} (n={h['count']})")
+            for name, h in sorted(metrics.get("histograms", {}).items())
+        ]
+        if md:
+            print()
+            print("| metric | value |")
+            print("|---|---|")
+            for name, value in rows:
+                print(f"| `{name}` | {value} |")
+            print()
+        else:
+            for name, value in rows:
+                print(f"  {name} = {value}")
+    print("## Roofline" if md else "")
+    print(roofline.to_markdown())
+    if roofline.flagged_rows:
+        print()
+        print(
+            f"{len(roofline.flagged_rows)} row(s) deviate more than "
+            f"{roofline.threshold:.0%} from the model"
+        )
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "roofline": _cmd_roofline,
@@ -470,12 +653,22 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "resume": _cmd_resume,
     "health": _cmd_health,
+    "trace": _cmd_trace,
+    "report": _cmd_report,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/`head` that exited early — not an
+        # error.  Detach stdout so the interpreter shutdown does not
+        # raise again on the implicit flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()

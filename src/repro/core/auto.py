@@ -53,13 +53,17 @@ class AutoMrhsStokesianDynamics:
         m_cap: int = 64,
         rng: RngLike = None,
         forces=None,
+        telemetry=None,
     ) -> None:
         if m_cap < 1:
             raise ValueError("m_cap must be >= 1")
         self.policy = policy if policy is not None else AdaptiveM(m=4, m_max=m_cap)
         self.m_cap = int(m_cap)
+        from repro.telemetry import NULL_HUB
+
         self._driver = MrhsStokesianDynamics(
-            system, params, MrhsParameters(m=1), rng=rng, forces=forces
+            system, params, MrhsParameters(m=1), rng=rng, forces=forces,
+            telemetry=NULL_HUB if telemetry is None else telemetry,
         )
         self.chosen_ms: List[int] = []
         self.block_diagnostics: List[Optional[SolveDiagnostics]] = []
@@ -136,9 +140,14 @@ class AutoMrhsStokesianDynamics:
 
     @classmethod
     def from_state(
-        cls, state: Dict[str, Any], *, policy=None, forces=None
+        cls, state: Dict[str, Any], *, policy=None, forces=None, telemetry=None
     ) -> "AutoMrhsStokesianDynamics":
-        driver = MrhsStokesianDynamics.from_state(state["driver"], forces=forces)
+        from repro.telemetry import NULL_HUB
+
+        driver = MrhsStokesianDynamics.from_state(
+            state["driver"], forces=forces,
+            telemetry=NULL_HUB if telemetry is None else telemetry,
+        )
         obj = cls.__new__(cls)
         obj.policy = policy
         obj.m_cap = int(state["m_cap"])

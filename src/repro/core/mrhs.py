@@ -53,6 +53,7 @@ from repro.stokesian.dynamics import (
     records_to_state,
 )
 from repro.stokesian.particles import ParticleSystem
+from repro.telemetry import NULL_HUB, NULL_SPAN, TelemetryHub
 from repro.util.rng import RngLike
 from repro.util.timer import Stopwatch, TimingRecord
 
@@ -187,11 +188,20 @@ class MrhsStokesianDynamics:
         *,
         rng: RngLike = None,
         forces=None,
+        telemetry: TelemetryHub = NULL_HUB,
     ) -> None:
-        self.sd = StokesianDynamics(system, params, rng=rng, forces=forces)
+        self.sd = StokesianDynamics(
+            system, params, rng=rng, forces=forces, telemetry=telemetry
+        )
         self.mrhs = mrhs
         self.chunks: List[ChunkRecord] = []
         self._pending: Optional[_PendingChunk] = None
+        self._chunk_span = NULL_SPAN
+        """The open span of the pending chunk (steps nest under it)."""
+
+    @property
+    def telemetry(self) -> TelemetryHub:
+        return self.sd.telemetry
 
     # ------------------------------------------------------------------
     @property
@@ -298,21 +308,32 @@ class MrhsStokesianDynamics:
         if m < 1:
             raise ValueError("m must be >= 1")
         sw = Stopwatch()
-        with sw.phase("Construct R0"):
-            R0 = self.sd.build_matrix()
-        Z = self.sd.draw_noise(m)
-        if Z.ndim == 1:
-            Z = Z[:, None]
-        with sw.phase("Cheb vectors"):
-            gen = self.sd.brownian_generator(R0)
-            F_B = gen.generate(Z)
-        with sw.phase("Calc guesses"):
-            # The deterministic force at the chunk-start configuration
-            # seeds every column (f^P drifts as slowly as R does).
-            rhs = -F_B + self.sd.external_forces()[:, None]
-            block, fallback = self._solve_block(
-                R0, rhs, chunk_index=len(self.chunks)
-            )
+        tr = self.telemetry.tracer
+        # The chunk span stays open across the m in-chunk steps (they
+        # nest under it) and is closed by _finish_chunk — or right here
+        # when the block solve breaks, so no span leaks past the abort.
+        self._chunk_span = tr.start("chunk", chunk=len(self.chunks), m=m)
+        try:
+            with sw.phase("Construct R0"), tr.span("Construct R0"):
+                R0 = self.sd.build_matrix()
+            Z = self.sd.draw_noise(m)
+            if Z.ndim == 1:
+                Z = Z[:, None]
+            with sw.phase("Cheb vectors"), tr.span("Cheb vectors"):
+                gen = self.sd.brownian_generator(R0)
+                F_B = gen.generate(Z)
+            with sw.phase("Calc guesses"), tr.span("Calc guesses"):
+                # The deterministic force at the chunk-start configuration
+                # seeds every column (f^P drifts as slowly as R does).
+                rhs = -F_B + self.sd.external_forces()[:, None]
+                block, fallback = self._solve_block(
+                    R0, rhs, chunk_index=len(self.chunks)
+                )
+        except BaseException as exc:
+            self._chunk_span.set(error=type(exc).__name__)
+            self._chunk_span.end()
+            self._chunk_span = NULL_SPAN
+            raise
         self._pending = _PendingChunk(
             chunk_index=len(self.chunks),
             m=m,
@@ -354,6 +375,8 @@ class MrhsStokesianDynamics:
         if not p.quarantined:
             p.quarantined = True
             p.quarantine_reason = reason
+            self._chunk_span.set(quarantined=True)
+            self.telemetry.metrics.counter("chunks.quarantined").inc()
             logger.warning(
                 "chunk %d quarantined at step %d of %d: %s",
                 p.chunk_index, p.k, p.m, reason or "unspecified",
@@ -384,6 +407,17 @@ class MrhsStokesianDynamics:
 
     def _finish_chunk(self) -> ChunkRecord:
         p = self._pending
+        self._chunk_span.end(
+            block_iterations=p.block_iterations,
+            block_converged=p.block_converged,
+            quarantined=p.quarantined,
+            degraded=bool(p.degradations),
+        )
+        self._chunk_span = NULL_SPAN
+        mx = self.telemetry.metrics
+        mx.counter("chunks.completed").inc()
+        if p.degradations:
+            mx.counter("chunks.degraded").inc()
         record = ChunkRecord(
             chunk_index=p.chunk_index,
             m=p.m,
@@ -505,6 +539,9 @@ class MrhsStokesianDynamics:
             raise ValueError(
                 f"not an MrhsStokesianDynamics state: {state.get('kind')!r}"
             )
+        # Restoring over an in-progress chunk abandons its live span.
+        self._chunk_span.end(abandoned=True)
+        self._chunk_span = NULL_SPAN
         self.sd.set_state(state["sd"])
         block_tol = state.get("block_tol")
         self.mrhs = MrhsParameters(
@@ -540,15 +577,20 @@ class MrhsStokesianDynamics:
 
     @classmethod
     def from_state(
-        cls, state: Dict[str, Any], *, forces=None
+        cls, state: Dict[str, Any], *, forces=None, telemetry: TelemetryHub = NULL_HUB
     ) -> "MrhsStokesianDynamics":
         """Reconstruct a driver from a checkpointed state."""
-        sd = StokesianDynamics.from_state(state["sd"], forces=forces)
+        sd = StokesianDynamics.from_state(
+            state["sd"], forces=forces, telemetry=telemetry
+        )
         driver = cls.__new__(cls)
         driver.sd = sd
         driver.mrhs = MrhsParameters(m=1)
         driver.chunks = []
         driver._pending = None
+        # A restored mid-chunk pending has no live span; its remaining
+        # steps appear as roots in the resumed run's trace segment.
+        driver._chunk_span = NULL_SPAN
         driver.set_state(state)
         return driver
 

@@ -28,6 +28,7 @@ from typing import List
 
 import numpy as np
 
+import repro.telemetry as _telemetry
 from repro.distributed.comm import CommunicationPlan, block_checksum, build_comm_plan
 from repro.distributed.mpi_sim import MpiSim
 from repro.resilience.faults import (
@@ -265,6 +266,20 @@ class DistributedGspmv:
             "corrupted": [e[1:] for e in events if e[0] == "corrupted"],
             "repaired": [e[1:] for e in events if e[0] == "repaired"],
         }
+        hub = _telemetry.active_hub
+        if hub is not None:
+            mx = hub.metrics
+            mx.counter("comm.exchanges", m=m).inc()
+            mx.counter("comm.bytes_sent", m=m).inc(
+                self.last_traffic.bytes_sent
+            )
+            mx.counter("comm.messages_sent", m=m).inc(
+                self.last_traffic.messages_sent
+            )
+            if self.last_exchange["repaired"]:
+                mx.counter("comm.repairs").inc(
+                    len(self.last_exchange["repaired"])
+                )
 
         Y = np.empty((self.A.n_rows, m))
         for r in range(p):

@@ -35,6 +35,7 @@ from repro.health.invariants import deepest_relative_overlap
 from repro.health.monitor import HealthMonitor
 from repro.resilience.faults import FaultInjected
 from repro.resilience.policies import ResilienceExhausted, RetryPolicy
+from repro.telemetry import NULL_HUB
 
 __all__ = [
     "StepOutcome",
@@ -150,10 +151,15 @@ class StepAcceptanceController:
         """
         shadow = self.driver.get_state()
         shadow_dt = float(self._sd().params.dt)
+        telemetry = getattr(self._sd(), "telemetry", NULL_HUB)
         outcome = StepOutcome()
         retries = 0
         backoffs = 0
         while True:
+            # Snapshot per attempt: a rejection withdraws the metrics of
+            # *this* attempt only (mirroring monitor.rollback), keeping
+            # the rejection counters of earlier attempts intact.
+            metrics_shadow = telemetry.metrics.snapshot()
             step_at = self.step_index
             failure: Optional[str] = None
             check: Optional[str] = None
@@ -182,10 +188,14 @@ class StepAcceptanceController:
                     f"step {self.step_index} failed after "
                     f"{retries} retries: {failure}"
                 )
-            # Reject: roll back the state and the monitor's view of it.
+            # Reject: roll back the state, the monitor's view of it, and
+            # the rejected attempt's metrics.
             self.driver.set_state(shadow)
             if self.monitor is not None:
                 self.monitor.rollback(step_at)
+            if metrics_shadow is not None:
+                telemetry.metrics.restore(metrics_shadow)
+            telemetry.metrics.counter("steps.rejected").inc()
             retries += 1
             outcome.retries += 1
             if (
@@ -207,6 +217,7 @@ class StepAcceptanceController:
             else:
                 backoffs += 1
                 outcome.dt_backoffs += 1
+                telemetry.metrics.counter("steps.dt_backoffs").inc()
                 new_dt = shadow_dt * self.retry.dt_backoff**backoffs
                 self._set_dt(new_dt)
                 logger.warning(

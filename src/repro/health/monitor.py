@@ -22,6 +22,7 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+import repro.telemetry as _telemetry
 from repro.health.invariants import (
     HealthContext,
     InvariantCheck,
@@ -59,6 +60,13 @@ class HealthReport:
     def add(self, result: InvariantResult) -> None:
         self._ring.append(result)
         self.counts[result.severity] += 1
+        hub = _telemetry.active_hub
+        if hub is not None:
+            # Recorded inside the step's metrics-snapshot window, so a
+            # rejected step withdraws its verdict counts with the rest.
+            hub.metrics.counter(
+                "health.verdicts", severity=result.severity.name.lower()
+            ).inc()
 
     @property
     def results(self) -> List[InvariantResult]:

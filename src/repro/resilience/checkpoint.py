@@ -34,12 +34,14 @@ import hashlib
 import json
 import queue
 import threading
+import time
 import zipfile
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+import repro.telemetry as _telemetry
 from repro.io import atomic_savez
 from repro.util.rng import rng_from_json, rng_state_to_json  # noqa: F401  (re-export)
 
@@ -211,6 +213,7 @@ class CheckpointManager:
             },
             "state": dict(state),
         }
+        t0 = time.perf_counter()
         arrays = pack_state(payload)
         arrays[_CHECKSUM_KEY] = np.array(_digest(arrays))
         # Uncompressed and without fsync: a checkpoint must cost a few
@@ -221,6 +224,16 @@ class CheckpointManager:
             self.path_for(step), compress=False, fsync=False, **arrays
         )
         self._prune()
+        hub = _telemetry.active_hub
+        if hub is not None:
+            # Metrics only: save() may run on the background writer
+            # thread, and the tracer's span stack is not thread-safe.
+            mx = hub.metrics
+            mx.counter("checkpoint.writes").inc()
+            mx.counter("checkpoint.bytes").inc(path.stat().st_size)
+            mx.histogram("checkpoint.write_seconds").observe(
+                time.perf_counter() - t0
+            )
         return path
 
     def save_async(self, state: Mapping[str, Any], *, step: int) -> Path:

@@ -249,6 +249,10 @@ class ResilientRunner:
                         ) from exc
                     m = max(self.degrade.min_m, m // 2)
                     degradations.append(m)
+                    telemetry = getattr(self._sd(), "telemetry", None)
+                    if telemetry is not None:
+                        telemetry.metrics.counter("chunks.m_degradations").inc()
+                        telemetry.metrics.gauge("chunks.current_m").set(m)
                     attempts = 0
                 continue
             pending.degradations.extend(degradations)
@@ -306,6 +310,14 @@ class ResilientRunner:
         state = self.driver.get_state()
         if self.monitor is not None:
             state["health"] = self.monitor.report.to_state()
+        telemetry = getattr(self._sd(), "telemetry", None)
+        if telemetry is not None and telemetry.enabled:
+            # Counters ride in the checkpoint so a resumed run's metrics
+            # continue monotonically; the trace file is append-only and
+            # needs no state.  Flush first so the JSONL on disk is at
+            # least as fresh as the checkpoint it accompanies.
+            telemetry.flush()
+            state["telemetry"] = telemetry.metrics.to_state()
         path = self.manager.save_async(state, step=self.step_index)
         if not report.checkpoints or report.checkpoints[-1] != path:
             report.checkpoints.append(path)
@@ -313,22 +325,37 @@ class ResilientRunner:
 
 # ----------------------------------------------------------------------
 def resume_driver(
-    state: Dict[str, Any], *, forces=None, policy=None
+    state: Dict[str, Any], *, forces=None, policy=None, telemetry=None
 ) -> Any:
-    """Rebuild the right driver class from a checkpointed state dict."""
+    """Rebuild the right driver class from a checkpointed state dict.
+
+    ``telemetry`` optionally supplies the resumed run's hub; when the
+    checkpoint carries metrics state (written by a telemetry-enabled
+    runner), the hub's counters are restored from it so they continue
+    monotonically across the kill boundary.
+    """
+    from repro.telemetry import NULL_HUB
+
+    hub = NULL_HUB if telemetry is None else telemetry
+    if hub.enabled and "telemetry" in state:
+        hub.metrics.load_state(state["telemetry"])
     kind = state.get("kind")
     if kind == "sd":
         from repro.stokesian.dynamics import StokesianDynamics
 
-        return StokesianDynamics.from_state(state, forces=forces)
+        return StokesianDynamics.from_state(
+            state, forces=forces, telemetry=hub
+        )
     if kind == "mrhs":
         from repro.core.mrhs import MrhsStokesianDynamics
 
-        return MrhsStokesianDynamics.from_state(state, forces=forces)
+        return MrhsStokesianDynamics.from_state(
+            state, forces=forces, telemetry=hub
+        )
     if kind == "auto":
         from repro.core.auto import AutoMrhsStokesianDynamics
 
         return AutoMrhsStokesianDynamics.from_state(
-            state, policy=policy, forces=forces
+            state, policy=policy, forces=forces, telemetry=hub
         )
     raise ValueError(f"unknown checkpoint kind {kind!r}")

@@ -51,8 +51,10 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+import repro.telemetry as _telemetry
 from repro.solvers.cg import DEFAULT_TOL
 from repro.solvers.diagnostics import ConvergenceMonitor, SolveDiagnostics
+from repro.telemetry.metrics import RESIDUAL_BUCKETS
 
 __all__ = ["BlockCGResult", "block_conjugate_gradient"]
 
@@ -151,6 +153,50 @@ def block_conjugate_gradient(
         Iterations without relative progress of the worst active column
         before a replacement + restart is forced.
     """
+    hub = _telemetry.active_hub
+    if hub is None:
+        return _block_conjugate_gradient(
+            A, B, X0=X0, tol=tol, max_iter=max_iter,
+            preconditioner=preconditioner, replace_every=replace_every,
+            stagnation_window=stagnation_window,
+        )
+    B_arr = np.asarray(B)
+    m = B_arr.shape[1] if B_arr.ndim == 2 else 0
+    with hub.tracer.span(
+        "block_cg.solve", n=int(B_arr.shape[0]), m=int(m)
+    ) as sp:
+        result = _block_conjugate_gradient(
+            A, B, X0=X0, tol=tol, max_iter=max_iter,
+            preconditioner=preconditioner, replace_every=replace_every,
+            stagnation_window=stagnation_window,
+        )
+        sp.set(
+            iterations=result.iterations,
+            converged=result.converged,
+            gspmv_calls=result.gspmv_calls,
+        )
+    mx = hub.metrics
+    mx.counter("block_cg.solves", m=m).inc()
+    mx.counter("block_cg.iterations", m=m).inc(result.iterations)
+    mx.counter("block_cg.gspmv_calls", m=m).inc(result.gspmv_calls)
+    hist = mx.histogram("block_cg.true_residual", buckets=RESIDUAL_BUCKETS)
+    for rn in np.atleast_1d(result.final_residuals):
+        if np.isfinite(rn):
+            hist.observe(float(rn))
+    return result
+
+
+def _block_conjugate_gradient(
+    A,
+    B: np.ndarray,
+    *,
+    X0: Optional[np.ndarray],
+    tol: float,
+    max_iter: Optional[int],
+    preconditioner: Optional[Callable[[np.ndarray], np.ndarray]],
+    replace_every: int,
+    stagnation_window: int,
+) -> BlockCGResult:
     B = np.asarray(B, dtype=np.float64)
     if B.ndim != 2:
         raise ValueError("B must have shape (n, m); use conjugate_gradient for vectors")

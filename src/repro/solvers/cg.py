@@ -23,7 +23,9 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+import repro.telemetry as _telemetry
 from repro.solvers.diagnostics import ConvergenceMonitor, SolveDiagnostics
+from repro.telemetry.metrics import RESIDUAL_BUCKETS
 
 __all__ = ["CGResult", "conjugate_gradient"]
 
@@ -79,6 +81,38 @@ def conjugate_gradient(
     callback:
         Called as ``callback(iteration, x)`` after each iteration.
     """
+    hub = _telemetry.active_hub
+    if hub is None:
+        return _conjugate_gradient(
+            A, b, x0=x0, tol=tol, max_iter=max_iter,
+            preconditioner=preconditioner, callback=callback,
+        )
+    with hub.tracer.span("cg.solve", n=int(np.asarray(b).shape[0])) as sp:
+        result = _conjugate_gradient(
+            A, b, x0=x0, tol=tol, max_iter=max_iter,
+            preconditioner=preconditioner, callback=callback,
+        )
+        sp.set(iterations=result.iterations, converged=result.converged)
+    mx = hub.metrics
+    mx.counter("cg.solves").inc()
+    mx.counter("cg.iterations").inc(result.iterations)
+    if np.isfinite(result.final_residual):
+        mx.histogram(
+            "cg.true_residual", buckets=RESIDUAL_BUCKETS
+        ).observe(result.final_residual)
+    return result
+
+
+def _conjugate_gradient(
+    A,
+    b: np.ndarray,
+    *,
+    x0: Optional[np.ndarray],
+    tol: float,
+    max_iter: Optional[int],
+    preconditioner: Optional[Callable[[np.ndarray], np.ndarray]],
+    callback: Optional[Callable[[int, np.ndarray], None]],
+) -> CGResult:
     b = np.asarray(b, dtype=np.float64)
     if b.ndim != 1:
         raise ValueError("b must be a vector; use block_conjugate_gradient for blocks")

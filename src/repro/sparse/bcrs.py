@@ -17,6 +17,7 @@ beyond Stokesian dynamics, but all paper experiments use ``b = 3``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Tuple
 
 import numpy as np
@@ -163,6 +164,12 @@ class BCRSMatrix:
     def nnzb(self) -> int:
         """Number of stored non-zero blocks."""
         return int(len(self.col_ind))
+
+    @cached_property
+    def structure(self) -> "tuple[int, int, int]":
+        """``(nb_rows, nnzb, block_size)`` — cached because the kernel
+        telemetry reads it on every multiply."""
+        return (self.nb_rows, self.nnzb, self.block_size)
 
     @property
     def nnz(self) -> int:

@@ -14,8 +14,11 @@ contiguous, exactly as in the paper.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+import repro.telemetry as _telemetry
 from repro.sparse.bcrs import BCRSMatrix
 from repro.sparse.kernels import Engine, get_default_registry
 
@@ -32,7 +35,18 @@ def gspmv(
     A 1-D ``X`` is accepted and treated as ``m = 1`` (result is 1-D),
     so ``gspmv`` strictly generalizes :func:`~repro.sparse.spmv.spmv`.
     """
-    return get_default_registry().multiply(A, np.asarray(X), engine=engine)
+    X = np.asarray(X)
+    hub = _telemetry.active_hub
+    if hub is None:
+        return get_default_registry().multiply(A, X, engine=engine)
+    t0 = time.perf_counter()
+    Y = get_default_registry().multiply(A, X, engine=engine)
+    nb, nnzb, b = A.structure
+    hub.record_gspmv(
+        "gspmv", time.perf_counter() - t0, nb, nnzb, b,
+        X.shape[1] if X.ndim == 2 else 1, engine,
+    )
+    return Y
 
 
 def gspmv_into(
@@ -50,4 +64,14 @@ def gspmv_into(
     expected = (A.n_rows, X.shape[1]) if X.ndim == 2 else (A.n_rows,)
     if out.shape != expected:
         raise ValueError(f"out must have shape {expected}, got {out.shape}")
-    return get_default_registry().multiply(A, X, out=out, engine=engine)
+    hub = _telemetry.active_hub
+    if hub is None:
+        return get_default_registry().multiply(A, X, out=out, engine=engine)
+    t0 = time.perf_counter()
+    Y = get_default_registry().multiply(A, X, out=out, engine=engine)
+    nb, nnzb, b = A.structure
+    hub.record_gspmv(
+        "gspmv", time.perf_counter() - t0, nb, nnzb, b,
+        X.shape[1] if X.ndim == 2 else 1, engine,
+    )
+    return Y

@@ -8,10 +8,12 @@ published efficiency).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 
+import repro.telemetry as _telemetry
 from repro.sparse.bcrs import BCRSMatrix
 from repro.sparse.kernels import Engine, get_default_registry
 
@@ -34,4 +36,11 @@ def spmv(
         raise ValueError("spmv expects a 1-D vector; use gspmv for multivectors")
     if out is not None and out.shape != (A.n_rows,):
         raise ValueError(f"out must have shape ({A.n_rows},)")
-    return get_default_registry().multiply(A, x, out=out, engine=engine)
+    hub = _telemetry.active_hub
+    if hub is None:
+        return get_default_registry().multiply(A, x, out=out, engine=engine)
+    t0 = time.perf_counter()
+    y = get_default_registry().multiply(A, x, out=out, engine=engine)
+    nb, nnzb, b = A.structure
+    hub.record_gspmv("spmv", time.perf_counter() - t0, nb, nnzb, b, 1, engine)
+    return y

@@ -38,6 +38,8 @@ from repro.stokesian.integrators import apply_displacement
 from repro.stokesian.neighbors import NeighborList, neighbor_pairs
 from repro.stokesian.particles import ParticleSystem
 from repro.stokesian.resistance import build_resistance_matrix
+import repro.telemetry as _telemetry
+from repro.telemetry import NULL_HUB, TelemetryHub
 from repro.util.rng import RngLike, as_rng, rng_from_json, rng_state_to_json
 from repro.util.timer import Stopwatch, TimingRecord
 from repro.util.validation import check_finite, check_shape
@@ -142,10 +144,19 @@ class StokesianDynamics:
         *,
         rng: RngLike = None,
         forces: Optional[Callable[[ParticleSystem], np.ndarray]] = None,
+        telemetry: TelemetryHub = NULL_HUB,
     ) -> None:
         self.system = system
         self.params = params
         self.forces = forces
+        self.telemetry = telemetry
+        """Telemetry hub recording step/phase spans and step counters;
+        :data:`~repro.telemetry.NULL_HUB` (all no-ops) by default.
+        Passing a real hub also installs it as the module-level
+        ``repro.telemetry.active_hub`` (unless one is already active),
+        so the kernel- and solver-level spans land in the same trace."""
+        if telemetry.enabled and _telemetry.active_hub is None:
+            _telemetry.install(telemetry)
         """Optional deterministic force field ``f^P(system) -> (n, 3)``
         (bonded chains, external fields...).  The paper's experiments
         use ``f^P = 0`` but Section II explicitly allows "other forces
@@ -291,40 +302,56 @@ class StokesianDynamics:
         if z is None:
             z = self.draw_noise()
 
-        with sw.phase("Construct R"):
-            R_k = self.build_matrix()
-            precond = self.make_preconditioner(R_k)
-        with sw.phase("Cheb single"):
-            gen = self.brownian_generator(R_k)
-            f_b = gen.generate(z)
-        fault = fire_fault("brownian.forcing", step=self.step_index)
-        if fault is not None:
-            f_b = fault.mutate(f_b, active_injector().rng)
-        with sw.phase("1st solve"):
-            rhs = -f_b + self.external_forces()
-            res1 = self.solve(R_k, rhs, x0=u_guess, preconditioner=precond)
-        guess_error = None
-        if u_guess is not None:
-            norm = float(np.linalg.norm(res1.x))
-            if norm > 0:
-                guess_error = float(np.linalg.norm(res1.x - u_guess)) / norm
-
-        nl = self.neighbor_list()
-        half_system, mid_scale = apply_displacement(
-            self.system, 0.5 * p.dt * res1.x, nl, safety=p.overlap_safety
+        tr = self.telemetry.tracer
+        step_span = tr.start(
+            "step", step=self.step_index, seeded=u_guess is not None
         )
-        with sw.phase("Construct R half"):
-            R_half = self.build_matrix(half_system)
-            precond_half = self.make_preconditioner(R_half)
-        with sw.phase("2nd solve"):
-            rhs_half = -f_b + self.external_forces(half_system)
-            res2 = self.solve(
-                R_half, rhs_half, x0=res1.x, preconditioner=precond_half
+        try:
+            with sw.phase("Construct R"), tr.span("Construct R"):
+                R_k = self.build_matrix()
+                precond = self.make_preconditioner(R_k)
+            with sw.phase("Cheb single"), tr.span("Cheb single"):
+                gen = self.brownian_generator(R_k)
+                f_b = gen.generate(z)
+            fault = fire_fault("brownian.forcing", step=self.step_index)
+            if fault is not None:
+                f_b = fault.mutate(f_b, active_injector().rng)
+            with sw.phase("1st solve"), tr.span("1st solve"):
+                rhs = -f_b + self.external_forces()
+                res1 = self.solve(R_k, rhs, x0=u_guess, preconditioner=precond)
+            guess_error = None
+            if u_guess is not None:
+                norm = float(np.linalg.norm(res1.x))
+                if norm > 0:
+                    guess_error = float(np.linalg.norm(res1.x - u_guess)) / norm
+
+            nl = self.neighbor_list()
+            half_system, mid_scale = apply_displacement(
+                self.system, 0.5 * p.dt * res1.x, nl, safety=p.overlap_safety
             )
+            with sw.phase("Construct R half"), tr.span("Construct R half"):
+                R_half = self.build_matrix(half_system)
+                precond_half = self.make_preconditioner(R_half)
+            with sw.phase("2nd solve"), tr.span("2nd solve"):
+                rhs_half = -f_b + self.external_forces(half_system)
+                res2 = self.solve(
+                    R_half, rhs_half, x0=res1.x, preconditioner=precond_half
+                )
 
-        new_system, final_scale = apply_displacement(
-            self.system, p.dt * res2.x, nl, safety=p.overlap_safety
-        )
+            new_system, final_scale = apply_displacement(
+                self.system, p.dt * res2.x, nl, safety=p.overlap_safety
+            )
+            step_span.set(
+                iterations_first=res1.iterations,
+                iterations_second=res2.iterations,
+                converged=res1.converged and res2.converged,
+            )
+        except BaseException as exc:
+            step_span.set(error=type(exc).__name__)
+            raise
+        finally:
+            step_span.end()
+        self.telemetry.metrics.counter("steps.completed").inc()
         self.system = new_system
         if self.health is not None:
             arrays = {
@@ -432,16 +459,22 @@ class StokesianDynamics:
         state: Dict[str, Any],
         *,
         forces: Optional[Callable[[ParticleSystem], np.ndarray]] = None,
+        telemetry: TelemetryHub = NULL_HUB,
     ) -> "StokesianDynamics":
         """Reconstruct a driver from a checkpointed state.
 
         ``forces`` (a callable) cannot be serialized; resuming a run
-        that used one must pass the same callable again.
+        that used one must pass the same callable again.  Likewise
+        ``telemetry``: pass the resumed run's hub here (its counters
+        are restored separately from the checkpoint's telemetry state).
         """
         system = ParticleSystem(
             positions=state["positions"], radii=state["radii"], box=state["box"]
         )
-        driver = cls(system, SDParameters(**state["params"]), forces=forces)
+        driver = cls(
+            system, SDParameters(**state["params"]),
+            forces=forces, telemetry=telemetry,
+        )
         driver.set_state(state)
         return driver
 

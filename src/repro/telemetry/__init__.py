@@ -1,0 +1,87 @@
+"""Unified telemetry: span tracing, metrics, and roofline reporting.
+
+Two ways in:
+
+* **Driver-held hub** — ``StokesianDynamics(..., telemetry=hub)`` /
+  ``MRHSDriver(..., telemetry=hub)``.  Drivers default to
+  :data:`NULL_HUB`, so instrumented driver code calls
+  ``self.telemetry.tracer.span(...)`` unconditionally.
+* **Module-level hub** — the kernel hot paths (``sparse/gspmv.py``,
+  ``sparse/spmv.py``, the solvers) have no driver instance, so they
+  consult :data:`active_hub` here.  It is ``None`` when telemetry is
+  disabled, and every hot site guards with ``if active_hub is not
+  None`` — one attribute lookup per call when off.
+
+Passing ``telemetry=`` to a driver also :func:`install`\\ s the hub
+globally (unless one is already installed), so kernel spans land in the
+same trace as the driver's chunk/step spans.
+
+The roofline report lives in :mod:`repro.telemetry.report`; it is
+imported lazily because it pulls in :mod:`repro.perfmodel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .hub import NULL_HUB, TelemetryHub, gspmv_bytes, gspmv_flops
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from .tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+    read_trace,
+)
+
+__all__ = [
+    "TelemetryHub",
+    "NULL_HUB",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SpanEvent",
+    "NULL_SPAN",
+    "JsonlSink",
+    "read_trace",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "exponential_buckets",
+    "gspmv_bytes",
+    "gspmv_flops",
+    "active_hub",
+    "install",
+    "uninstall",
+]
+
+#: The globally installed hub consulted by kernel-level instrumentation.
+#: ``None`` means disabled; hot paths pay one attribute lookup + None
+#: check per call.
+active_hub: Optional[TelemetryHub] = None
+
+
+def install(hub: TelemetryHub) -> TelemetryHub:
+    """Make ``hub`` the globally active hub (kernel spans flow to it)."""
+    global active_hub
+    active_hub = hub
+    return hub
+
+
+def uninstall() -> None:
+    """Disable module-level telemetry (drivers holding a hub keep it)."""
+    global active_hub
+    active_hub = None

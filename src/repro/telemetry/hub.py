@@ -1,0 +1,191 @@
+"""The :class:`TelemetryHub` bundles one tracer + one metrics registry.
+
+Drivers accept ``telemetry=hub``; a hub bound to a directory writes
+``trace.jsonl`` (append-only span log) and ``metrics.json`` (metrics
+summary, rewritten on every flush).  ``NULL_HUB`` is the disabled
+instance drivers hold by default — every operation on it is a no-op,
+so call sites never need a ``None`` check on the driver attribute.
+
+The *global* enable/disable switch for module-level instrumentation
+(the GSPMV/SPMV/solver hot paths, which have no driver to hang an
+attribute on) lives in :mod:`repro.telemetry` as ``active_hub``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from .metrics import NULL_METRICS, MetricsRegistry, _NullMetrics
+from .tracer import NULL_TRACER, JsonlSink, NullTracer, Tracer
+
+__all__ = ["TelemetryHub", "NULL_HUB"]
+
+TRACE_FILENAME = "trace.jsonl"
+METRICS_FILENAME = "metrics.json"
+
+# Bytes per scalar / index in the BCRS kernels (matches perfmodel).
+_SX = 8  # double-precision vector element
+_SA = 8  # double-precision matrix element
+_SI = 4  # 32-bit block index
+
+
+def gspmv_bytes(nb: int, nnzb: int, b: int, m: int) -> int:
+    """Minimum memory traffic of one GSPMV at width ``m`` (Eq. 6 of the
+    paper with cache-miss factor ``k = 0`` — the cheap lower bound used
+    for live accounting; the roofline report recomputes with the LRU
+    ``k`` estimate offline)."""
+    return int(
+        m * nb * b * 3 * _SX  # stream x once, y read+write
+        + nb * _SI  # row pointers
+        + nnzb * (_SI + b * b * _SA)  # block indices + block values
+    )
+
+
+def gspmv_flops(nnzb: int, b: int, m: int) -> int:
+    """Useful flops of one GSPMV: 2 per (matrix element, column)."""
+    return int(2 * nnzb * b * b * m)
+
+
+class TelemetryHub:
+    """One tracer + one metrics registry + an optional output directory."""
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        buffer_size: int = 512,
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.directory is not None:
+            self.tracer = Tracer(
+                JsonlSink(self.directory / TRACE_FILENAME),
+                buffer_size=buffer_size,
+            )
+        else:
+            self.tracer = Tracer(buffer_size=buffer_size)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Hot-path caches: resolved counter tuples per kernel key, and
+        # the one in-flight aggregate of consecutive same-key calls.
+        self._kcache: dict = {}
+        self._pending: Optional[list] = None
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # hot-path helper: one call records span + bytes/flops counters
+    # ------------------------------------------------------------------
+    def record_gspmv(
+        self,
+        kind: str,
+        duration: float,
+        nb: int,
+        nnzb: int,
+        b: int,
+        m: int,
+        backend: str = "",
+    ) -> None:
+        """Record one generalized SPMV: per-m aggregate counters plus a
+        ``kind`` span event (``"gspmv"``/``"spmv"``).
+
+        A solver iteration issues thousands of kernel calls, so the
+        span side aggregates: consecutive calls with the same structure
+        under the same parent span fold into one event carrying a
+        ``calls`` count (the tree view and roofline report un-fold it).
+        Counters still advance per call — they sit inside the step's
+        snapshot/restore window and must track the accepted timeline.
+        """
+        key = (kind, m, nb, nnzb, b, backend)
+        cached = self._kcache.get(key)
+        if cached is None:
+            mx = self.metrics
+            cached = (
+                mx.counter(f"{kind}.calls", m=m),
+                mx.counter(f"{kind}.seconds", m=m),
+                mx.counter(f"{kind}.bytes", m=m),
+                mx.counter(f"{kind}.flops", m=m),
+                float(gspmv_bytes(nb, nnzb, b, m)),
+                float(gspmv_flops(nnzb, b, m)),
+            )
+            self._kcache[key] = cached
+        # Bump counter values directly (all increments are nonnegative
+        # by construction) — this path runs per kernel call.
+        cached[0].value += 1.0
+        cached[1].value += duration
+        cached[2].value += cached[4]
+        cached[3].value += cached[5]
+
+        tr = self.tracer
+        stack = tr._stack
+        pkey = (stack[-1].span_id if stack else None, key)
+        pending = self._pending
+        if pending is not None and pending[0] == pkey:
+            pending[1] += 1
+            pending[2] += duration
+        else:
+            if pending is not None:
+                self._flush_pending()
+            self._pending = [pkey, 1, duration, tr.clock() - duration]
+
+    def _flush_pending(self) -> None:
+        """Emit the in-flight kernel aggregate as one span event."""
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return
+        (parent_id, key), count, total, start = pending
+        kind, m, nb, nnzb, b, backend = key
+        attrs = {"nb": nb, "nnzb": nnzb, "b": b, "m": m, "backend": backend}
+        if count > 1:
+            attrs["calls"] = count
+        self.tracer.emit(
+            kind, start=start, duration=total, parent_id=parent_id, **attrs
+        )
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Drain the tracer to disk and rewrite ``metrics.json``."""
+        self._flush_pending()
+        self.tracer.drain()
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / METRICS_FILENAME
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(self.metrics.dump_json() + "\n", encoding="utf-8")
+            tmp.replace(path)
+
+    def close(self, **attrs: Any) -> None:
+        """Force-close any spans still open (aborted run), flush, and
+        release the trace file handle."""
+        self.tracer.close_open(**attrs)
+        self.flush()
+        sink = self.tracer.sink
+        if isinstance(sink, JsonlSink):
+            sink.close()
+
+
+class _NullHub:
+    """Disabled hub: no-op tracer, no-op metrics, no files."""
+
+    __slots__ = ()
+    directory = None
+    tracer: NullTracer = NULL_TRACER
+    metrics: _NullMetrics = NULL_METRICS
+    enabled = False
+
+    def record_gspmv(self, kind: str, duration: float, **kw: Any) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_HUB = _NullHub()

@@ -1,0 +1,349 @@
+"""Measured-vs-model reports built from recorded traces.
+
+:class:`RooflineReport` reproduces the paper's Section IV.B validation
+from a live run: every ``gspmv``/``spmv`` span in the trace carries the
+matrix structure (``nb``, ``nnzb``, ``b``) and vector count ``m``, so
+the report can group measurements per ``m``, evaluate the
+:mod:`repro.perfmodel` prediction ``T(m) = max(Tbw(m), Tcomp(m))`` for
+the same structure on a chosen :class:`MachineSpec`, and flag rows
+whose measured mean deviates from the model by more than a threshold
+(default 25%).
+
+The module also renders the ``repro trace`` view: the parent/child span
+tree and per-phase wall-time totals (the Tables VI/VII breakdown).
+
+Kept out of ``repro.telemetry``'s eager imports: this module pulls in
+:mod:`repro.perfmodel`, which the instrumented kernels must not.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.perfmodel.machine import (
+    SANDY_BRIDGE,
+    WESTMERE,
+    MachineSpec,
+    host_machine,
+)
+from repro.perfmodel.roofline import (
+    MatrixShape,
+    time_bandwidth,
+    time_compute,
+)
+from repro.telemetry.hub import METRICS_FILENAME, TRACE_FILENAME
+from repro.telemetry.tracer import SpanEvent, read_trace
+
+__all__ = [
+    "RooflineRow",
+    "RooflineReport",
+    "resolve_machine",
+    "build_tree",
+    "render_trace_tree",
+    "phase_totals",
+    "render_phase_totals",
+    "load_run_metrics",
+]
+
+#: Span names treated as generalized SPMV measurements.
+KERNEL_SPAN_NAMES = ("gspmv", "spmv")
+
+
+def resolve_machine(name: str) -> MachineSpec:
+    """Map a CLI ``--machine`` value to a :class:`MachineSpec`."""
+    table = {"wsm": WESTMERE, "westmere": WESTMERE, "snb": SANDY_BRIDGE, "sandybridge": SANDY_BRIDGE}
+    key = name.strip().lower()
+    if key in table:
+        return table[key]
+    if key == "host":
+        return host_machine(quick=True)
+    raise ValueError(f"unknown machine {name!r}; expected wsm, snb, or host")
+
+
+@dataclass(frozen=True)
+class RooflineRow:
+    """One measured-vs-model line of the report."""
+
+    kind: str
+    m: int
+    calls: int
+    measured_mean: float
+    """Mean measured seconds per call at this m."""
+    predicted: float
+    """Model ``T(m) = max(Tbw, Tcomp)`` for the same structure."""
+    tbw: float
+    tcomp: float
+    deviation: float
+    """``measured/predicted - 1`` (signed fraction)."""
+    flagged: bool
+    """True when ``|deviation|`` exceeds the report threshold."""
+    bound: str
+    """``"bw"`` or ``"comp"`` — which term the model says dominates."""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "m": self.m,
+            "calls": self.calls,
+            "measured_mean_s": self.measured_mean,
+            "predicted_s": self.predicted,
+            "tbw_s": self.tbw,
+            "tcomp_s": self.tcomp,
+            "deviation": self.deviation,
+            "flagged": self.flagged,
+            "bound": self.bound,
+        }
+
+
+class RooflineReport:
+    """Measured GSPMV/SPMV timings joined against the perfmodel."""
+
+    def __init__(
+        self,
+        rows: Sequence[RooflineRow],
+        machine: MachineSpec,
+        *,
+        threshold: float = 0.25,
+    ) -> None:
+        self.rows = sorted(rows, key=lambda r: (r.kind, r.m))
+        self.machine = machine
+        self.threshold = threshold
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[SpanEvent],
+        machine: MachineSpec,
+        *,
+        threshold: float = 0.25,
+        k: float = 0.0,
+    ) -> "RooflineReport":
+        """Join kernel spans against the model.
+
+        Spans are grouped by ``(name, m, nb, nnzb, b)``; each group
+        becomes one row comparing the measured mean against
+        ``time_gspmv`` for the same structure (cache-miss factor ``k``,
+        default 0 — the lower-bound model the live counters also use).
+        An aggregated kernel span (``calls`` attribute) contributes its
+        total duration weighted by its call count.
+        """
+        groups: Dict[Tuple[str, int, int, int, int], List[float]] = {}
+        for ev in events:
+            if ev.name not in KERNEL_SPAN_NAMES:
+                continue
+            a = ev.attrs
+            try:
+                key = (
+                    ev.name,
+                    int(a["m"]),
+                    int(a["nb"]),
+                    int(a["nnzb"]),
+                    int(a["b"]),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue  # span predates instrumentation or is foreign
+            total, calls = groups.setdefault(key, [0.0, 0])
+            groups[key] = [
+                total + ev.duration, calls + int(a.get("calls", 1))
+            ]
+
+        rows: List[RooflineRow] = []
+        for (kind, m, nb, nnzb, b), (total, calls) in groups.items():
+            shape = MatrixShape(
+                nb=nb, blocks_per_row=nnzb / nb, block_size=b
+            )
+            tbw = time_bandwidth(shape, m, machine, k)
+            tcomp = time_compute(shape, m, machine)
+            predicted = max(tbw, tcomp)
+            measured = total / calls
+            deviation = measured / predicted - 1.0 if predicted > 0 else 0.0
+            rows.append(
+                RooflineRow(
+                    kind=kind,
+                    m=m,
+                    calls=calls,
+                    measured_mean=measured,
+                    predicted=predicted,
+                    tbw=tbw,
+                    tcomp=tcomp,
+                    deviation=deviation,
+                    flagged=abs(deviation) > threshold,
+                    bound="bw" if tbw >= tcomp else "comp",
+                )
+            )
+        return cls(rows, machine, threshold=threshold)
+
+    @classmethod
+    def from_run(
+        cls,
+        run_dir: Union[str, Path],
+        machine: MachineSpec,
+        *,
+        threshold: float = 0.25,
+        k: float = 0.0,
+    ) -> "RooflineReport":
+        """Build the report from a telemetry directory's ``trace.jsonl``."""
+        trace = Path(run_dir) / TRACE_FILENAME
+        if not trace.exists():
+            raise FileNotFoundError(f"no {TRACE_FILENAME} in {run_dir}")
+        return cls.from_events(
+            read_trace(trace), machine, threshold=threshold, k=k
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def ms(self) -> List[int]:
+        return sorted({r.m for r in self.rows})
+
+    @property
+    def flagged_rows(self) -> List[RooflineRow]:
+        return [r for r in self.rows if r.flagged]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "machine": self.machine.name,
+            "threshold": self.threshold,
+            "rows": [r.as_dict() for r in self.rows],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def to_markdown(self) -> str:
+        lines = [
+            f"Roofline: measured vs model ({self.machine.name}, "
+            f"flag > {self.threshold:.0%})",
+            "",
+            "| kernel | m | calls | measured (s) | model (s) | Tbw (s) "
+            "| Tcomp (s) | bound | dev | flag |",
+            "|---|---|---|---|---|---|---|---|---|---|",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"| {r.kind} | {r.m} | {r.calls} | {r.measured_mean:.3e} "
+                f"| {r.predicted:.3e} | {r.tbw:.3e} | {r.tcomp:.3e} "
+                f"| {r.bound} | {r.deviation:+.1%} "
+                f"| {'**>**' if r.flagged else ''} |"
+            )
+        if not self.rows:
+            lines.append("| (no kernel spans in trace) | | | | | | | | | |")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# `repro trace` rendering: span tree + phase totals
+# ----------------------------------------------------------------------
+def build_tree(
+    events: Sequence[SpanEvent],
+) -> Tuple[List[SpanEvent], Dict[int, List[SpanEvent]]]:
+    """Return ``(roots, children)`` ordered by start time.
+
+    Events whose parent is missing from the trace (dropped by the
+    bounded buffer, or from before a resume boundary) are treated as
+    roots so nothing disappears from the view.
+    """
+    by_id = {ev.span_id: ev for ev in events}
+    roots: List[SpanEvent] = []
+    children: Dict[int, List[SpanEvent]] = {}
+    for ev in events:
+        if ev.parent_id is not None and ev.parent_id in by_id:
+            children.setdefault(ev.parent_id, []).append(ev)
+        else:
+            roots.append(ev)
+    roots.sort(key=lambda e: e.start)
+    for kids in children.values():
+        kids.sort(key=lambda e: e.start)
+    return roots, children
+
+
+def render_trace_tree(
+    events: Sequence[SpanEvent],
+    *,
+    max_depth: Optional[int] = None,
+    collapse: Tuple[str, ...] = KERNEL_SPAN_NAMES,
+) -> str:
+    """ASCII span tree; runs of ``collapse``-named siblings fold into
+    one ``name xN`` line (a chunk can contain thousands of kernel
+    calls; the hub pre-aggregates consecutive ones into events carrying
+    a ``calls`` count, which folds the same way)."""
+    roots, children = build_tree(events)
+    out: List[str] = []
+
+    def visit(ev: SpanEvent, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        indent = "  " * depth
+        attrs = {
+            k: v
+            for k, v in ev.attrs.items()
+            if k in ("m", "step", "chunk", "error", "converged", "iterations")
+        }
+        suffix = (
+            " [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+            if attrs
+            else ""
+        )
+        out.append(f"{indent}{ev.name}  {ev.duration * 1e3:.3f} ms{suffix}")
+        kids = children.get(ev.span_id, [])
+        i = 0
+        while i < len(kids):
+            kid = kids[i]
+            if kid.name in collapse:
+                j = i
+                total = 0.0
+                n = 0
+                while j < len(kids) and kids[j].name == kid.name:
+                    total += kids[j].duration
+                    n += int(kids[j].attrs.get("calls", 1))
+                    j += 1
+                if n > 1:
+                    out.append(
+                        f"{'  ' * (depth + 1)}{kid.name} x{n}  "
+                        f"{total * 1e3:.3f} ms total"
+                    )
+                    i = j
+                    continue
+            visit(kid, depth + 1)
+            i += 1
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(out)
+
+
+def phase_totals(events: Sequence[SpanEvent]) -> Dict[str, Tuple[int, float]]:
+    """``{span name: (count, total seconds)}`` over the whole trace —
+    the per-phase breakdown of Tables VI/VII.  Aggregated kernel events
+    count as their ``calls`` attribute."""
+    totals: Dict[str, Tuple[int, float]] = {}
+    for ev in events:
+        n, t = totals.get(ev.name, (0, 0.0))
+        totals[ev.name] = (
+            n + int(ev.attrs.get("calls", 1)), t + ev.duration
+        )
+    return totals
+
+
+def render_phase_totals(events: Sequence[SpanEvent]) -> str:
+    totals = phase_totals(events)
+    order = sorted(totals.items(), key=lambda kv: -kv[1][1])
+    width = max((len(name) for name in totals), default=4)
+    lines = [f"{'phase':<{width}}  {'count':>7}  {'total (s)':>12}  {'mean (ms)':>12}"]
+    for name, (count, total) in order:
+        lines.append(
+            f"{name:<{width}}  {count:>7}  {total:>12.4f}  "
+            f"{total / count * 1e3:>12.4f}"
+        )
+    return "\n".join(lines)
+
+
+def load_run_metrics(run_dir: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Read ``metrics.json`` from a telemetry directory, if present."""
+    path = Path(run_dir) / METRICS_FILENAME
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))

@@ -8,11 +8,12 @@ uses one to produce the per-phase breakdowns of Tables VI and VII
 
 from __future__ import annotations
 
+import json
 import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping
+from typing import Dict, Iterator, Mapping, Set
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,21 @@ class TimingRecord:
             counts[k] = counts.get(k, 0) + c
         return TimingRecord(phases=phases, counts=counts)
 
+    def to_json(self) -> str:
+        """Round-trippable JSON (benchmark reports, telemetry sidecars)."""
+        return json.dumps(
+            {"phases": dict(self.phases), "counts": dict(self.counts)},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TimingRecord":
+        data = json.loads(text)
+        return cls(
+            phases={str(k): float(v) for k, v in data["phases"].items()},
+            counts={str(k): int(v) for k, v in data["counts"].items()},
+        )
+
 
 @dataclass
 class Stopwatch:
@@ -58,18 +74,28 @@ class Stopwatch:
         with sw.phase("1st solve"):
             ...
 
-    Nested phases are allowed and accumulate independently.
+    Nested phases of *different* names are allowed and accumulate
+    independently; re-entering a phase that is still running raises
+    (the inner exit would double-count the overlapped wall-clock).
     """
 
     _elapsed: Dict[str, float] = field(default_factory=dict)
     _counts: Dict[str, int] = field(default_factory=dict)
+    _active: Set[str] = field(default_factory=set)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
+        if name in self._active:
+            raise RuntimeError(
+                f"Stopwatch phase {name!r} is already running; re-entrant "
+                f"phase() of the same name would double-count its time"
+            )
+        self._active.add(name)
         start = time.perf_counter()
         try:
             yield
         finally:
+            self._active.discard(name)
             dur = time.perf_counter() - start
             self._elapsed[name] = self._elapsed.get(name, 0.0) + dur
             self._counts[name] = self._counts.get(name, 0) + 1
@@ -90,3 +116,4 @@ class Stopwatch:
     def reset(self) -> None:
         self._elapsed.clear()
         self._counts.clear()
+        self._active.clear()

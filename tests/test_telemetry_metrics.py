@@ -1,0 +1,165 @@
+"""Metrics registry: counters, histograms, rollback, checkpoint state."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.checkpoint import pack_state, unpack_state
+from repro.telemetry import (
+    NULL_METRICS,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from repro.telemetry.metrics import RESIDUAL_BUCKETS, Counter, Gauge, Histogram
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only increase"):
+            Counter().inc(-1)
+
+    def test_gauge_sets(self):
+        g = Gauge()
+        g.set(4)
+        g.set(2)
+        assert g.value == 2.0
+
+    def test_histogram_bucket_placement(self):
+        h = Histogram((1.0, 10.0, 100.0))
+        h.observe(0.5)    # <= 1
+        h.observe(10.0)   # <= 10 (boundary lands in its own bucket)
+        h.observe(99.0)   # <= 100
+        h.observe(1e6)    # overflow slot
+        assert list(h.counts) == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(0.5 + 10.0 + 99.0 + 1e6)
+        assert h.mean == pytest.approx(h.sum / 4)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram((1.0,)).mean == 0.0
+
+    def test_exponential_buckets(self):
+        assert exponential_buckets(1e-2, 10.0, 3) == (1e-2, 1e-1, 1.0)
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 10.0, 3)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 1.0, 3)
+
+    def test_residual_buckets_span_solver_range(self):
+        assert RESIDUAL_BUCKETS[0] == pytest.approx(1e-14)
+        assert RESIDUAL_BUCKETS[-1] >= 1.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        mx = MetricsRegistry()
+        assert mx.counter("cg.solves") is mx.counter("cg.solves")
+        assert mx.counter("x", m=4) is not mx.counter("x", m=8)
+
+    def test_label_keys_are_sorted_and_stable(self):
+        mx = MetricsRegistry()
+        mx.counter("gspmv.bytes", m=4, backend="scipy").inc(7)
+        assert (
+            mx.counter_value("gspmv.bytes", backend="scipy", m=4) == 7.0
+        )
+        assert "gspmv.bytes{backend=scipy,m=4}" in mx.as_dict()["counters"]
+
+    def test_counters_matching_prefix(self):
+        mx = MetricsRegistry()
+        for m in (1, 4, 8):
+            mx.counter("gspmv.seconds", m=m).inc(0.1 * m)
+        family = mx.counters_matching("gspmv.seconds{")
+        assert set(family) == {
+            "gspmv.seconds{m=1}", "gspmv.seconds{m=4}", "gspmv.seconds{m=8}"
+        }
+
+    def test_as_dict_sections(self):
+        mx = MetricsRegistry()
+        mx.counter("a").inc()
+        mx.gauge("b").set(3)
+        mx.histogram("c", buckets=(1.0,)).observe(0.5)
+        doc = mx.as_dict()
+        assert doc["counters"] == {"a": 1.0}
+        assert doc["gauges"] == {"b": 3.0}
+        assert doc["histograms"]["c"]["count"] == 1
+
+
+class TestRollback:
+    """snapshot()/restore() mirror the health monitor's step rollback."""
+
+    def test_restore_withdraws_increments(self):
+        mx = MetricsRegistry()
+        mx.counter("steps.completed").inc(5)
+        mx.histogram("res", buckets=(1.0, 10.0)).observe(0.5)
+        snap = mx.snapshot()
+        mx.counter("steps.completed").inc(2)
+        mx.histogram("res", buckets=(1.0, 10.0)).observe(5.0)
+        mx.gauge("dt").set(0.025)
+        mx.restore(snap)
+        assert mx.counter_value("steps.completed") == 5.0
+        h = mx.histogram("res", buckets=(1.0, 10.0))
+        assert h.count == 1
+        assert mx.gauge("dt").value == 0.0  # created after snapshot
+
+    def test_metrics_created_since_snapshot_reset_to_zero(self):
+        mx = MetricsRegistry()
+        snap = mx.snapshot()
+        mx.counter("health.verdicts", severity="fatal").inc(3)
+        mx.restore(snap)
+        assert mx.counter_value("health.verdicts", severity="fatal") == 0.0
+
+    def test_counter_objects_survive_restore(self):
+        # Hot paths cache Counter objects; restore must mutate values
+        # in place, not replace the objects.
+        mx = MetricsRegistry()
+        c = mx.counter("gspmv.calls", m=8)
+        c.inc(4)
+        snap = mx.snapshot()
+        c.inc(10)
+        mx.restore(snap)
+        assert c is mx.counter("gspmv.calls", m=8)
+        assert c.value == 4.0
+
+
+class TestCheckpointState:
+    def test_to_state_round_trips_through_npz_packing(self):
+        mx = MetricsRegistry()
+        mx.counter("chunks.completed").inc(3)
+        mx.counter("gspmv.bytes", m=4).inc(12345)
+        mx.gauge("chunks.current_m").set(4)
+        mx.histogram("cg.true_residual", buckets=(1e-8, 1e-4)).observe(1e-6)
+        packed = pack_state({"telemetry": mx.to_state()})
+        state = unpack_state(
+            {k: np.asarray(v) for k, v in packed.items()}
+        )
+        restored = MetricsRegistry()
+        restored.load_state(state["telemetry"])
+        assert restored.counter_value("chunks.completed") == 3.0
+        assert restored.counter_value("gspmv.bytes", m=4) == 12345.0
+        assert restored.gauge("chunks.current_m").value == 4.0
+        h = restored.histogram("cg.true_residual", buckets=(1e-8, 1e-4))
+        assert h.count == 1
+        assert h.sum == pytest.approx(1e-6)
+
+    def test_load_state_continues_counting_monotonically(self):
+        mx = MetricsRegistry()
+        mx.counter("steps.completed").inc(7)
+        restored = MetricsRegistry()
+        restored.load_state(mx.to_state())
+        restored.counter("steps.completed").inc()
+        assert restored.counter_value("steps.completed") == 8.0
+
+
+class TestNullMetrics:
+    def test_all_accessors_are_inert(self):
+        NULL_METRICS.counter("x", m=1).inc(5)
+        NULL_METRICS.gauge("y").set(2)
+        NULL_METRICS.histogram("z").observe(1.0)
+        assert NULL_METRICS.counter("x", m=1).value == 0.0
+        assert NULL_METRICS.snapshot() is None
+        NULL_METRICS.restore(None)

@@ -1,0 +1,274 @@
+"""Roofline report join logic, trace rendering, and the report CLI.
+
+The roofline tests pin the measured-vs-model join against synthetic
+traces with hand-built kernel spans (the ISSUE acceptance criterion:
+rows for at least m ∈ {1, 4, 8}).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perfmodel.machine import SANDY_BRIDGE, WESTMERE
+from repro.perfmodel.roofline import MatrixShape, time_bandwidth, time_compute
+from repro.telemetry import SpanEvent
+from repro.telemetry.hub import TRACE_FILENAME
+from repro.telemetry.report import (
+    RooflineReport,
+    build_tree,
+    load_run_metrics,
+    phase_totals,
+    render_phase_totals,
+    render_trace_tree,
+    resolve_machine,
+)
+
+NB, NNZB, B = 100, 2500, 3
+SHAPE = MatrixShape(nb=NB, blocks_per_row=NNZB / NB, block_size=B)
+
+
+def predicted(m, machine=WESTMERE, k=0.0):
+    return max(time_bandwidth(SHAPE, m, machine, k), time_compute(SHAPE, m, machine))
+
+
+def kernel(name, m, duration, span_id, *, parent_id=None, calls=None, start=0.0):
+    attrs = {"nb": NB, "nnzb": NNZB, "b": B, "m": m, "backend": "scipy"}
+    if calls is not None:
+        attrs["calls"] = calls
+    return SpanEvent(
+        name=name, span_id=span_id, parent_id=parent_id,
+        start=start, duration=duration, attrs=attrs,
+    )
+
+
+def span(name, span_id, *, parent_id=None, start=0.0, duration=1.0, **attrs):
+    return SpanEvent(
+        name=name, span_id=span_id, parent_id=parent_id,
+        start=start, duration=duration, attrs=attrs,
+    )
+
+
+class TestRooflineJoin:
+    def test_rows_for_m_1_4_8(self):
+        """The acceptance-criterion shape: spmv at m=1, gspmv at 4 and 8."""
+        events = [
+            kernel("spmv", 1, predicted(1), 1),
+            kernel("gspmv", 4, predicted(4), 2),
+            kernel("gspmv", 8, predicted(8), 3),
+        ]
+        report = RooflineReport.from_events(events, WESTMERE)
+        assert report.ms == [1, 4, 8]
+        assert [(r.kind, r.m) for r in report.rows] == [
+            ("gspmv", 4), ("gspmv", 8), ("spmv", 1),
+        ]
+        for row in report.rows:
+            assert row.measured_mean == pytest.approx(predicted(row.m))
+            assert row.predicted == pytest.approx(predicted(row.m))
+            assert row.deviation == pytest.approx(0.0)
+            assert not row.flagged
+
+    def test_aggregated_events_weight_by_call_count(self):
+        """An event with calls=N is N kernel calls worth of time: the
+        mean is total seconds over total calls, not over events."""
+        events = [
+            kernel("gspmv", 4, 0.3, 1, calls=3),
+            kernel("gspmv", 4, 0.1, 2),
+        ]
+        (row,) = RooflineReport.from_events(events, WESTMERE).rows
+        assert row.calls == 4
+        assert row.measured_mean == pytest.approx(0.4 / 4)
+
+    def test_deviation_sign_and_flagging(self):
+        slow = [kernel("gspmv", 8, 2.0 * predicted(8), 1)]
+        (row,) = RooflineReport.from_events(slow, WESTMERE).rows
+        assert row.deviation == pytest.approx(1.0)
+        assert row.flagged
+
+        fast = [kernel("gspmv", 8, 0.5 * predicted(8), 1)]
+        (row,) = RooflineReport.from_events(fast, WESTMERE).rows
+        assert row.deviation == pytest.approx(-0.5)
+        assert row.flagged
+
+        close = [kernel("gspmv", 8, 1.1 * predicted(8), 1)]
+        (row,) = RooflineReport.from_events(close, WESTMERE).rows
+        assert row.deviation == pytest.approx(0.1)
+        assert not row.flagged
+
+    def test_threshold_is_configurable(self):
+        events = [kernel("gspmv", 4, 1.1 * predicted(4), 1)]
+        report = RooflineReport.from_events(events, WESTMERE, threshold=0.05)
+        assert report.rows[0].flagged
+        assert report.flagged_rows == report.rows
+
+    def test_bound_matches_dominant_model_term(self):
+        tbw = time_bandwidth(SHAPE, 4, WESTMERE, 0.0)
+        tcomp = time_compute(SHAPE, 4, WESTMERE)
+        events = [kernel("gspmv", 4, predicted(4), 1)]
+        (row,) = RooflineReport.from_events(events, WESTMERE).rows
+        assert row.tbw == pytest.approx(tbw)
+        assert row.tcomp == pytest.approx(tcomp)
+        assert row.bound == ("bw" if tbw >= tcomp else "comp")
+
+    def test_cache_miss_factor_k_raises_bandwidth_term(self):
+        events = [kernel("gspmv", 4, predicted(4), 1)]
+        report = RooflineReport.from_events(events, WESTMERE, k=2.0)
+        assert report.rows[0].tbw > time_bandwidth(SHAPE, 4, WESTMERE, 0.0)
+
+    def test_non_kernel_and_malformed_spans_ignored(self):
+        events = [
+            span("chunk", 1, m=4),
+            span("1st solve", 2, parent_id=1),
+            # kernel-named span without structure attrs (foreign trace)
+            span("gspmv", 3, parent_id=2),
+            kernel("gspmv", 4, predicted(4), 4, parent_id=2),
+        ]
+        report = RooflineReport.from_events(events, WESTMERE)
+        assert [(r.kind, r.m) for r in report.rows] == [("gspmv", 4)]
+        assert report.rows[0].calls == 1
+
+    def test_from_run_without_trace_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="trace.jsonl"):
+            RooflineReport.from_run(tmp_path, WESTMERE)
+
+    def test_as_dict_and_markdown(self):
+        events = [kernel("gspmv", 8, 2.0 * predicted(8), 1, calls=5)]
+        report = RooflineReport.from_events(events, WESTMERE)
+        doc = report.as_dict()
+        assert doc["machine"] == WESTMERE.name
+        assert doc["threshold"] == 0.25
+        (row,) = doc["rows"]
+        assert row["calls"] == 5
+        assert row["flagged"] is True
+        assert row["measured_mean_s"] == pytest.approx(
+            2.0 * predicted(8) / 5
+        )
+        json.loads(report.to_json())  # valid JSON
+        md = report.to_markdown()
+        assert "| gspmv | 8 | 5 |" in md
+        assert "**>**" in md  # flagged marker
+
+    def test_empty_trace_renders_placeholder(self):
+        report = RooflineReport.from_events([], WESTMERE)
+        assert report.rows == []
+        assert "no kernel spans" in report.to_markdown()
+
+
+class TestReportCli:
+    """`repro report --json` against a synthetic telemetry directory."""
+
+    def _write_trace(self, run_dir):
+        run_dir.mkdir(parents=True, exist_ok=True)
+        events = [
+            kernel("spmv", 1, predicted(1), 1),
+            kernel("gspmv", 4, 4 * predicted(4), 2, calls=4),
+            kernel("gspmv", 8, 3.0 * predicted(8), 3),
+        ]
+        with open(run_dir / TRACE_FILENAME, "w", encoding="utf-8") as fh:
+            for ev in events:
+                fh.write(ev.to_json() + "\n")
+
+    def test_report_json_emits_roofline_for_m_1_4_8(self, tmp_path, capsys):
+        self._write_trace(tmp_path / "run")
+        assert main(["report", str(tmp_path / "run"), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        rows = doc["roofline"]["rows"]
+        assert sorted({r["m"] for r in rows}) == [1, 4, 8]
+        by_m = {(r["kind"], r["m"]): r for r in rows}
+        assert by_m[("gspmv", 4)]["calls"] == 4
+        assert by_m[("gspmv", 4)]["deviation"] == pytest.approx(0.0)
+        assert by_m[("gspmv", 8)]["flagged"] is True
+
+    def test_report_missing_run_dir_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "trace.jsonl" in capsys.readouterr().err
+
+
+class TestTraceRendering:
+    def test_build_tree_orphans_become_roots(self):
+        events = [
+            span("chunk", 5, start=0.0),
+            span("step", 6, parent_id=5, start=1.0),
+            # parent 99 was dropped by the bounded buffer
+            span("step", 7, parent_id=99, start=2.0),
+        ]
+        roots, children = build_tree(events)
+        assert [r.span_id for r in roots] == [5, 7]
+        assert [k.span_id for k in children[5]] == [6]
+
+    def test_render_collapses_kernel_runs_with_calls(self):
+        events = [
+            span("1st solve", 1, duration=0.5),
+            kernel("gspmv", 4, 0.2, 2, parent_id=1, calls=7, start=0.0),
+            kernel("gspmv", 4, 0.1, 3, parent_id=1, calls=2, start=0.2),
+        ]
+        text = render_trace_tree(events)
+        assert "gspmv x9" in text
+        assert "300.000 ms total" in text
+
+    def test_render_respects_max_depth(self):
+        events = [
+            span("chunk", 1),
+            span("step", 2, parent_id=1),
+            span("1st solve", 3, parent_id=2),
+        ]
+        text = render_trace_tree(events, max_depth=1)
+        assert "chunk" in text and "step" in text
+        assert "1st solve" not in text
+
+    def test_phase_totals_count_aggregated_calls(self):
+        events = [
+            span("step", 1, duration=2.0),
+            kernel("gspmv", 4, 0.5, 2, calls=10),
+            kernel("gspmv", 4, 0.5, 3),
+        ]
+        totals = phase_totals(events)
+        assert totals["gspmv"] == (11, pytest.approx(1.0))
+        assert totals["step"] == (1, pytest.approx(2.0))
+        rendered = render_phase_totals(events)
+        assert "phase" in rendered and "gspmv" in rendered
+
+    def test_trace_cli_renders_tree(self, tmp_path, capsys):
+        run = tmp_path / "run"
+        run.mkdir()
+        events = [
+            span("chunk", 1, m=4, duration=1.0),
+            kernel("gspmv", 4, 0.25, 2, parent_id=1, calls=3),
+        ]
+        with open(run / TRACE_FILENAME, "w", encoding="utf-8") as fh:
+            for ev in events:
+                fh.write(ev.to_json() + "\n")
+        assert main(["trace", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "chunk" in out
+        assert "gspmv x3" in out
+        assert "phase" in out  # totals table follows the tree
+
+    def test_trace_cli_missing_run_fails(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope")]) == 2
+        assert capsys.readouterr().err != ""
+
+
+class TestResolveMachine:
+    def test_known_names(self):
+        assert resolve_machine("wsm") is WESTMERE
+        assert resolve_machine("Westmere") is WESTMERE
+        assert resolve_machine("snb") is SANDY_BRIDGE
+        assert resolve_machine("host").name  # synthesized spec
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            resolve_machine("cray-1")
+
+
+class TestLoadRunMetrics:
+    def test_missing_file_returns_none(self, tmp_path):
+        assert load_run_metrics(tmp_path) is None
+
+    def test_reads_metrics_json(self, tmp_path):
+        (tmp_path / "metrics.json").write_text(
+            json.dumps({"counters": {"steps.completed": 3.0}}),
+            encoding="utf-8",
+        )
+        doc = load_run_metrics(tmp_path)
+        assert doc["counters"]["steps.completed"] == 3.0
