@@ -23,7 +23,13 @@ Small, scriptable entry points over the library's main workflows:
     telemetry directory (``simulate --telemetry-dir``).
 ``report``
     Metrics summary plus the measured-vs-model roofline table joining
-    recorded GSPMV/SPMV spans against :mod:`repro.perfmodel`.
+    recorded GSPMV/SPMV spans against :mod:`repro.perfmodel`.  Runs
+    that exercised the distributed fault machinery additionally get a
+    failover table (timeouts, retries, repairs, rank recoveries).
+``distsim``
+    Run a distributed power iteration on the simulated cluster, with
+    optional injected channel faults (``--net-faults``) and
+    checkpoint-backed rank recovery (``--checkpoint-every``).
 
 ``simulate`` grows a resilient mode: passing ``--checkpoint-every`` /
 ``--checkpoint-dir`` runs the MRHS driver under the
@@ -206,6 +212,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fmt.add_argument(
         "--markdown", action="store_true", help="emit a markdown document"
+    )
+
+    dist = sub.add_parser(
+        "distsim",
+        help="distributed power iteration on the simulated cluster",
+    )
+    dist.add_argument("--nb", type=int, default=24, help="block rows")
+    dist.add_argument(
+        "--block-size", type=int, default=3, help="block size (default 3)"
+    )
+    dist.add_argument("--m", type=int, default=4, help="right-hand sides")
+    dist.add_argument("--ranks", type=int, default=4, help="simulated ranks")
+    dist.add_argument("--steps", type=int, default=10, help="power-iteration steps")
+    dist.add_argument("--seed", type=int, default=0)
+    dist.add_argument(
+        "--net-faults",
+        default=None,
+        metavar="SPEC",
+        help="injected channel faults: ';'-separated entries "
+        "kind[:key=val,...] with kind in drop/delay/duplicate/corrupt/"
+        "crash, e.g. 'drop:src=0,dest=1,seq=2;crash:rank=1,step=5'",
+    )
+    dist.add_argument(
+        "--reliable",
+        action="store_true",
+        help="force the deadline/retry halo protocol even without faults",
+    )
+    dist.add_argument(
+        "--deadline",
+        type=int,
+        default=4,
+        help="halo receive deadline in scheduler sweeps (default 4)",
+    )
+    dist.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="resend rounds before a peer is declared dead (default 3)",
+    )
+    dist.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write a per-rank shard wave every N steps "
+        "(enables rank recovery)",
+    )
+    dist.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="shard directory (enables rank recovery)",
+    )
+    dist.add_argument(
+        "--max-recoveries",
+        type=int,
+        default=1,
+        help="rank-recovery budget (default 1)",
+    )
+    dist.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="record span trace + metrics (feeds the report failover table)",
     )
     return parser
 
@@ -590,6 +658,7 @@ def _cmd_report(args) -> int:
     from repro.telemetry.report import (
         RooflineReport,
         load_run_metrics,
+        render_failover_table,
         resolve_machine,
     )
 
@@ -635,6 +704,16 @@ def _cmd_report(args) -> int:
         else:
             for name, value in rows:
                 print(f"  {name} = {value}")
+    failover = render_failover_table(metrics, markdown=md)
+    if failover is not None:
+        if md:
+            print("## Failover")
+            print()
+        else:
+            print()
+        print(failover)
+        if md:
+            print()
     print("## Roofline" if md else "")
     print(roofline.to_markdown())
     if roofline.flagged_rows:
@@ -643,6 +722,177 @@ def _cmd_report(args) -> int:
             f"{len(roofline.flagged_rows)} row(s) deviate more than "
             f"{roofline.threshold:.0%} from the model"
         )
+    return 0
+
+
+def _parse_net_faults(spec: str, seed: int):
+    """Parse the ``--net-faults`` grammar into a ``ChannelFaultPlan``.
+
+    Entries are ``;``-separated; each is ``kind`` optionally followed by
+    ``:key=val,key=val...``.  Integer keys map straight onto
+    :class:`~repro.distributed.mpi_sim.ChannelFaultSpec` fields
+    (``src``, ``dest``, ``tag``, ``seq``, ``rank``, ``times``,
+    ``delay``); ``factor`` is a float; ``times=inf`` lifts the fire
+    budget; ``step=N`` pins a crash to ``at={"step": N}``.
+    """
+    from repro.distributed.mpi_sim import ChannelFaultPlan, ChannelFaultSpec
+
+    specs = []
+    for entry in spec.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        kind, _, rest = entry.partition(":")
+        kind = kind.strip()
+        kwargs = {}
+        for pair in filter(None, (p.strip() for p in rest.split(","))):
+            key, eq, value = pair.partition("=")
+            if not eq:
+                raise ValueError(
+                    f"bad --net-faults parameter {pair!r} (expected key=val)"
+                )
+            key = key.strip()
+            value = value.strip()
+            if key == "step":
+                kwargs["at"] = {"step": int(value)}
+            elif key == "factor":
+                kwargs["factor"] = float(value)
+            elif key == "times" and value in ("inf", "none"):
+                kwargs["times"] = None
+            elif key in ("src", "dest", "tag", "seq", "rank", "times", "delay"):
+                kwargs[key] = int(value)
+            else:
+                raise ValueError(f"unknown --net-faults key {key!r}")
+        specs.append(ChannelFaultSpec(kind=kind, **kwargs))
+    if not specs:
+        return None
+    return ChannelFaultPlan(specs=tuple(specs), seed=seed)
+
+
+def _ring_bcrs(nb: int, block_size: int, seed: int):
+    """A seeded block tridiagonal-with-wraparound test matrix: every
+    block row couples to its two ring neighbours, so each rank boundary
+    produces real halo traffic."""
+    import numpy as np
+
+    from repro.sparse.bcrs import BCRSMatrix
+
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+    for i in range(nb):
+        for j in (i - 1, i, i + 1):
+            rows.append(i)
+            cols.append(j % nb)
+    blocks = rng.standard_normal((len(rows), block_size, block_size))
+    return BCRSMatrix.from_block_coo(
+        nb, nb, np.array(rows), np.array(cols), blocks
+    )
+
+
+def _cmd_distsim(args) -> int:
+    import hashlib
+
+    import numpy as np
+
+    import repro.telemetry as _telemetry
+    from repro.distributed import (
+        DistributedSimulation,
+        RankRecoveryManager,
+        contiguous_partition,
+    )
+    from repro.resilience import CheckpointManager, RankFailure
+    from repro.util.tables import format_table
+
+    if args.ranks < 1 or args.nb < args.ranks:
+        print("error: need nb >= ranks >= 1", file=sys.stderr)
+        return 2
+    try:
+        plan = (
+            _parse_net_faults(args.net_faults, args.seed)
+            if args.net_faults
+            else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    A = _ring_bcrs(args.nb, args.block_size, args.seed)
+    partition = contiguous_partition(A, args.ranks)
+    rng = np.random.default_rng(args.seed + 1)
+    X0 = rng.standard_normal((A.n_rows, args.m))
+
+    hub = _make_hub(args)
+    if hub is not None:
+        # Only the Stokesian drivers install their hub themselves; the
+        # cluster substrate reads the ambient one.
+        _telemetry.install(hub)
+
+    recovery = None
+    if args.checkpoint_every or args.checkpoint_dir is not None:
+        manager = CheckpointManager(args.checkpoint_dir or "checkpoints")
+        recovery = RankRecoveryManager(manager)
+    sim = DistributedSimulation(
+        A,
+        partition,
+        X0,
+        fault_plan=plan,
+        reliable=True if args.reliable else None,
+        recovery=recovery,
+        max_recoveries=args.max_recoveries,
+        deadline=args.deadline,
+        max_retries=args.max_retries,
+    )
+    try:
+        try:
+            sim.run_steps(
+                args.steps, checkpoint_every=args.checkpoint_every
+            )
+        except RankFailure as exc:
+            _close_hub(hub, failed=True)
+            hub = None
+            print(f"unrecovered rank failure: {exc}", file=sys.stderr)
+            return 3
+    finally:
+        _close_hub(hub)
+
+    ex = sim.dist.last_exchange or {}
+    print(
+        f"completed {sim.step_index} steps on {sim.n_parts} rank(s) "
+        f"(started with {partition.n_parts}); m={sim.m}"
+    )
+    if plan is not None or args.reliable:
+        counts = {
+            k: len(ex.get(k) or ())
+            for k in ("timeouts", "resends", "stragglers", "corrupted")
+        }
+        print(
+            "last exchange: "
+            + ", ".join(f"{k}={v}" for k, v in counts.items())
+        )
+    if sim.recoveries:
+        rows = [
+            [
+                ",".join(map(str, r.dead_ranks)),
+                r.restored_step,
+                r.target_step,
+                r.replayed_steps,
+                r.rehomed_rows,
+                f"{r.n_parts_before}->{r.n_parts_after}",
+            ]
+            for r in sim.recoveries
+        ]
+        print(
+            format_table(
+                ["dead", "rollback", "target", "replayed", "rehomed", "ranks"],
+                rows,
+                title="rank recoveries",
+            )
+        )
+    digest = hashlib.sha256(
+        np.ascontiguousarray(sim.X).tobytes()
+    ).hexdigest()
+    print(f"X sha256: {digest}")
+    if args.telemetry_dir is not None:
+        print(f"telemetry written to {args.telemetry_dir}")
     return 0
 
 
@@ -655,6 +905,7 @@ _COMMANDS = {
     "health": _cmd_health,
     "trace": _cmd_trace,
     "report": _cmd_report,
+    "distsim": _cmd_distsim,
 }
 
 

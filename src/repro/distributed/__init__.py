@@ -22,14 +22,28 @@ than assumed (see DESIGN.md, "Substitutions"):
 * :mod:`repro.distributed.simcluster` — multi-node GSPMV: numerically
   exact distributed execution on the mpi_sim engine, and the timing
   model producing r(m, p), strong-scaling curves, and communication
-  fractions (Figures 3-4, Table III).
+  fractions (Figures 3-4, Table III);
+* :mod:`repro.distributed.recovery` / :mod:`repro.distributed.driver`
+  — checkpoint-backed rank recovery (restore shard wave, re-home dead
+  ranks' rows, rebuild, replay) and the distributed power-iteration
+  driver the resilience runner composes with (DESIGN.md §12).
 """
 
-from repro.distributed.mpi_sim import MpiSim, RankContext
+from repro.distributed.mpi_sim import (
+    ChannelFaultEvent,
+    ChannelFaultPlan,
+    ChannelFaultSpec,
+    DeadlockError,
+    MpiSim,
+    RankContext,
+    RankCrashed,
+    RECV_TIMEOUT,
+)
 from repro.distributed.partition import (
     Partition,
     coordinate_partition,
     contiguous_partition,
+    rehome_rows,
 )
 from repro.distributed.graphpart import spectral_partition
 from repro.distributed.comm import CommunicationPlan, build_comm_plan
@@ -39,13 +53,22 @@ from repro.distributed.simcluster import (
     MultiNodeTimeModel,
 )
 from repro.distributed.operator import DistributedOperator
+from repro.distributed.recovery import RankRecoveryManager, RecoveryReport
+from repro.distributed.driver import DistributedSimulation
 
 __all__ = [
     "MpiSim",
     "RankContext",
+    "RankCrashed",
+    "DeadlockError",
+    "RECV_TIMEOUT",
+    "ChannelFaultEvent",
+    "ChannelFaultPlan",
+    "ChannelFaultSpec",
     "Partition",
     "coordinate_partition",
     "contiguous_partition",
+    "rehome_rows",
     "spectral_partition",
     "CommunicationPlan",
     "build_comm_plan",
@@ -54,4 +77,7 @@ __all__ = [
     "DistributedGspmv",
     "MultiNodeTimeModel",
     "DistributedOperator",
+    "DistributedSimulation",
+    "RankRecoveryManager",
+    "RecoveryReport",
 ]

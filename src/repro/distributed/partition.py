@@ -24,7 +24,12 @@ import numpy as np
 from repro.sparse.bcrs import BCRSMatrix
 from repro.stokesian.particles import ParticleSystem
 
-__all__ = ["Partition", "coordinate_partition", "contiguous_partition"]
+__all__ = [
+    "Partition",
+    "coordinate_partition",
+    "contiguous_partition",
+    "rehome_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -165,3 +170,42 @@ def coordinate_partition(
     part_of_row = np.empty(system.n, dtype=np.int64)
     part_of_row[order] = groups_in_order
     return Partition(part_of_row=part_of_row, n_parts=p)
+
+
+def rehome_rows(
+    partition: Partition, dead: "set[int] | list[int]", A: BCRSMatrix
+) -> Partition:
+    """Repartition after crash-stop rank death: every block row owned by
+    a part in ``dead`` is re-homed onto a survivor, survivors are
+    renumbered ``0..p-len(dead)-1`` in their original order, and the
+    result is a valid :class:`Partition` over the reduced rank count.
+
+    Re-homing is deterministic and nnz-balanced: dead parts' rows are
+    walked in block-row order and each is assigned to the survivor with
+    the smallest accumulated non-zero load (ties break toward the
+    lowest new rank id), seeding loads with the survivors' existing
+    rows — the same greedy objective the original partitioners balance.
+    """
+    dead = {int(d) for d in dead}
+    if not dead:
+        return partition
+    if not dead <= set(range(partition.n_parts)):
+        raise ValueError("dead parts out of range")
+    survivors = [r for r in range(partition.n_parts) if r not in dead]
+    if not survivors:
+        raise ValueError("cannot re-home rows with no survivors")
+    if A.nb_rows != partition.nb:
+        raise ValueError("matrix size does not match partition")
+    new_id = {old: new for new, old in enumerate(survivors)}
+    row_nnz = np.maximum(np.diff(A.row_ptr).astype(np.float64), 1e-9)
+    part_of_row = np.empty(partition.nb, dtype=np.int64)
+    load = np.zeros(len(survivors), dtype=np.float64)
+    for old in survivors:
+        rows = partition.rows_of(old)
+        part_of_row[rows] = new_id[old]
+        load[new_id[old]] = row_nnz[rows].sum()
+    for row in np.flatnonzero(np.isin(partition.part_of_row, list(dead))):
+        target = int(np.argmin(load))
+        part_of_row[row] = target
+        load[target] += row_nnz[row]
+    return Partition(part_of_row=part_of_row, n_parts=len(survivors))

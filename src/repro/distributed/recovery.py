@@ -1,0 +1,186 @@
+"""Checkpoint-backed rank recovery for the simulated cluster.
+
+When :class:`~repro.distributed.simcluster.DistributedGspmv` reports a
+:class:`~repro.resilience.faults.RankFailure` (crash-stop death or a
+peer silent past the full retry ladder), the simulation does not have
+to die with the rank.  :class:`RankRecoveryManager` implements the
+recovery protocol (DESIGN.md §12):
+
+1. **Restore** — load the newest *complete* wave of per-rank checkpoint
+   shards (written through
+   :meth:`~repro.resilience.checkpoint.CheckpointManager.save_shard`)
+   and reassemble the global multivector at the shard step.  Shards
+   carry the writing rank's own block rows only, so a shard wave costs
+   each rank ``O(rows/p)`` — the dead rank's rows are recovered from
+   *its* shard, not from survivors' memories.
+2. **Repartition** — re-home the dead ranks' block rows onto survivors
+   with :func:`~repro.distributed.partition.rehome_rows` (deterministic,
+   nnz-balanced, survivors renumbered ``0..p-d-1``).
+3. **Rebuild** — construct a fresh
+   :class:`~repro.distributed.simcluster.DistributedGspmv` over the
+   shrunken partition; the communication plan is re-derived from the
+   matrix structure, and the channel-fault plan is re-armed *minus its
+   crash specs* (the dead rank is gone; its death must not re-fire
+   during replay).
+4. **Replay** — step the driver from the shard step back up to the step
+   the failure interrupted.  Replay is deterministic, so the recovered
+   trajectory equals the one a fault-free run produces from the same
+   checkpoint — "checkpoint-replay semantics".
+
+Every recovery is recorded as a ``dist.recovery`` telemetry span plus
+``recovery.*`` counters, which feed the CLI ``report`` failover table.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+import repro.telemetry as _telemetry
+from repro.distributed.partition import Partition, rehome_rows
+from repro.resilience.checkpoint import CheckpointManager
+
+__all__ = ["RankRecoveryManager", "RecoveryReport"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class RecoveryReport:
+    """What one rank recovery did."""
+
+    dead_ranks: Tuple[int, ...]
+    restored_step: int
+    """Shard step the cluster rolled back to."""
+    target_step: int
+    """Step the failure interrupted (replay destination)."""
+    replayed_steps: int
+    n_parts_before: int
+    n_parts_after: int
+    duration_seconds: float = 0.0
+    rehomed_rows: int = 0
+    """Block rows that changed owner."""
+    events: List[str] = field(default_factory=list)
+
+
+class RankRecoveryManager:
+    """Rebuilds a distributed simulation after crash-stop rank death.
+
+    Parameters
+    ----------
+    manager:
+        The checkpoint manager holding (and writing) per-rank shards.
+    """
+
+    def __init__(self, manager: CheckpointManager) -> None:
+        self.manager = manager
+        self.reports: List[RecoveryReport] = []
+
+    # ------------------------------------------------------------------
+    def checkpoint(self, sim: Any) -> List[Any]:
+        """Write one shard per rank of ``sim``'s current state.
+
+        ``sim`` is a :class:`~repro.distributed.driver
+        .DistributedSimulation`; each shard holds the writing rank's own
+        block rows of ``X`` plus the step index, i.e. exactly what that
+        rank would persist locally on a real cluster.
+        """
+        paths = []
+        for rank, shard in sim.shard_states().items():
+            paths.append(
+                self.manager.save_shard(
+                    shard, step=sim.step_index, rank=rank
+                )
+            )
+        return paths
+
+    # ------------------------------------------------------------------
+    def recover(self, sim: Any, dead_ranks) -> RecoveryReport:
+        """Restore + repartition + rebuild + replay; returns the report.
+
+        Raises :class:`FileNotFoundError` /
+        :class:`~repro.resilience.checkpoint.CheckpointCorruptionError`
+        when no complete shard wave exists — recovery is only as good
+        as the checkpoint cadence.
+        """
+        t0 = time.perf_counter()
+        dead = tuple(sorted(int(r) for r in set(dead_ranks)))
+        p_before = sim.partition.n_parts
+        if len(dead) >= p_before:
+            raise ValueError("cannot recover: every rank is dead")
+        hub = _telemetry.active_hub
+        span_cm = (
+            hub.tracer.span(
+                "dist.recovery", dead_ranks=list(dead), p=p_before
+            )
+            if hub is not None
+            else None
+        )
+        if span_cm is not None:
+            span_cm.__enter__()
+        try:
+            target_step = int(sim.step_index)
+            states, shard_step = self.manager.load_shards(
+                expect_ranks=p_before
+            )
+            nb = sim.partition.nb
+            b = sim.A.block_size
+            # Reassemble the global multivector at the shard step.  The
+            # shard wave may predate an m-degradation; columns evolve
+            # independently, so clamping to the driver's current width
+            # keeps the degradation in force across the recovery.
+            shard_m = int(next(iter(states.values()))["X"].shape[-1])
+            m = min(shard_m, int(sim.m))
+            Xb = np.zeros((nb, b, m))
+            for rank, shard in states.items():
+                rows = np.asarray(shard["rows"], dtype=np.int64)
+                Xb[rows] = np.asarray(
+                    shard["X"], dtype=np.float64
+                )[..., :m]
+            new_partition = rehome_rows(sim.partition, dead, sim.A)
+            rehomed = int(
+                np.isin(sim.partition.part_of_row, list(dead)).sum()
+            )
+            survivors = [r for r in range(p_before) if r not in dead]
+            sim.rebuild(
+                partition=new_partition,
+                X=Xb.reshape(nb * b, m),
+                step_index=int(shard_step),
+                rank_map={old: new for new, old in enumerate(survivors)},
+            )
+            replayed = 0
+            while sim.step_index < target_step:
+                sim.step()
+                replayed += 1
+            report = RecoveryReport(
+                dead_ranks=dead,
+                restored_step=int(shard_step),
+                target_step=target_step,
+                replayed_steps=replayed,
+                n_parts_before=p_before,
+                n_parts_after=new_partition.n_parts,
+                duration_seconds=time.perf_counter() - t0,
+                rehomed_rows=rehomed,
+            )
+        finally:
+            if span_cm is not None:
+                span_cm.__exit__(None, None, None)
+        if hub is not None:
+            mx = hub.metrics
+            mx.counter("recovery.events").inc()
+            mx.counter("recovery.ranks_lost").inc(len(dead))
+            mx.counter("recovery.replayed_steps").inc(report.replayed_steps)
+            mx.counter("recovery.rehomed_rows").inc(report.rehomed_rows)
+            mx.histogram("recovery.seconds").observe(report.duration_seconds)
+        logger.warning(
+            "recovered from death of rank(s) %s: rolled back to step %d, "
+            "re-homed %d block rows onto %d survivors, replayed %d steps",
+            list(dead), report.restored_step, report.rehomed_rows,
+            report.n_parts_after, report.replayed_steps,
+        )
+        self.reports.append(report)
+        return report

@@ -24,15 +24,20 @@ Two layers, deliberately separate:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 import repro.telemetry as _telemetry
 from repro.distributed.comm import CommunicationPlan, block_checksum, build_comm_plan
-from repro.distributed.mpi_sim import MpiSim
+from repro.distributed.mpi_sim import (
+    RECV_TIMEOUT,
+    ChannelFaultPlan,
+    MpiSim,
+)
 from repro.resilience.faults import (
     ExchangeCorruptionError,
+    RankFailure,
     active_injector,
     fire_fault,
 )
@@ -44,6 +49,17 @@ from repro.sparse.bcrs import BCRSMatrix
 from repro.sparse.gspmv import gspmv
 
 __all__ = ["DistributedGspmv", "MultiNodeTimeModel"]
+
+
+def _empty_exchange_log() -> dict:
+    return {
+        "corrupted": [],
+        "repaired": [],
+        "stragglers": [],
+        "timeouts": [],
+        "resends": [],
+        "failed": [],
+    }
 
 
 def _local_submatrix(
@@ -89,6 +105,30 @@ class DistributedGspmv:
         seed implementation.
     max_repair_rounds:
         Bounded re-request budget per GSPMV.
+    fault_plan:
+        Optional :class:`~repro.distributed.mpi_sim.ChannelFaultPlan`
+        armed on the underlying engine: lossy channels (drop, delay,
+        duplicate, corrupt) and crash-stop rank death.  Arming a plan
+        switches the exchange to the **reliable** protocol below and
+        makes the engine *persistent* across multiplies, so fault
+        budgets, channel sequence numbers, and dead ranks carry over —
+        a crashed rank stays dead.
+    reliable:
+        Deadline-based halo exchange: every boundary message carries a
+        ``(crc, round, src, exchange)`` header, receives are
+        timeout-bounded with bounded retry and exponential backoff,
+        duplicates and reorders are discarded idempotently by the
+        header check, late arrivals flag the sender as a straggler,
+        and a peer that is crash-stop dead or silent past the full
+        retry ladder raises
+        :class:`~repro.resilience.faults.RankFailure` naming the lost
+        ranks.  Defaults to ``fault_plan is not None``.
+    deadline:
+        Scheduler sweeps a reliable receive waits before timing out
+        (the per-phase deadline; round ``r`` retries wait
+        ``deadline * 2**r``).
+    max_retries:
+        Bounded resend rounds of the reliable exchange.
     """
 
     def __init__(
@@ -98,14 +138,31 @@ class DistributedGspmv:
         *,
         verify_exchange: bool = False,
         max_repair_rounds: int = 2,
+        fault_plan: Optional[ChannelFaultPlan] = None,
+        reliable: Optional[bool] = None,
+        deadline: int = 4,
+        max_retries: int = 3,
     ) -> None:
         if A.nb_rows != A.nb_cols:
             raise ValueError("matrix must be block-square")
         if max_repair_rounds < 0:
             raise ValueError("max_repair_rounds must be non-negative")
+        if deadline < 1:
+            raise ValueError("deadline must be >= 1 sweep")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
         self.verify_exchange = bool(verify_exchange)
         self.max_repair_rounds = int(max_repair_rounds)
-        self.last_exchange: dict = {"corrupted": [], "repaired": []}
+        self.fault_plan = fault_plan
+        self.reliable = (
+            bool(reliable) if reliable is not None else fault_plan is not None
+        )
+        self.deadline = int(deadline)
+        self.max_retries = int(max_retries)
+        self.last_exchange: dict = _empty_exchange_log()
+        self._sim: Optional[MpiSim] = None
+        self._xid = 0
+        self._auto_step = 0
         self.A = A
         self.partition = partition
         self.plan: CommunicationPlan = build_comm_plan(A, partition)
@@ -134,11 +191,75 @@ class DistributedGspmv:
             )
 
     # ------------------------------------------------------------------
-    def multiply(self, X: np.ndarray) -> np.ndarray:
+    def _get_sim(self) -> MpiSim:
+        """Fresh engine per multiply on the exact seed path; persistent
+        engine (fault budgets, channel sequence numbers, dead ranks
+        carry over) when channel faults or the reliable protocol are
+        in play."""
+        p = self.partition.n_parts
+        if self.fault_plan is None and not self.reliable:
+            return MpiSim(p)
+        if self._sim is None:
+            self._sim = MpiSim(p, fault_plan=self.fault_plan)
+        return self._sim
+
+    def _record_exchange(self, sim: MpiSim, m: int) -> list:
+        """Fold per-rank exchange logs into ``last_exchange`` + counters."""
+        self.last_traffic = sim.total_traffic()
+        events = [
+            e for c in sim.contexts for e in getattr(c, "exchange_log", [])
+        ]
+        log = _empty_exchange_log()
+        for e in events:
+            kind = e[0]
+            if kind in ("resend", "status_timeout"):
+                log["resends"].append(e[1:])
+            elif kind == "timeout":
+                log["timeouts"].append(e[1:])
+            elif kind in log:
+                log[kind].append(e[1:])
+        self.last_exchange = log
+        hub = _telemetry.active_hub
+        if hub is not None:
+            mx = hub.metrics
+            mx.counter("comm.exchanges", m=m).inc()
+            mx.counter("comm.bytes_sent", m=m).inc(self.last_traffic.bytes_sent)
+            mx.counter("comm.messages_sent", m=m).inc(
+                self.last_traffic.messages_sent
+            )
+            if log["repaired"]:
+                mx.counter("comm.repairs").inc(len(log["repaired"]))
+            if log["corrupted"]:
+                mx.counter("dist.corrupt_blocks").inc(len(log["corrupted"]))
+            repair_rounds = {
+                e[2]
+                for key in ("repaired", "corrupted", "stragglers")
+                for e in log[key]
+                if e[2] >= 1
+            }
+            if repair_rounds:
+                mx.counter("dist.repair_rounds").inc(len(repair_rounds))
+            if log["timeouts"]:
+                mx.counter("dist.timeouts").inc(len(log["timeouts"]))
+            if log["resends"]:
+                mx.counter("dist.retries").inc(len(log["resends"]))
+            if log["stragglers"]:
+                mx.counter("dist.stragglers").inc(len(log["stragglers"]))
+        return events
+
+    # ------------------------------------------------------------------
+    def multiply(self, X: np.ndarray, *, step: Optional[int] = None) -> np.ndarray:
         """Compute ``Y = A @ X`` across simulated ranks.
 
         ``X`` is the logically global ``(n, m)`` multivector; each rank
         only ever touches its own rows plus received boundary blocks.
+        ``step`` names the crash-stop death site this multiply exposes
+        (``ChannelFaultSpec(kind="crash", rank=r, at={"step": s})``);
+        it defaults to a per-instance multiply counter.
+
+        Raises :class:`~repro.resilience.faults.RankFailure` when a
+        rank is crash-stop dead or a peer stayed silent past the
+        reliable exchange's full retry ladder.
         """
         X = np.asarray(X, dtype=np.float64)
         squeeze = X.ndim == 1
@@ -146,6 +267,9 @@ class DistributedGspmv:
             X = X[:, None]
         if X.shape[0] != self.A.n_rows:
             raise ValueError("X row count does not match matrix")
+        if step is None:
+            step = self._auto_step
+        self._auto_step = int(step) + 1
         m = X.shape[1]
         b = self.block_size
         Xb = X.reshape(self.A.nb_rows, b, m)
@@ -157,6 +281,10 @@ class DistributedGspmv:
 
         verify = self.verify_exchange
         max_rounds = self.max_repair_rounds
+        deadline = self.deadline
+        retries = self.max_retries
+        xid = self._xid
+        self._xid += 1
 
         def send_boundary(ctx, dest, *, rnd, data_tag, crc_tag):
             """One boundary-block message (checksum computed pre-fault,
@@ -172,6 +300,163 @@ class DistributedGspmv:
             ctx.send(
                 dest, tag=crc_tag, payload=np.array([crc], dtype=np.uint64)
             )
+
+        def reliable_program(ctx):
+            """Deadline-based halo exchange with retry, backoff, and
+            idempotent frame acceptance.
+
+            Every boundary block travels as a DATA frame plus a header
+            frame ``[crc, round, src, exchange]``; the header check
+            discards duplicated, reordered, or stale frames, so
+            retransmissions are idempotent.  Receives are bounded by
+            ``deadline * 2**round`` sweeps; each retry round exchanges
+            status messages (1 = resend please, 0 = confirmed) on every
+            boundary edge, and a silent status wait falls back to a
+            blind (idempotent) resend.  A peer that is crash-stop dead
+            or still missing after the full ladder lands in
+            ``ctx.failed_sources`` — the multiply turns that into
+            :class:`RankFailure`.
+            """
+            ctx.exchange_log = []
+            ctx.failed_sources = []
+            r = ctx.rank
+            ctx.death_site(step=step)
+            own = own_rows[r]
+            sends = sorted(plan.send_cols[r])
+            recvs = sorted(plan.recv_cols[r])
+            base = 4 * xid * (retries + 1)
+
+            def dtag(rnd):
+                return base + 4 * rnd
+
+            def htag(rnd):
+                return base + 4 * rnd + 1
+
+            def stag(rnd):
+                return base + 4 * rnd + 2
+
+            def send_pair(dest, rnd):
+                payload = Xb[plan.send_cols[r][dest]]
+                crc = block_checksum(payload)
+                fault = fire_fault(
+                    "comm.exchange", src=r, dest=dest, round=rnd
+                )
+                if fault is not None:
+                    payload = fault.mutate(payload, active_injector().rng)
+                ctx.send(dest, tag=dtag(rnd), payload=payload)
+                ctx.send(
+                    dest,
+                    tag=htag(rnd),
+                    payload=np.array(
+                        [float(crc), float(rnd), float(r), float(xid)]
+                    ),
+                )
+
+            for dest in sends:
+                send_pair(dest, 0)
+
+            n_local_cols = len(col_maps[r])
+            X_local = np.zeros((n_local_cols, b, m))
+            X_local[: len(own)] = Xb[own]
+            offsets = {}
+            offset = len(own)
+            for src in recvs:
+                offsets[src] = offset
+                offset += len(plan.recv_cols[r][src])
+
+            def accept(src, data, hdr, rnd):
+                if data is RECV_TIMEOUT or hdr is RECV_TIMEOUT:
+                    return "timeout"
+                k = len(plan.recv_cols[r][src])
+                if (
+                    hdr.shape != (4,)
+                    or int(hdr[1]) != rnd
+                    or int(hdr[2]) != src
+                    or int(hdr[3]) != xid
+                    or data.shape != (k, b, m)
+                ):
+                    return "corrupt"
+                if block_checksum(data) != int(hdr[0]):
+                    return "corrupt"
+                X_local[offsets[src] : offsets[src] + k] = data
+                return "ok"
+
+            missing = set()
+            slow = set()
+            for src in recvs:
+                data = yield ctx.recv(src, tag=dtag(0), timeout=deadline)
+                hdr = RECV_TIMEOUT
+                if data is not RECV_TIMEOUT:
+                    hdr = yield ctx.recv(src, tag=htag(0), timeout=deadline)
+                verdict = accept(src, data, hdr, 0)
+                if verdict == "ok":
+                    continue
+                missing.add(src)
+                if verdict == "timeout":
+                    slow.add(src)
+                    ctx.exchange_log.append(("timeout", src, r, 0))
+                else:
+                    ctx.exchange_log.append(("corrupted", src, r, 0))
+
+            unconfirmed = set(sends)
+            failed = set()
+            rnd = 0
+            # rnd == 0 forces one confirmation round even when this
+            # rank already has everything — its senders are waiting
+            # for the all-clear.
+            while rnd < retries and (missing or unconfirmed or rnd == 0):
+                rnd += 1
+                wait = deadline << rnd
+                for src in list(missing):
+                    if ctx.peer_dead(src):
+                        missing.discard(src)
+                        failed.add(src)
+                for dest in list(unconfirmed):
+                    if ctx.peer_dead(dest):
+                        unconfirmed.discard(dest)
+                for src in recvs:
+                    if src in failed or ctx.peer_dead(src):
+                        continue
+                    flag = 1.0 if src in missing else 0.0
+                    ctx.send(src, tag=stag(rnd), payload=np.array([flag]))
+                for dest in sorted(unconfirmed):
+                    status = yield ctx.recv(dest, tag=stag(rnd), timeout=wait)
+                    if status is RECV_TIMEOUT:
+                        # Lost request or lost confirmation — can't
+                        # tell, so resend; the header check makes the
+                        # extra copy harmless.
+                        ctx.exchange_log.append(("status_timeout", dest, r, rnd))
+                        send_pair(dest, rnd)
+                    elif int(status[0]):
+                        ctx.exchange_log.append(("resend", dest, r, rnd))
+                        send_pair(dest, rnd)
+                    else:
+                        unconfirmed.discard(dest)
+                for src in sorted(missing):
+                    data = yield ctx.recv(src, tag=dtag(rnd), timeout=wait)
+                    hdr = RECV_TIMEOUT
+                    if data is not RECV_TIMEOUT:
+                        hdr = yield ctx.recv(src, tag=htag(rnd), timeout=wait)
+                    verdict = accept(src, data, hdr, rnd)
+                    if verdict == "ok":
+                        missing.discard(src)
+                        if src in slow:
+                            # Exceeded the phase deadline but delivered:
+                            # straggler, not failure.
+                            ctx.exchange_log.append(("straggler", src, r, rnd))
+                        else:
+                            ctx.exchange_log.append(("repaired", src, r, rnd))
+                    elif verdict == "timeout":
+                        slow.add(src)
+                        ctx.exchange_log.append(("timeout", src, r, rnd))
+                    else:
+                        ctx.exchange_log.append(("corrupted", src, r, rnd))
+            failed |= missing
+            if failed:
+                ctx.failed_sources = sorted(failed)
+                return
+            Y_local = gspmv(locals_[r], X_local.reshape(n_local_cols * b, m))
+            ctx.result = Y_local
 
         def program(ctx):
             ctx.exchange_log = []
@@ -256,30 +541,31 @@ class DistributedGspmv:
             Y_local = gspmv(locals_[r], X_local.reshape(n_local_cols * b, m))
             ctx.result = Y_local
 
-        sim = MpiSim(p)
-        contexts = sim.run(program)
-        self.last_traffic = sim.total_traffic()
-        events = [
-            e for c in contexts for e in getattr(c, "exchange_log", [])
-        ]
-        self.last_exchange = {
-            "corrupted": [e[1:] for e in events if e[0] == "corrupted"],
-            "repaired": [e[1:] for e in events if e[0] == "repaired"],
-        }
-        hub = _telemetry.active_hub
-        if hub is not None:
-            mx = hub.metrics
-            mx.counter("comm.exchanges", m=m).inc()
-            mx.counter("comm.bytes_sent", m=m).inc(
-                self.last_traffic.bytes_sent
+        sim = self._get_sim()
+        if sim.dead_ranks:
+            raise RankFailure(
+                sim.dead_ranks,
+                f"rank(s) {sorted(sim.dead_ranks)} died in an earlier "
+                "exchange; recover before multiplying again",
             )
-            mx.counter("comm.messages_sent", m=m).inc(
-                self.last_traffic.messages_sent
+        try:
+            contexts = sim.run(
+                reliable_program if self.reliable else program
             )
-            if self.last_exchange["repaired"]:
-                mx.counter("comm.repairs").inc(
-                    len(self.last_exchange["repaired"])
-                )
+        except ExchangeCorruptionError:
+            self._record_exchange(sim, m)
+            raise
+        self._record_exchange(sim, m)
+
+        failed = set(sim.dead_ranks)
+        for c in contexts:
+            failed.update(getattr(c, "failed_sources", ()))
+        if failed:
+            self.last_exchange["failed"] = sorted(failed)
+            hub = _telemetry.active_hub
+            if hub is not None:
+                hub.metrics.counter("dist.rank_failures").inc(len(failed))
+            raise RankFailure(failed)
 
         Y = np.empty((self.A.n_rows, m))
         for r in range(p):

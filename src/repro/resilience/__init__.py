@@ -35,6 +35,7 @@ from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
     FaultSpec,
+    RankFailure,
     SimulationKilled,
     arm,
     armed,
@@ -43,6 +44,7 @@ from repro.resilience.faults import (
 )
 from repro.resilience.policies import (
     DegradePolicy,
+    RecoveryPolicy,
     ResilienceExhausted,
     RetryPolicy,
 )
@@ -60,12 +62,14 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "RankFailure",
     "SimulationKilled",
     "arm",
     "armed",
     "disarm",
     "fire_fault",
     "DegradePolicy",
+    "RecoveryPolicy",
     "ResilienceExhausted",
     "RetryPolicy",
     "ResilientRunner",

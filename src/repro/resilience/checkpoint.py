@@ -193,8 +193,17 @@ class CheckpointManager:
         return self.directory / f"{self.prefix}-{step:09d}.npz"
 
     def checkpoints(self) -> List[Path]:
-        """Existing checkpoint files, oldest first."""
-        return sorted(self.directory.glob(f"{self.prefix}-*.npz"))
+        """Existing *global* checkpoint files, oldest first.
+
+        Only ``<prefix>-<step>.npz`` files count — per-rank shard files
+        (``<prefix>-shard<rank>-<step>.npz``) live in the same
+        directory but have their own listing (:meth:`shards_at`) and
+        retention (:meth:`_prune_shards`)."""
+        return sorted(
+            p
+            for p in self.directory.glob(f"{self.prefix}-*.npz")
+            if p.stem[len(self.prefix) + 1:].isdigit()
+        )
 
     def latest(self) -> Optional[Path]:
         found = self.checkpoints()
@@ -287,6 +296,121 @@ class CheckpointManager:
                 old.unlink()
             except OSError:  # pragma: no cover - racing cleanup is benign
                 pass
+
+    # ------------------------------------------------------------------
+    # per-rank shards (distributed recovery)
+    # ------------------------------------------------------------------
+    def shard_path_for(self, step: int, rank: int) -> Path:
+        return self.directory / f"{self.prefix}-shard{rank:04d}-{step:09d}.npz"
+
+    def save_shard(
+        self, state: Mapping[str, Any], *, step: int, rank: int
+    ) -> Path:
+        """Atomically write one rank's shard of the step-``step`` state.
+
+        Shards get the full checkpoint treatment — atomic replace,
+        SHA-256 content checksum, format versioning — but are keyed by
+        ``(step, rank)``: rank recovery
+        (:class:`~repro.distributed.recovery.RankRecoveryManager`)
+        rebuilds a dead rank's rows from the latest step at which
+        *every* rank's shard is on disk.
+        """
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        payload = {
+            "meta": {
+                "format_version": FORMAT_VERSION,
+                "step": int(step),
+                "rank": int(rank),
+                "kind": str(state.get("kind", "shard")),
+            },
+            "state": dict(state),
+        }
+        arrays = pack_state(payload)
+        arrays[_CHECKSUM_KEY] = np.array(_digest(arrays))
+        path = atomic_savez(
+            self.shard_path_for(step, rank), compress=False, fsync=False,
+            **arrays,
+        )
+        self._prune_shards()
+        hub = _telemetry.active_hub
+        if hub is not None:
+            hub.metrics.counter("checkpoint.shard_writes").inc()
+        return path
+
+    def shard_steps(self) -> List[int]:
+        """Steps that have at least one shard on disk, oldest first."""
+        steps = set()
+        for p in self.directory.glob(f"{self.prefix}-shard*-*.npz"):
+            try:
+                steps.add(int(p.stem.rsplit("-", 1)[1]))
+            except ValueError:  # pragma: no cover - foreign file
+                continue
+        return sorted(steps)
+
+    def shards_at(self, step: int) -> Dict[int, Path]:
+        """``{rank: path}`` of the shards stored for ``step``."""
+        out: Dict[int, Path] = {}
+        for p in self.directory.glob(
+            f"{self.prefix}-shard*-{step:09d}.npz"
+        ):
+            head = p.stem.rsplit("-", 1)[0]
+            try:
+                out[int(head[len(self.prefix) + len("-shard"):])] = p
+            except ValueError:  # pragma: no cover - foreign file
+                continue
+        return out
+
+    def load_shards(
+        self, step: Optional[int] = None, *, expect_ranks: Optional[int] = None
+    ) -> Tuple[Dict[int, Dict[str, Any]], int]:
+        """Load every rank's shard for one step; ``(states, step)``.
+
+        ``step`` defaults to the newest step whose shard set is
+        *complete* (``expect_ranks`` shards present, when given) and
+        fully loadable — an interrupted shard wave or a corrupt file
+        falls back to the previous step, mirroring
+        :meth:`load_latest`.
+        """
+        candidates = (
+            [int(step)] if step is not None else list(reversed(self.shard_steps()))
+        )
+        if not candidates:
+            raise FileNotFoundError(f"no shards under {self.directory}")
+        last_error: Optional[Exception] = None
+        for s in candidates:
+            found = self.shards_at(s)
+            if not found:
+                raise FileNotFoundError(
+                    f"no shards for step {s} under {self.directory}"
+                )
+            if expect_ranks is not None and len(found) != expect_ranks:
+                last_error = CheckpointCorruptionError(
+                    f"step {s} has {len(found)}/{expect_ranks} shards"
+                )
+                continue
+            try:
+                return (
+                    {r: self.load(p)[0] for r, p in sorted(found.items())},
+                    s,
+                )
+            except CheckpointCorruptionError as exc:
+                last_error = exc
+        raise CheckpointCorruptionError(
+            f"no complete loadable shard set under {self.directory}; "
+            f"last error: {last_error}"
+        )
+
+    def _prune_shards(self) -> None:
+        steps = self.shard_steps()
+        for old_step in steps[: max(0, len(steps) - self.keep)]:
+            for p in self.shards_at(old_step).values():
+                try:
+                    p.unlink()
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
 
     # ------------------------------------------------------------------
     def load(self, path: Optional[PathLike] = None) -> Tuple[Dict[str, Any], Dict[str, Any]]:

@@ -51,6 +51,7 @@ __all__ = [
     "BlockSolveBroken",
     "SimulationKilled",
     "ExchangeCorruptionError",
+    "RankFailure",
     "fire_fault",
     "arm",
     "disarm",
@@ -79,6 +80,26 @@ class ExchangeCorruptionError(RuntimeError):
     sending rank failed.  *Not* a :class:`FaultInjected`: it is the
     detector's honest report, not the fault itself.
     """
+
+
+class RankFailure(RuntimeError):
+    """One or more ranks are unusable: crash-stop dead, or unresponsive
+    past the reliable exchange's full retry ladder.
+
+    Carries the failed rank ids in ``ranks`` so the recovery layer
+    (:class:`~repro.distributed.recovery.RankRecoveryManager`) knows
+    whose block rows to re-home.  Like
+    :class:`ExchangeCorruptionError`, this is the detector's report,
+    not the injected fault itself.
+    """
+
+    def __init__(self, ranks, message: Optional[str] = None) -> None:
+        self.ranks: Tuple[int, ...] = tuple(sorted(int(r) for r in set(ranks)))
+        super().__init__(
+            message
+            or f"rank(s) {list(self.ranks)} failed (crash-stop or "
+            "unresponsive past the retry budget)"
+        )
 
 
 @dataclass(frozen=True)

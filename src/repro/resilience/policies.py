@@ -22,7 +22,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["RetryPolicy", "DegradePolicy", "ResilienceExhausted"]
+__all__ = [
+    "RetryPolicy",
+    "DegradePolicy",
+    "RecoveryPolicy",
+    "ResilienceExhausted",
+]
 
 
 class ResilienceExhausted(RuntimeError):
@@ -52,6 +57,30 @@ class RetryPolicy:
             raise ValueError("heal_streak must be >= 1")
         if self.overlap_tol < 0:
             raise ValueError("overlap_tol must be non-negative")
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded rank recovery for distributed drivers.
+
+    The runner lets the driver spend its own recovery budget first;
+    failures past that budget each trigger one *runner-level* recovery,
+    preceded by an ``m``-halving degradation (per the run's
+    :class:`DegradePolicy` floor) to shed halo-exchange pressure on the
+    shrunken cluster.  ``max_rank_recoveries`` caps the *total*
+    (driver + runner) recoveries before :class:`ResilienceExhausted`.
+    """
+
+    max_rank_recoveries: int = 2
+    """Total rank recoveries allowed across the run."""
+    min_ranks: int = 2
+    """Smallest cluster the runner will shrink to."""
+
+    def __post_init__(self) -> None:
+        if self.max_rank_recoveries < 0:
+            raise ValueError("max_rank_recoveries must be non-negative")
+        if self.min_ranks < 1:
+            raise ValueError("min_ranks must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -38,12 +38,18 @@ from repro.resilience.faults import (
     FaultEvent,
     FaultInjector,
     FaultPlan,
+    RankFailure,
     SimulationKilled,
     arm,
     disarm,
     fire_fault,
 )
-from repro.resilience.policies import DegradePolicy, ResilienceExhausted, RetryPolicy
+from repro.resilience.policies import (
+    DegradePolicy,
+    RecoveryPolicy,
+    ResilienceExhausted,
+    RetryPolicy,
+)
 from repro.stokesian.neighbors import neighbor_pairs
 from repro.stokesian.particles import ParticleSystem
 
@@ -85,6 +91,11 @@ class RunReport:
     rejected_checks: List[str] = field(default_factory=list)
     """Invariant names whose fatal verdicts rejected steps (monitor
     runs only)."""
+    rank_recoveries: List[Tuple[Tuple[int, ...], int, int]] = field(
+        default_factory=list
+    )
+    """``(dead_ranks, restored_step, replayed_steps)`` per rank
+    recovery (distributed runs only)."""
 
 
 class ResilientRunner:
@@ -93,10 +104,16 @@ class ResilientRunner:
     Parameters
     ----------
     driver:
-        A :class:`~repro.stokesian.dynamics.StokesianDynamics` or
-        :class:`~repro.core.mrhs.MrhsStokesianDynamics` instance (fresh
-        or restored via :func:`resume_driver`).
-    retry, degrade:
+        A :class:`~repro.stokesian.dynamics.StokesianDynamics`,
+        :class:`~repro.core.mrhs.MrhsStokesianDynamics`, or
+        :class:`~repro.distributed.driver.DistributedSimulation`
+        instance (fresh or restored via :func:`resume_driver`).  For a
+        distributed driver the dt/particle machinery is inert;
+        :class:`~repro.resilience.faults.RankFailure` handling (recover,
+        then degrade ``m``, bounded by ``recovery``) replaces it, and
+        the checkpoint cadence additionally writes the per-rank shard
+        wave recovery restores from.
+    retry, degrade, recovery:
         Recovery policies (see :mod:`repro.resilience.policies`).
     manager:
         Optional checkpoint manager; with ``checkpoint_every > 0`` a
@@ -124,20 +141,31 @@ class ResilientRunner:
         *,
         retry: RetryPolicy = RetryPolicy(),
         degrade: DegradePolicy = DegradePolicy(),
+        recovery: RecoveryPolicy = RecoveryPolicy(),
         manager: Optional[CheckpointManager] = None,
         checkpoint_every: int = 0,
         injector: Optional[Union[FaultInjector, FaultPlan]] = None,
         monitor: Optional[HealthMonitor] = None,
         reject_on_fatal: bool = True,
     ) -> None:
-        if hasattr(driver, "begin_chunk") and hasattr(driver, "sd"):
+        self._distributed = hasattr(driver, "shard_states") and hasattr(
+            driver, "recover"
+        )
+        if self._distributed:
+            self._chunked = False
+            if monitor is not None:
+                raise ValueError(
+                    "health monitors attach to particle-dynamics drivers; "
+                    "a distributed driver has no particle system"
+                )
+        elif hasattr(driver, "begin_chunk") and hasattr(driver, "sd"):
             self._chunked = True
         elif hasattr(driver, "step") and hasattr(driver, "get_state"):
             self._chunked = False
         else:
             raise TypeError(
-                "driver must be StokesianDynamics or MrhsStokesianDynamics "
-                f"(got {type(driver).__name__})"
+                "driver must be StokesianDynamics, MrhsStokesianDynamics, "
+                f"or DistributedSimulation (got {type(driver).__name__})"
             )
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be non-negative")
@@ -154,15 +182,22 @@ class ResilientRunner:
             else FaultInjector(injector)
         )
         self.monitor = monitor
-        self._original_dt = float(self._sd().params.dt)
+        self.recovery_policy = recovery
         self._streak = 0
-        if monitor is not None:
-            self._sd().health = monitor
-        self._controller = StepAcceptanceController(
-            driver,
-            retry=retry,
-            monitor=monitor if reject_on_fatal else None,
-        )
+        if self._distributed:
+            # No dt to back off and no particle screen: the distributed
+            # accept/reject loop is RankFailure -> recover/degrade.
+            self._original_dt = 0.0
+            self._controller = None
+        else:
+            self._original_dt = float(self._sd().params.dt)
+            if monitor is not None:
+                self._sd().health = monitor
+            self._controller = StepAcceptanceController(
+                driver,
+                retry=retry,
+                monitor=monitor if reject_on_fatal else None,
+            )
 
     # ------------------------------------------------------------------
     def _sd(self):
@@ -173,7 +208,12 @@ class ResilientRunner:
         """Global time-step counter (continues across resumes)."""
         return int(self._sd().step_index)
 
+    def _dt(self) -> float:
+        return 0.0 if self._distributed else float(self._sd().params.dt)
+
     def _set_dt(self, dt: float) -> None:
+        if self._distributed:
+            return
         sd = self._sd()
         sd.params = replace(sd.params, dt=dt)
 
@@ -196,7 +236,7 @@ class ResilientRunner:
         """
         if n_steps < 0:
             raise ValueError("n_steps must be non-negative")
-        report = RunReport(final_dt=float(self._sd().params.dt))
+        report = RunReport(final_dt=self._dt())
         armed_here = self.injector is not None
         if armed_here:
             arm(self.injector)
@@ -217,7 +257,7 @@ class ResilientRunner:
                 # Queued async writes must be on disk before control
                 # returns (kill-and-resume reads the directory next).
                 self.manager.flush()
-            report.final_dt = float(self._sd().params.dt)
+            report.final_dt = self._dt()
             if self.injector is not None:
                 report.faults = list(self.injector.events)
             if armed_here:
@@ -264,6 +304,65 @@ class ResilientRunner:
                 )
             return
 
+    def _attempt_step_distributed(self, report: RunReport) -> None:
+        """One healthy distributed step through rank failures.
+
+        The driver spends its own recovery budget first (transparent
+        failover inside ``driver.step()``).  A :class:`RankFailure`
+        that escapes it is handled here: while the total recovery count
+        is under :class:`~repro.resilience.policies.RecoveryPolicy`'s
+        cap and enough ranks survive, the runner degrades ``m`` (per
+        the :class:`~repro.resilience.policies.DegradePolicy` floor) to
+        shed halo-exchange pressure on the shrunken cluster, then
+        recovers and retries — m-degradation and rank recovery
+        *compose* instead of the former bypassing the latter.
+        """
+        while True:
+            try:
+                self.driver.step()
+            except RankFailure as exc:
+                report.retries += 1
+                done = len(self.driver.recoveries)
+                survivors = self.driver.n_parts - len(exc.ranks)
+                if (
+                    done >= self.recovery_policy.max_rank_recoveries
+                    or survivors < self.recovery_policy.min_ranks
+                ):
+                    raise ResilienceExhausted(
+                        f"rank(s) {list(exc.ranks)} failed at step "
+                        f"{self.step_index} with {done} recoveries spent "
+                        f"and {survivors} survivors"
+                    ) from exc
+                if self.driver.m > self.degrade.min_m:
+                    new_m = max(self.degrade.min_m, self.driver.m // 2)
+                    self.driver.degrade_m(new_m)
+                    report.degradations.append((self.step_index, new_m))
+                    logger.warning(
+                        "rank failure past the driver's recovery budget; "
+                        "degraded to m=%d before runner-level recovery",
+                        new_m,
+                    )
+                rep = self.driver.recover(exc.ranks)
+                report.rank_recoveries.append(
+                    (
+                        tuple(rep.dead_ranks),
+                        int(rep.restored_step),
+                        int(rep.replayed_steps),
+                    )
+                )
+                continue
+            # Fold the driver's transparent recoveries into the report
+            # exactly once each.
+            for rep in self.driver.recoveries[len(report.rank_recoveries):]:
+                report.rank_recoveries.append(
+                    (
+                        tuple(rep.dead_ranks),
+                        int(rep.restored_step),
+                        int(rep.replayed_steps),
+                    )
+                )
+            return
+
     def _attempt_step(self, report: RunReport) -> None:
         """One healthy step, retrying with dt backoff on bad outcomes.
 
@@ -271,6 +370,9 @@ class ResilientRunner:
         :class:`~repro.health.acceptance.StepAcceptanceController`;
         this method only folds its outcome into the run report.
         """
+        if self._distributed:
+            self._attempt_step_distributed(report)
+            return
         outcome = self._controller.attempt_step()
         report.retries += outcome.retries
         report.dt_backoffs += outcome.dt_backoffs
@@ -282,9 +384,10 @@ class ResilientRunner:
     def _after_healthy_step(self, report: RunReport) -> None:
         # Heal dt back toward the original after a healthy streak.
         self._streak += 1
-        current_dt = float(self._sd().params.dt)
+        current_dt = self._dt()
         if (
-            current_dt < self._original_dt
+            not self._distributed
+            and current_dt < self._original_dt
             and self._streak >= self.retry.heal_streak
         ):
             healed = min(self._original_dt, current_dt / self.retry.dt_backoff)
@@ -321,6 +424,10 @@ class ResilientRunner:
         path = self.manager.save_async(state, step=self.step_index)
         if not report.checkpoints or report.checkpoints[-1] != path:
             report.checkpoints.append(path)
+        if self._distributed and self.driver.recovery is not None:
+            # The global checkpoint resumes a killed run; the shard wave
+            # is what rank recovery restores from — same cadence.
+            self.driver.recovery.checkpoint(self.driver)
 
 
 # ----------------------------------------------------------------------

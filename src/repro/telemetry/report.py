@@ -46,6 +46,7 @@ __all__ = [
     "phase_totals",
     "render_phase_totals",
     "load_run_metrics",
+    "render_failover_table",
 ]
 
 #: Span names treated as generalized SPMV measurements.
@@ -347,3 +348,71 @@ def load_run_metrics(run_dir: Union[str, Path]) -> Optional[Dict[str, Any]]:
     if not path.exists():
         return None
     return json.loads(path.read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# distributed fault-tolerance failover table
+# ----------------------------------------------------------------------
+_FAILOVER_COUNTERS = (
+    ("dist.timeouts", "halo receives timed out"),
+    ("dist.retries", "resend rounds"),
+    ("dist.stragglers", "stragglers (late but delivered)"),
+    ("dist.corrupt_blocks", "corrupt boundary blocks"),
+    ("dist.repair_rounds", "repair rounds"),
+    ("comm.repairs", "blocks repaired"),
+    ("dist.rank_failures", "ranks declared failed"),
+    ("recovery.events", "rank recoveries"),
+    ("recovery.ranks_lost", "ranks lost"),
+    ("recovery.rehomed_rows", "block rows re-homed"),
+    ("recovery.replayed_steps", "steps replayed"),
+)
+
+
+def render_failover_table(
+    metrics: Optional[Dict[str, Any]], *, markdown: bool = False
+) -> Optional[str]:
+    """The failover table: what the distributed fault machinery did.
+
+    Joins the ``dist.*`` / ``recovery.*`` counters (and the
+    ``recovery.seconds`` histogram) recorded by the reliable halo
+    exchange and the rank-recovery protocol into one table.  Returns
+    ``None`` when the run recorded none of them — single-node runs get
+    no empty section.
+    """
+    if not metrics:
+        return None
+    counters = metrics.get("counters", {})
+
+    def total(name: str) -> float:
+        return sum(
+            v
+            for k, v in counters.items()
+            if k == name or k.startswith(name + "{")
+        )
+
+    rows = [
+        (name, label, total(name))
+        for name, label in _FAILOVER_COUNTERS
+        if total(name) > 0
+    ]
+    rec = metrics.get("histograms", {}).get("recovery.seconds")
+    if not rows and not rec:
+        return None
+    lines: List[str] = []
+    if markdown:
+        lines.append("| counter | event | total |")
+        lines.append("|---|---|---:|")
+        for name, label, value in rows:
+            lines.append(f"| `{name}` | {label} | {value:g} |")
+    else:
+        lines.append("failover table:")
+        width = max((len(label) for _, label, _ in rows), default=0)
+        for name, label, value in rows:
+            lines.append(f"  {label:<{width}}  {value:g}  [{name}]")
+    if rec and rec.get("count"):
+        lines.append(
+            ("" if markdown else "  ")
+            + f"mean recovery time: {rec['mean']:.3g}s over "
+            f"{rec['count']} recovery(ies)"
+        )
+    return "\n".join(lines)

@@ -188,3 +188,86 @@ class TestCliResilience:
         rc = main(["resume", str(tmp_path / "ck"), "--steps", "2"])
         assert rc == 2
         assert "already past" in capsys.readouterr().err
+
+
+class TestDistsimCli:
+    BASE = ["distsim", "--nb", "16", "--ranks", "4", "--steps", "6"]
+
+    def test_fault_free_run(self, capsys):
+        rc = main(self.BASE)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "completed 6 steps on 4 rank(s)" in out
+        assert "X sha256:" in out
+
+    def test_lossy_channel_run_matches_clean(self, capsys):
+        rc = main(self.BASE)
+        clean = capsys.readouterr().out
+        rc2 = main(
+            self.BASE + ["--net-faults", "drop:src=0,dest=1,seq=0,times=2"]
+        )
+        lossy = capsys.readouterr().out
+        assert rc == rc2 == 0
+        # Bounded loss must not change the trajectory.
+        sha = [l for l in clean.splitlines() if "sha256" in l]
+        assert sha and sha == [l for l in lossy.splitlines() if "sha256" in l]
+
+    def test_crash_recovery_run(self, tmp_path, capsys):
+        rc = main(
+            self.BASE
+            + [
+                "--steps", "8",
+                "--net-faults", "crash:rank=1,step=4",
+                "--checkpoint-dir", str(tmp_path / "shards"),
+                "--checkpoint-every", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "completed 8 steps on 3 rank(s) (started with 4)" in out
+        assert "rank recoveries" in out
+
+    def test_unrecovered_crash_exits_3(self, capsys):
+        rc = main(self.BASE + ["--net-faults", "crash:rank=1,step=2"])
+        assert rc == 3
+        assert "unrecovered rank failure" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        rc = main(self.BASE + ["--net-faults", "explode:rank=1"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_shows_failover_table(self, tmp_path, capsys):
+        telem = tmp_path / "telem"
+        rc = main(
+            self.BASE
+            + [
+                "--steps", "8",
+                "--net-faults", "crash:rank=1,step=4",
+                "--checkpoint-dir", str(tmp_path / "shards"),
+                "--checkpoint-every", "2",
+                "--telemetry-dir", str(telem),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["report", str(telem)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "failover table" in out
+        assert "rank recoveries" in out
+        assert "mean recovery time" in out
+
+    def test_report_without_faults_has_no_failover_section(
+        self, tmp_path, capsys
+    ):
+        telem = tmp_path / "telem"
+        rc = main(
+            ["simulate", "--n", "20", "--phi", "0.3", "--m", "2",
+             "--steps", "2", "--telemetry-dir", str(telem)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["report", str(telem)])
+        assert rc == 0
+        assert "failover table" not in capsys.readouterr().out

@@ -128,3 +128,92 @@ class TestMpiSimProperties:
         assert set(got) == set(payloads)
         for key, val in payloads.items():
             np.testing.assert_array_equal(got[key], val)
+
+
+@st.composite
+def survivable_fault_plans(draw):
+    """Message-fault plans the reliable exchange must absorb: bounded
+    drops/delays/duplicates/corruptions, never a crash."""
+    from repro.distributed.mpi_sim import ChannelFaultPlan, ChannelFaultSpec
+
+    n_specs = draw(st.integers(1, 3))
+    specs = []
+    for _ in range(n_specs):
+        kind = draw(st.sampled_from(["drop", "delay", "duplicate", "corrupt"]))
+        specs.append(
+            ChannelFaultSpec(
+                kind=kind,
+                src=draw(st.one_of(st.none(), st.integers(0, 3))),
+                dest=draw(st.one_of(st.none(), st.integers(0, 3))),
+                seq=draw(st.one_of(st.none(), st.integers(0, 2))),
+                times=draw(st.integers(1, 2)),
+                delay=draw(st.integers(1, 3)),
+            )
+        )
+    return ChannelFaultPlan(specs=tuple(specs), seed=draw(st.integers(0, 99)))
+
+
+class TestFaultToleranceProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        case=partitioned_cases(),
+        m=st.integers(1, 3),
+        seed=st.integers(0, 999),
+        plan=survivable_fault_plans(),
+    )
+    def test_survivable_schedules_are_bitwise_invisible(
+        self, case, m, seed, plan
+    ):
+        """Any bounded loss/reorder/duplication/corruption schedule the
+        retry ladder can absorb must leave the result bitwise equal to
+        the fault-free exchange."""
+        A, part = case
+        X = np.random.default_rng(seed).standard_normal((A.n_cols, m))
+        clean = DistributedGspmv(A, part).multiply(X)
+        faulty = DistributedGspmv(A, part, fault_plan=plan).multiply(X)
+        assert np.array_equal(clean, faulty)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 200),
+        dead_rank=st.integers(0, 2),
+        # The crash must land after at least one shard wave exists:
+        # waves are written at step multiples of the cadence, so any
+        # crash_step >= max(cadence) is recoverable.
+        crash_step=st.integers(3, 7),
+        cadence=st.integers(1, 3),
+    )
+    def test_one_rank_death_recovers_to_clean_trajectory(
+        self, tmp_path_factory, seed, dead_rank, crash_step, cadence
+    ):
+        """Kill any rank at any step: shard rollback + replay must land
+        on the clean run's trajectory (checkpoint-replay semantics)."""
+        from repro.distributed.driver import DistributedSimulation
+        from repro.distributed.mpi_sim import ChannelFaultPlan, ChannelFaultSpec
+        from repro.distributed.recovery import RankRecoveryManager
+        from repro.resilience.checkpoint import CheckpointManager
+        from tests.conftest import random_bcrs
+
+        A = random_bcrs(12, 4.0, seed=seed)
+        part = contiguous_partition(A, 3)
+        X0 = np.random.default_rng(seed + 1).standard_normal((A.n_rows, 2))
+
+        clean = DistributedSimulation(A, part, X0)
+        clean.run_steps(10)
+
+        plan = ChannelFaultPlan(
+            specs=(
+                ChannelFaultSpec(
+                    kind="crash", rank=dead_rank, at={"step": crash_step}
+                ),
+            )
+        )
+        ck = tmp_path_factory.mktemp("shards")
+        sim = DistributedSimulation(
+            A, part, X0, fault_plan=plan,
+            recovery=RankRecoveryManager(CheckpointManager(ck)),
+        )
+        sim.run_steps(10, checkpoint_every=cadence)
+        assert sim.n_parts == 2
+        assert len(sim.recoveries) == 1
+        np.testing.assert_allclose(sim.X, clean.X, rtol=1e-12, atol=1e-14)
