@@ -54,6 +54,26 @@ from typing import List, Optional
 __all__ = ["main", "build_parser"]
 
 
+#: ``--engine`` vocabulary: the auto-selector plus every concrete
+#: kernel engine (kept in sync with ``repro.sparse.kernels.ENGINE_NAMES``
+#: by a test; not imported here so ``--help`` stays dependency-light).
+ENGINE_CHOICES = (
+    "auto", "blocked", "tiled", "scipy", "cgen", "numba", "dedup",
+)
+
+
+def _add_engine_argument(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default=None,
+        help="kernel engine for all SPMV/GSPMV products (default: "
+        "registry default; 'auto' micro-benchmarks per machine and "
+        "caches the choice; unavailable compiled engines fall back "
+        "to 'tiled')",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -108,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--out", default=None, help="save the final configuration (.npz)"
     )
+    _add_engine_argument(sim)
     # Simulated process kill after a given global step (failure drills
     # and the kill-and-resume tests).
     sim.add_argument("--die-after", type=int, default=None, help=argparse.SUPPRESS)
@@ -138,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument(
         "--out", default=None, help="save the final configuration (.npz)"
     )
+    _add_engine_argument(res)
     res.add_argument("--die-after", type=int, default=None, help=argparse.SUPPRESS)
 
     roof = sub.add_parser("roofline", help="GSPMV model for a matrix shape")
@@ -161,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--m-values", type=int, nargs="+", default=[2, 4, 8, 16]
     )
     sweep.add_argument("--seed", type=int, default=0)
+    _add_engine_argument(sweep)
 
     health = sub.add_parser(
         "health", help="print the health report inside a checkpoint"
@@ -911,6 +934,10 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "engine", None) is not None:
+        from repro.sparse import set_default_engine
+
+        set_default_engine(args.engine)
     try:
         return _COMMANDS[args.command](args)
     except BrokenPipeError:

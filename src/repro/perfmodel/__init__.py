@@ -37,6 +37,7 @@ from repro.perfmodel.roofline import (
     time_compute,
     time_gspmv,
 )
+from repro.perfmodel.engines import EngineProfile, calibrate_profile
 from repro.perfmodel.profile import vectors_within_ratio, profile_grid
 from repro.perfmodel.mrhs_model import (
     MrhsCostModel,
@@ -57,6 +58,8 @@ __all__ = [
     "time_bandwidth",
     "time_compute",
     "time_gspmv",
+    "EngineProfile",
+    "calibrate_profile",
     "vectors_within_ratio",
     "profile_grid",
     "MrhsCostModel",

@@ -24,12 +24,15 @@ do our benches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.perfmodel.machine import MachineSpec
 from repro.perfmodel.roofline import GspmvTimeModel
 from repro.sparse.bcrs import BCRSMatrix
 from repro.sparse.traffic import INDEX_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perfmodel.engines import EngineProfile
 
 __all__ = ["SolverCounts", "MrhsCostModel"]
 
@@ -85,9 +88,12 @@ class MrhsCostModel:
         counts: SolverCounts,
         *,
         time_model: Optional[GspmvTimeModel] = None,
+        engine_profile: Optional["EngineProfile"] = None,
     ) -> None:
         self.counts = counts
-        self.model = time_model or GspmvTimeModel(A, machine)
+        self.model = time_model or GspmvTimeModel(
+            A, machine, profile=engine_profile
+        )
         self.machine = machine
 
     # ------------------------------------------------------------------
@@ -174,12 +180,20 @@ class MrhsCostModel:
         """
         c = self.counts
         shape = self.model.shape
-        B = self.machine.stream_bw
-        F = self.machine.flop_rate
-        sx, sa, fa = shape.sx, shape.sa, shape.fa
+        # The constants are exact for the bound model; with an engine
+        # profile the effective rates and block traffic scale the same
+        # way, keeping each expansion identical to average_step_time in
+        # its regime (the profiled tests verify this too).
+        prof = self.model.profile
+        bw_scale = prof.bw_scale if prof is not None else 1.0
+        flop_scale = prof.flop_scale if prof is not None else 1.0
+        bts = prof.block_traffic_scale if prof is not None else 1.0
+        B = self.machine.stream_bw * bw_scale
+        F = self.machine.flop_rate * flop_scale
+        sx, fa = shape.sx, shape.fa
+        sa = shape.sa * bts
         nb, nnzb = shape.nb, shape.nnzb
-        k1 = self.model.k(1)
-        t1 = (nb * (3.0 + k1) * sx + INDEX_BYTES * nb + nnzb * (INDEX_BYTES + sa)) / B
+        t1 = self.model.time_bandwidth(1)
         c_bytes = INDEX_BYTES * nb + nnzb * (INDEX_BYTES + sa)
         P = (c.n_noguess + c.cheb_order) * sx * nb / B
         R = (c.n_first + c.n_second + c.cheb_order) * t1

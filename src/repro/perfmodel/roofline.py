@@ -26,11 +26,14 @@ matrix exists), and :class:`GspmvTimeModel`, which binds a concrete
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.perfmodel.machine import MachineSpec
 from repro.sparse.bcrs import BCRSMatrix
 from repro.sparse.traffic import INDEX_BYTES, estimate_k
+
+if TYPE_CHECKING:  # pragma: no cover - engines imports this module
+    from repro.perfmodel.engines import EngineProfile
 
 __all__ = [
     "MatrixShape",
@@ -127,6 +130,10 @@ class GspmvTimeModel:
     :func:`repro.sparse.traffic.estimate_k` (cached per ``m``), so
     predictions account for the growing multivector working set exactly
     as the paper's model does.
+
+    An optional :class:`~repro.perfmodel.engines.EngineProfile` scales
+    the peak model to a concrete kernel engine's measured efficiency;
+    without one, predictions are the machine-peak lower bound.
     """
 
     def __init__(
@@ -136,10 +143,12 @@ class GspmvTimeModel:
         *,
         k_override: Optional[Callable[[int], float]] = None,
         sample_rows: Optional[int] = None,
+        profile: Optional["EngineProfile"] = None,
     ) -> None:
         self.matrix = A
         self.machine = machine
         self.shape = MatrixShape.of(A)
+        self.profile = profile
         self._k_override = k_override
         self._sample_rows = sample_rows
         self._k_cache: dict[int, float] = {}
@@ -160,12 +169,18 @@ class GspmvTimeModel:
 
     def time(self, m: int) -> float:
         """Predicted seconds for one GSPMV with ``m`` vectors."""
-        return time_gspmv(self.shape, m, self.machine, self.k(m))
+        return max(self.time_bandwidth(m), self.time_compute(m))
 
     def time_bandwidth(self, m: int) -> float:
+        if self.profile is not None:
+            return self.profile.time_bandwidth(
+                self.shape, m, self.machine, self.k(m)
+            )
         return time_bandwidth(self.shape, m, self.machine, self.k(m))
 
     def time_compute(self, m: int) -> float:
+        if self.profile is not None:
+            return self.profile.time_compute(self.shape, m, self.machine)
         return time_compute(self.shape, m, self.machine)
 
     def relative_time(self, m: int) -> float:

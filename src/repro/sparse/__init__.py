@@ -24,7 +24,14 @@ and flops of a kernel invocation and estimates the cache-miss function
 from repro.sparse.bcrs import BCRSMatrix
 from repro.sparse.spmv import spmv
 from repro.sparse.gspmv import gspmv, gspmv_into
-from repro.sparse.kernels import KernelRegistry, get_default_registry
+from repro.sparse.kernels import (
+    ENGINE_NAMES,
+    KernelRegistry,
+    available_engines,
+    get_default_registry,
+    set_default_engine,
+)
+from repro.sparse.autotune import AutoSelector
 from repro.sparse.traffic import (
     TrafficCounts,
     memory_traffic_bytes,
@@ -41,6 +48,10 @@ __all__ = [
     "gspmv_into",
     "KernelRegistry",
     "get_default_registry",
+    "ENGINE_NAMES",
+    "available_engines",
+    "set_default_engine",
+    "AutoSelector",
     "TrafficCounts",
     "memory_traffic_bytes",
     "flop_count",

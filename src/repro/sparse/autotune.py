@@ -1,0 +1,200 @@
+"""Per-machine engine auto-selection (the ``auto`` engine).
+
+The paper hand-picks its kernel per machine ("on Nehalem the generated
+kernel, on Barcelona the compiler's"); this module automates that
+choice.  The first time a product with a given ``(block_size, m,
+shape-class)`` runs on a machine, :class:`AutoSelector` micro-benchmarks
+every available engine on the actual matrix, keeps the fastest, and
+caches the verdict — in memory for this process and as JSON on disk so
+later runs skip the tuning entirely.
+
+Shape classing is deliberately coarse: block-row count and fill are
+bucketed by powers of two, because engine rankings flip with cache
+residency and density, not with a 10% size change.  The disk cache key
+includes a CPU token, so a copied cache directory never applies another
+machine's verdicts (same policy as the ``cgen`` object cache).
+
+The cache lives in ``kernel_autotune.json`` under the active telemetry
+hub's directory when one is bound (so tuning verdicts land next to the
+traces they explain), else under an explicit ``cache_dir``, else the
+selection is process-memory only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+import repro.telemetry as _telemetry
+from repro.sparse.kernels_cgen import _cpu_token
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.sparse.bcrs import BCRSMatrix
+    from repro.sparse.kernels import KernelRegistry
+
+__all__ = ["AutoSelector", "CACHE_FILENAME"]
+
+CACHE_FILENAME = "kernel_autotune.json"
+
+#: Target duration of one timing measurement; calls faster than this are
+#: batched so the perf_counter resolution does not dominate.
+_MIN_MEASURE_SECONDS = 2e-4
+
+
+def _bucket(x: float) -> int:
+    """log2 bucket: sizes within 2x land in the same shape class."""
+    return int(math.log2(x)) if x >= 1 else 0
+
+
+class AutoSelector:
+    """Micro-benchmarks engines per ``(machine, b, m, shape-class)``.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.sparse.kernels.KernelRegistry` whose engines
+        are tuned; selections call ``registry.multiply`` directly (no
+        telemetry, no re-resolution).
+    cache_dir:
+        Directory for the JSON verdict cache.  ``None`` defers to the
+        active telemetry hub's directory at selection time.
+    repeats:
+        Timing repetitions per engine; the minimum is kept (the usual
+        "best of k" defense against scheduler noise).
+    """
+
+    def __init__(
+        self,
+        registry: "KernelRegistry",
+        cache_dir: Optional[Path] = None,
+        repeats: int = 3,
+    ) -> None:
+        self.registry = registry
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.repeats = repeats
+        self._memory: Dict[str, dict] = {}
+        self._loaded_dirs: set = set()
+
+    # ------------------------------------------------------------------
+    # keys and persistence
+    # ------------------------------------------------------------------
+    def shape_key(self, A: "BCRSMatrix", m: int) -> str:
+        """The cache key classing this (machine, matrix shape, m)."""
+        return (
+            f"{_cpu_token()}:b{A.block_size}:m{m}"
+            f":nb{_bucket(A.nb_rows)}:bpr{_bucket(A.blocks_per_row)}"
+        )
+
+    def _resolve_dir(self) -> Optional[Path]:
+        if self.cache_dir is not None:
+            return self.cache_dir
+        hub = _telemetry.active_hub
+        return getattr(hub, "directory", None) if hub is not None else None
+
+    def _load_disk(self, directory: Path) -> None:
+        """Merge a directory's verdict file into memory (once per dir)."""
+        marker = str(directory)
+        if marker in self._loaded_dirs:
+            return
+        self._loaded_dirs.add(marker)
+        path = directory / CACHE_FILENAME
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if isinstance(data, dict):
+            for key, record in data.items():
+                if isinstance(record, dict) and "engine" in record:
+                    self._memory.setdefault(key, record)
+
+    def _persist(self, directory: Path) -> None:
+        """Atomically merge the in-memory verdicts into the disk cache."""
+        path = directory / CACHE_FILENAME
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            try:
+                merged = json.loads(path.read_text(encoding="utf-8"))
+                if not isinstance(merged, dict):
+                    merged = {}
+            except (OSError, ValueError):
+                merged = {}
+            merged.update(self._memory)
+            fd, tmp = tempfile.mkstemp(
+                dir=directory, prefix=".autotune-", suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(merged, fh, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # read-only dir: selection still works, memory-only
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def select(self, A: "BCRSMatrix", m: int) -> str:
+        """Return the fastest available engine for this shape class."""
+        record = self.record(A, m)
+        return record["engine"]
+
+    def record(self, A: "BCRSMatrix", m: int) -> dict:
+        """Like :meth:`select` but returns the full tuning record
+        (``{"engine", "timings", "key"}``; timings in seconds/call)."""
+        key = self.shape_key(A, m)
+        record = self._memory.get(key)
+        if record is None:
+            directory = self._resolve_dir()
+            if directory is not None:
+                self._load_disk(directory)
+                record = self._memory.get(key)
+        if record is None:
+            record = self._tune(A, m, key)
+            self._memory[key] = record
+            directory = self._resolve_dir()
+            if directory is not None:
+                self._persist(directory)
+        return record
+
+    def _tune(self, A: "BCRSMatrix", m: int, key: str) -> dict:
+        from repro.sparse.kernels import available_engines
+
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((A.n_cols, m))
+        out = np.empty((A.n_rows, m))
+        timings: Dict[str, float] = {}
+        for engine in available_engines():
+            try:
+                timings[engine] = self._time(
+                    lambda e=engine: self.registry.multiply(
+                        A, X, out=out, engine=e
+                    )
+                )
+            except Exception:  # an engine that cannot run is just skipped
+                continue
+        if not timings:  # pragma: no cover - blocked/tiled always run
+            raise RuntimeError("no kernel engine could be benchmarked")
+        best = min(timings, key=timings.get)
+        return {"engine": best, "timings": timings, "key": key}
+
+    def _time(self, fn) -> float:
+        """Best-of-``repeats`` seconds per call, batching fast calls."""
+        fn()  # warmup: plan building, compilation, JIT
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        number = 1
+        if dt < _MIN_MEASURE_SECONDS:
+            number = int(math.ceil(_MIN_MEASURE_SECONDS / max(dt, 1e-7)))
+        best = math.inf
+        for _ in range(self.repeats):
+            t0 = time.perf_counter()
+            for _ in range(number):
+                fn()
+            best = min(best, (time.perf_counter() - t0) / number)
+        return best

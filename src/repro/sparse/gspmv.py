@@ -15,6 +15,7 @@ contiguous, exactly as in the paper.
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 import numpy as np
 
@@ -28,23 +29,28 @@ __all__ = ["gspmv", "gspmv_into"]
 def gspmv(
     A: BCRSMatrix,
     X: np.ndarray,
-    engine: Engine = "scipy",
+    engine: Optional[Engine] = None,
 ) -> np.ndarray:
     """Compute ``Y = A @ X`` for a multivector ``X`` of shape ``(n, m)``.
 
     A 1-D ``X`` is accepted and treated as ``m = 1`` (result is 1-D),
     so ``gspmv`` strictly generalizes :func:`~repro.sparse.spmv.spmv`.
+    ``engine=None`` uses the registry default (``--engine`` on the CLI);
+    ``"auto"`` and unavailable engines are resolved here so telemetry
+    always records the engine that actually ran.
     """
     X = np.asarray(X)
+    reg = get_default_registry()
+    m = X.shape[1] if X.ndim == 2 else 1
+    engine = reg.resolve_engine(A, m, engine)
     hub = _telemetry.active_hub
     if hub is None:
-        return get_default_registry().multiply(A, X, engine=engine)
+        return reg.multiply(A, X, engine=engine)
     t0 = time.perf_counter()
-    Y = get_default_registry().multiply(A, X, engine=engine)
+    Y = reg.multiply(A, X, engine=engine)
     nb, nnzb, b = A.structure
     hub.record_gspmv(
-        "gspmv", time.perf_counter() - t0, nb, nnzb, b,
-        X.shape[1] if X.ndim == 2 else 1, engine,
+        "gspmv", time.perf_counter() - t0, nb, nnzb, b, m, engine,
     )
     return Y
 
@@ -53,25 +59,28 @@ def gspmv_into(
     A: BCRSMatrix,
     X: np.ndarray,
     out: np.ndarray,
-    engine: Engine = "scipy",
+    engine: Optional[Engine] = None,
 ) -> np.ndarray:
     """Compute ``Y = A @ X`` into a preallocated ``out`` array.
 
     Iterative solvers call GSPMV every iteration; writing into a
-    reusable buffer avoids an allocation per call.
+    reusable buffer avoids an allocation per call.  ``out`` may alias
+    ``X`` (the registry detects it and routes through a temporary).
     """
     X = np.asarray(X)
     expected = (A.n_rows, X.shape[1]) if X.ndim == 2 else (A.n_rows,)
     if out.shape != expected:
         raise ValueError(f"out must have shape {expected}, got {out.shape}")
+    reg = get_default_registry()
+    m = X.shape[1] if X.ndim == 2 else 1
+    engine = reg.resolve_engine(A, m, engine)
     hub = _telemetry.active_hub
     if hub is None:
-        return get_default_registry().multiply(A, X, out=out, engine=engine)
+        return reg.multiply(A, X, out=out, engine=engine)
     t0 = time.perf_counter()
-    Y = get_default_registry().multiply(A, X, out=out, engine=engine)
+    Y = reg.multiply(A, X, out=out, engine=engine)
     nb, nnzb, b = A.structure
     hub.record_gspmv(
-        "gspmv", time.perf_counter() - t0, nb, nnzb, b,
-        X.shape[1] if X.ndim == 2 else 1, engine,
+        "gspmv", time.perf_counter() - t0, nb, nnzb, b, m, engine,
     )
     return Y

@@ -1,33 +1,61 @@
-"""Kernel machinery behind SPMV/GSPMV.
+"""Kernel machinery behind SPMV/GSPMV: a pluggable backend registry.
 
 The paper's implementation "developed a code generator which, for a
 given number of vectors m, produces a fully-unrolled SIMD kernel" —
 i.e. kernel work is specialized once per ``m`` and reused every call.
-Python cannot emit SIMD, but the same *shape* of specialization is
-captured here: :class:`KernelRegistry` prepares, once per
+:class:`KernelRegistry` captures the same shape of specialization for a
+*family* of interchangeable engines: it prepares, once per
 ``(block_size, m, engine)``, everything a product needs beyond the raw
-arrays — the optimal einsum contraction path for the block kernel, or a
-cached ``scipy.sparse`` BSR view of the matrix for the compiled engine —
-and caches it.
+arrays — einsum contraction paths, cached ``scipy.sparse`` views,
+compiled kernels, unique-block pools — and dispatches every multiply
+through one validated entry point.
 
-Two engines are provided:
+Engines (see DESIGN.md §13):
 
 ``"blocked"``
     A pure-NumPy reference kernel working directly on the BCRS arrays:
     gather X blocks by column index, batched ``3 x 3 @ 3 x m`` products
-    (the paper's "basic kernel"), segment-sum per block row.  This
-    engine is fully instrumentable (`repro.sparse.traffic` counts its
-    exact memory traffic) and is the one the performance model reasons
-    about.
+    (the paper's "basic kernel"), segment-sum per block row.  Fully
+    instrumentable (`repro.sparse.traffic` counts its exact memory
+    traffic) and the engine the performance model reasons about.
+
+``"tiled"``
+    The blocked kernel with row tiling so its temporaries stay
+    cache-resident (the paper's cache-blocking optimization).
 
 ``"scipy"``
     Delegates to ``scipy.sparse``'s C implementation via a cached BSR
-    view.  This is the engine used for wall-clock measurements, since it
-    is the closest a NumPy stack gets to the paper's compiled kernels.
+    view sharing ``A``'s block array.
+
+``"cgen"``
+    Generated C kernels compiled per ``(block_size, m)`` with the
+    system compiler and register blocking over the vector dimension —
+    the reproduction of the paper's per-``m`` code generator
+    (:mod:`repro.sparse.kernels_cgen`).  Unavailable environments fall
+    back to ``tiled``.
+
+``"numba"``
+    Numba-jitted kernels with a parallel block-row loop
+    (:mod:`repro.sparse.kernels_numba`); import-guarded, falls back to
+    ``tiled`` when Numba is absent.
+
+``"dedup"``
+    Hash-conses ``A.blocks`` into a unique-block pool and computes all
+    (unique block) x (block column of X) products as one DGEMM, then
+    gathers per stored block — profitable when blocks repeat heavily
+    (crystalline packings, mesh-regular matrices; cf. "Exploiting
+    repeated matrix block structures", arXiv:2508.06710).  Falls back
+    to ``tiled`` when the pool is too large to pay.
+
+``"auto"``
+    Micro-benchmarks the available engines for this machine and matrix
+    shape at first use, caches the choice to disk, and dispatches to
+    the winner (:mod:`repro.sparse.autotune`).
 """
 
 from __future__ import annotations
 
+import warnings
 import weakref
 from dataclasses import dataclass
 from typing import Dict, Literal, Optional, Tuple
@@ -35,11 +63,24 @@ from typing import Dict, Literal, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse import kernels_cgen, kernels_numba
 from repro.sparse.bcrs import BCRSMatrix
 
-__all__ = ["KernelRegistry", "get_default_registry", "Engine"]
+__all__ = [
+    "KernelRegistry",
+    "get_default_registry",
+    "Engine",
+    "ENGINE_NAMES",
+    "available_engines",
+    "set_default_engine",
+]
 
-Engine = Literal["blocked", "tiled", "scipy"]
+Engine = Literal["auto", "blocked", "tiled", "scipy", "cgen", "numba", "dedup"]
+
+#: Every concrete engine name (excludes the ``"auto"`` selector).
+ENGINE_NAMES: Tuple[str, ...] = (
+    "blocked", "tiled", "scipy", "cgen", "numba", "dedup",
+)
 
 #: Temporary-buffer budget of the "tiled" engine.  The per-tile
 #: gather/contribution temporaries are ~2 * tile_nnzb * b * m * 8 bytes;
@@ -47,8 +88,36 @@ Engine = Literal["blocked", "tiled", "scipy"]
 #: (measured ~4x at m=16 on a DRAM-resident matrix).
 TILE_BUDGET_BYTES = 2 * 2**20
 
+#: The dedup engine's big-GEMM mode computes ``n_unique * nb_cols``
+#: block products where the exact kernel needs ``nnzb``; that mode only
+#: runs when the expansion stays below this factor.
+DEDUP_EXPANSION_LIMIT = 1.25
 
-def _segment_sum(contrib: np.ndarray, row_ptr: np.ndarray, nb: int) -> np.ndarray:
+#: Above the expansion limit the dedup engine instead batches one GEMM
+#: per unique block (no column expansion, but a Python-level loop over
+#: the pool) — worthwhile only while the pool stays this small.
+DEDUP_MAX_GROUPS = 32
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Concrete engines usable in this process, in registry order.
+
+    ``cgen`` requires a working C toolchain; ``numba`` requires the
+    (optional) numba package.  Everything else is always available.
+    """
+    names = ["blocked", "tiled", "scipy"]
+    if kernels_cgen.available():
+        names.append("cgen")
+    if kernels_numba.available():
+        names.append("numba")
+    names.append("dedup")
+    return tuple(names)
+
+
+def _segment_sum(
+    contrib: np.ndarray, row_ptr: np.ndarray, nb: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Sum ``contrib`` (nnzb, b, m) into per-block-row totals (nb, b, m).
 
     Uses ``np.add.reduceat`` with explicit handling of empty block rows:
@@ -63,7 +132,10 @@ def _segment_sum(contrib: np.ndarray, row_ptr: np.ndarray, nb: int) -> np.ndarra
     """
     b, m = contrib.shape[1], contrib.shape[2]
     nnzb = contrib.shape[0]
-    out = np.zeros((nb, b, m))
+    if out is None:
+        out = np.zeros((nb, b, m))
+    else:
+        out[:] = 0.0
     if nnzb == 0:
         return out
     starts = row_ptr[:-1]
@@ -84,20 +156,125 @@ class _BlockedPlan:
     m: int
 
 
-class KernelRegistry:
-    """Caches per-``m`` kernel plans and per-matrix scipy views.
+@dataclass
+class _DedupPlan:
+    """Hash-consed block pool for the dedup engine (per matrix).
 
-    One registry (usually the module default) is shared by all products;
-    its caches are keyed by weak references so matrices can be garbage
-    collected.
+    ``pool`` holds each distinct block once; ``inverse`` maps each
+    stored block to its pool row.  ``mode`` picks the execution
+    strategy: ``"gemm"`` multiplies the whole pool against every block
+    column of X as one DGEMM (``pool_flat`` is the pool reshaped
+    ``(n_unique * b, b)`` for it), ``"grouped"`` runs one batched GEMM
+    per unique block over ``perm``/``group_ptr`` (stored blocks sorted
+    by pool row), ``"fallback"`` delegates to ``tiled`` because the
+    pool is too large for either to pay.  ``fingerprint`` is a cheap
+    sample checksum of the source block array used to detect in-place
+    mutation (``invalidate`` remains the guaranteed path).
     """
 
-    def __init__(self) -> None:
+    pool: np.ndarray
+    pool_flat: np.ndarray
+    n_unique: int
+    inverse: np.ndarray
+    fingerprint: Tuple
+    mode: str
+    perm: Optional[np.ndarray] = None
+    group_ptr: Optional[np.ndarray] = None
+
+
+def _blocks_fingerprint(blocks: np.ndarray) -> Tuple:
+    """A cheap staleness probe: shape + strided sample sums.
+
+    Reads ~1k elements regardless of matrix size, so it can run on
+    every dedup multiply.  It catches typical in-place updates (block
+    scaling, refreshed interaction tensors); pathological edits that
+    preserve the sampled sums need an explicit ``invalidate``.
+    """
+    flat = blocks.reshape(-1)
+    if flat.size == 0:
+        return (blocks.shape, 0.0, 0.0)
+    stride = max(1, flat.size // 1024)
+    sample = flat[::stride]
+    return (blocks.shape, float(sample.sum()), float(np.abs(sample).sum()))
+
+
+class KernelRegistry:
+    """Caches per-``m`` kernel plans and per-matrix views; dispatches
+    every product through one validated ``multiply``.
+
+    One registry (usually the module default) is shared by all products;
+    its per-matrix caches are keyed by weak references so matrices can
+    be garbage collected.  ``default_engine`` is what ``engine=None``
+    resolves to — the CLI ``--engine`` flag and
+    :func:`set_default_engine` rebind it process-wide.
+    """
+
+    def __init__(self, default_engine: str = "scipy") -> None:
+        self.default_engine: str = default_engine
         self._plans: Dict[Tuple[int, int], _BlockedPlan] = {}
-        self._scipy_views: "weakref.WeakKeyDictionary[BCRSMatrix, sp.bsr_matrix]" = (
+        # scipy views are kept share-enforced (see scipy_view), so the
+        # cached entry also remembers which block array it was built
+        # from: replacing A.blocks wholesale invalidates it.
+        self._scipy_views: "weakref.WeakKeyDictionary[BCRSMatrix, Tuple[sp.bsr_matrix, int]]" = (
             weakref.WeakKeyDictionary()
         )
+        self._dedup_plans: "weakref.WeakKeyDictionary[BCRSMatrix, _DedupPlan]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._selector = None  # built lazily (imports autotune)
+        self._warned_fallback: set = set()
 
+    # ------------------------------------------------------------------
+    # engine resolution
+    # ------------------------------------------------------------------
+    @property
+    def selector(self):
+        """The lazily built :class:`~repro.sparse.autotune.AutoSelector`."""
+        if self._selector is None:
+            from repro.sparse.autotune import AutoSelector
+
+            self._selector = AutoSelector(self)
+        return self._selector
+
+    def resolve_engine(
+        self, A: BCRSMatrix, m: int, engine: Optional[str] = None
+    ) -> str:
+        """Map a requested engine (or ``None``) to a concrete, available
+        engine name.
+
+        ``None`` resolves to :attr:`default_engine`; ``"auto"`` runs the
+        per-machine auto-selection; an unavailable compiled tier
+        (``cgen`` without a toolchain, ``numba`` without the package)
+        falls back to ``tiled`` with a one-time warning, so scripts stay
+        portable across environments.
+        """
+        engine = engine or self.default_engine
+        if engine == "auto":
+            return self.selector.select(A, m)
+        if engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of "
+                f"{('auto',) + ENGINE_NAMES}"
+            )
+        if engine == "cgen" and not kernels_cgen.available():
+            return self._fallback(engine, "no C toolchain")
+        if engine == "numba" and not kernels_numba.available():
+            return self._fallback(engine, "numba is not installed")
+        return engine
+
+    def _fallback(self, engine: str, reason: str) -> str:
+        if engine not in self._warned_fallback:
+            self._warned_fallback.add(engine)
+            warnings.warn(
+                f"engine {engine!r} is unavailable ({reason}); "
+                "falling back to 'tiled'",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return "tiled"
+
+    # ------------------------------------------------------------------
+    # cached plans and views
     # ------------------------------------------------------------------
     def blocked_plan(self, block_size: int, m: int) -> _BlockedPlan:
         """Return (building if needed) the blocked-engine plan for (b, m)."""
@@ -117,26 +294,95 @@ class KernelRegistry:
     def scipy_view(self, A: BCRSMatrix) -> sp.bsr_matrix:
         """Return (building if needed) a scipy BSR view of ``A``.
 
-        The view shares ``A``'s block array; only index arrays are copied
-        by scipy's constructor when dtype conversion is required.
+        The view is *guaranteed* to share ``A``'s block array: scipy's
+        constructor sometimes copies ``data`` (e.g. when index dtype
+        conversion kicks in), which used to let in-place block updates
+        silently serve stale products from this cache.  The constructor
+        result is therefore re-pointed at ``A.blocks`` whenever sharing
+        was lost, and the cache entry is keyed on the identity of the
+        block array so a wholesale ``blocks`` replacement rebuilds it.
+        Use :meth:`invalidate` to drop all cached state for a matrix.
         """
-        view = self._scipy_views.get(A)
-        if view is None:
-            view = sp.bsr_matrix(
-                (A.blocks, A.col_ind, A.row_ptr),
-                shape=A.shape,
-                blocksize=(A.block_size, A.block_size),
-            )
-            self._scipy_views[A] = view
+        entry = self._scipy_views.get(A)
+        if entry is not None and entry[1] == id(A.blocks):
+            return entry[0]
+        view = sp.bsr_matrix(
+            (A.blocks, A.col_ind, A.row_ptr),
+            shape=A.shape,
+            blocksize=(A.block_size, A.block_size),
+        )
+        if view.data is not A.blocks and not np.shares_memory(
+            view.data, A.blocks
+        ):
+            # scipy copied the blocks during construction; re-share so
+            # mutations of A.blocks are always visible to the view.
+            # (The constructor never reorders data relative to the
+            # passed (data, indices, indptr) triplet.)
+            view.data = A.blocks
+        self._scipy_views[A] = (view, id(A.blocks))
         return view
 
+    def dedup_plan(self, A: BCRSMatrix) -> _DedupPlan:
+        """Return (building if needed) the hash-consed block pool of ``A``.
+
+        The plan copies block values, so in-place mutation of
+        ``A.blocks`` makes it stale; a cheap fingerprint re-checked on
+        every dedup multiply catches typical mutations, and
+        :meth:`invalidate` forces a rebuild.
+        """
+        plan = self._dedup_plans.get(A)
+        fp = _blocks_fingerprint(A.blocks)
+        if plan is not None and plan.fingerprint == fp:
+            return plan
+        pool, inverse = A.unique_blocks()
+        n_unique = len(pool)
+        b = A.block_size
+        perm = None
+        group_ptr = None
+        if A.nnzb == 0:
+            mode = "fallback"
+        elif n_unique * A.nb_cols <= DEDUP_EXPANSION_LIMIT * A.nnzb:
+            mode = "gemm"
+        elif n_unique <= DEDUP_MAX_GROUPS:
+            mode = "grouped"
+            perm = np.argsort(inverse, kind="stable")
+            counts = np.bincount(inverse, minlength=n_unique)
+            group_ptr = np.zeros(n_unique + 1, dtype=np.int64)
+            np.cumsum(counts, out=group_ptr[1:])
+        else:
+            mode = "fallback"
+        plan = _DedupPlan(
+            pool=pool,
+            pool_flat=np.ascontiguousarray(pool.reshape(n_unique * b, b)),
+            n_unique=n_unique,
+            inverse=inverse,
+            fingerprint=fp,
+            mode=mode,
+            perm=perm,
+            group_ptr=group_ptr,
+        )
+        self._dedup_plans[A] = plan
+        return plan
+
+    def invalidate(self, A: BCRSMatrix) -> None:
+        """Drop every cached per-matrix artifact for ``A``.
+
+        Call after mutating ``A.blocks`` in place when relying on the
+        dedup engine (the scipy view shares memory and needs no
+        invalidation; the dedup pool holds copies).
+        """
+        self._scipy_views.pop(A, None)
+        self._dedup_plans.pop(A, None)
+
+    # ------------------------------------------------------------------
+    # multiply
     # ------------------------------------------------------------------
     def multiply(
         self,
         A: BCRSMatrix,
         X: np.ndarray,
         out: Optional[np.ndarray] = None,
-        engine: Engine = "scipy",
+        engine: Optional[Engine] = None,
     ) -> np.ndarray:
         """Compute ``Y = A @ X`` where ``X`` is ``(n, m)`` row-major.
 
@@ -148,10 +394,14 @@ class KernelRegistry:
             Multivector of shape ``(n_cols, m)`` (or ``(n_cols,)``,
             treated as m=1 and returned 1-D).
         out:
-            Optional preallocated ``(n_rows, m)`` output (blocked engine
-            always honours it; the scipy engine copies into it).
+            Optional preallocated output of shape matching the result.
+            Must be float64 and C-contiguous (a clear error beats the
+            silent down-cast a float32 buffer used to get).  ``out``
+            may alias ``X``: aliasing is detected and served through a
+            temporary.
         engine:
-            ``"blocked"`` or ``"scipy"``; see module docstring.
+            An :data:`Engine` name, ``"auto"``, or ``None`` for the
+            registry default; see the module docstring.
         """
         X = np.asarray(X, dtype=np.float64)
         squeeze = X.ndim == 1
@@ -162,23 +412,56 @@ class KernelRegistry:
                 f"X has {X.shape[0]} rows; matrix has {A.n_cols} columns"
             )
         out2d = out
-        if out is not None and out.ndim == 1:
-            out2d = out[:, None]
+        if out is not None:
+            if out.dtype != np.float64:
+                raise ValueError(
+                    f"out must be float64, got {out.dtype}; kernels would "
+                    "otherwise down-cast inconsistently between engines"
+                )
+            if not out.flags["C_CONTIGUOUS"]:
+                raise ValueError(
+                    "out must be C-contiguous (pass np.ascontiguousarray)"
+                )
+            expected = (A.n_rows,) if out.ndim == 1 else (A.n_rows, X.shape[1])
+            if out.shape != expected:
+                raise ValueError(
+                    f"out must have shape {expected}, got {out.shape}"
+                )
+            if out.ndim == 1:
+                out2d = out[:, None]
+        engine = self.resolve_engine(A, X.shape[1], engine)
+        # Aliasing guard: engines write `out` while still gathering from
+        # X, so a caller passing out=X (in-place update) must be served
+        # through a temporary.
+        alias = out2d is not None and np.may_share_memory(out2d, X)
+        target = None if alias else out2d
         if engine == "scipy":
             Y = self.scipy_view(A) @ X
-            if out2d is not None:
-                np.copyto(out2d, Y)
-                Y = out2d
+            if target is not None:
+                np.copyto(target, Y)
+                Y = target
         elif engine == "blocked":
-            Y = self._multiply_blocked(A, X, out2d)
+            Y = self._multiply_blocked(A, X, target)
         elif engine == "tiled":
-            Y = self._multiply_tiled(A, X, out2d)
-        else:
+            Y = self._multiply_tiled(A, X, target)
+        elif engine == "cgen":
+            Y = self._multiply_cgen(A, X, target)
+        elif engine == "numba":
+            Y = self._multiply_numba(A, X, target)
+        elif engine == "dedup":
+            Y = self._multiply_dedup(A, X, target)
+        else:  # pragma: no cover - resolve_engine rejects unknown names
             raise ValueError(f"unknown engine {engine!r}")
+        if alias:
+            np.copyto(out2d, Y)
+            Y = out2d
         if squeeze:
             return out if out is not None else Y[:, 0]
         return Y
 
+    # ------------------------------------------------------------------
+    # engine implementations
+    # ------------------------------------------------------------------
     def _multiply_blocked(
         self, A: BCRSMatrix, X: np.ndarray, out: Optional[np.ndarray]
     ) -> np.ndarray:
@@ -242,6 +525,83 @@ class KernelRegistry:
             return out
         return Y
 
+    def _multiply_cgen(
+        self, A: BCRSMatrix, X: np.ndarray, out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        m = X.shape[1]
+        Xc = np.ascontiguousarray(X)
+        use_out_directly = out is not None and out.flags["C_CONTIGUOUS"]
+        Y = out if use_out_directly else np.empty((A.n_rows, m))
+        kernels_cgen.gspmv_cgen(A.row_ptr, A.col_ind, A.blocks, Xc, Y)
+        if out is not None and not use_out_directly:
+            np.copyto(out, Y)
+            return out
+        return Y
+
+    def _multiply_numba(
+        self, A: BCRSMatrix, X: np.ndarray, out: Optional[np.ndarray]
+    ) -> np.ndarray:  # pragma: no cover - needs numba installed
+        m = X.shape[1]
+        Xc = np.ascontiguousarray(X)
+        use_out_directly = out is not None and out.flags["C_CONTIGUOUS"]
+        Y = out if use_out_directly else np.empty((A.n_rows, m))
+        kernels_numba.gspmv_numba(A.row_ptr, A.col_ind, A.blocks, Xc, Y)
+        if out is not None and not use_out_directly:
+            np.copyto(out, Y)
+            return out
+        return Y
+
+    def _multiply_dedup(
+        self, A: BCRSMatrix, X: np.ndarray, out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Unique-block-pool product (two modes; see :class:`_DedupPlan`).
+
+        ``gemm``: compute ``T = pool @ X^T`` — every unique block
+        against every block column of X — as one DGEMM, then gather
+        each stored block's contribution from ``T``.  Work expands from
+        ``nnzb`` to ``n_unique * nb_cols`` block products, so this mode
+        needs heavy repetition (:data:`DEDUP_EXPANSION_LIMIT`).
+
+        ``grouped``: sort stored blocks by pool row and run one batched
+        GEMM per unique block against the X blocks its occurrences
+        touch — exactly ``nnzb`` block products and only ``n_unique``
+        block reads, at the cost of a Python loop over the pool
+        (:data:`DEDUP_MAX_GROUPS`).
+
+        Anything else delegates to ``tiled``.
+        """
+        plan = self.dedup_plan(A)
+        if plan.mode == "fallback":
+            return self._multiply_tiled(A, X, out)
+        b = A.block_size
+        m = X.shape[1]
+        Xb = np.ascontiguousarray(X).reshape(A.nb_cols, b, m)
+        if plan.mode == "gemm":
+            # (b, nb_cols*m) operand: column j*m+v is X[block j, :, v].
+            X2 = np.ascontiguousarray(Xb.transpose(1, 0, 2)).reshape(
+                b, A.nb_cols * m
+            )
+            T = plan.pool_flat @ X2  # (n_unique * b, nb_cols * m)
+            Tv = T.reshape(plan.n_unique, b, A.nb_cols, m)
+            contrib = Tv[plan.inverse, :, A.col_ind, :]
+        else:
+            contrib = np.empty((A.nnzb, b, m))
+            sorted_cols = A.col_ind[plan.perm]
+            gp = plan.group_ptr
+            for u in range(plan.n_unique):
+                lo, hi = int(gp[u]), int(gp[u + 1])
+                if lo == hi:
+                    continue
+                idx = plan.perm[lo:hi]
+                # (b, b) @ (cnt, b, m) broadcasts to a batched GEMM.
+                contrib[idx] = plan.pool[u] @ Xb[sorted_cols[lo:hi]]
+        Yb = _segment_sum(contrib, A.row_ptr, A.nb_rows)
+        Y = Yb.reshape(A.n_rows, m)
+        if out is not None:
+            np.copyto(out, Y)
+            return out
+        return Y
+
 
 _DEFAULT = KernelRegistry()
 
@@ -249,3 +609,21 @@ _DEFAULT = KernelRegistry()
 def get_default_registry() -> KernelRegistry:
     """Return the process-wide shared :class:`KernelRegistry`."""
     return _DEFAULT
+
+
+def set_default_engine(engine: str) -> str:
+    """Rebind the default engine of the shared registry (CLI ``--engine``).
+
+    Returns the previous default.  ``"auto"`` and every concrete engine
+    name are accepted; availability is still checked per call, so
+    setting ``"numba"`` in a numba-less environment degrades to
+    ``tiled`` with a warning rather than failing.
+    """
+    if engine != "auto" and engine not in ENGINE_NAMES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of "
+            f"{('auto',) + ENGINE_NAMES}"
+        )
+    previous = _DEFAULT.default_engine
+    _DEFAULT.default_engine = engine
+    return previous

@@ -1,0 +1,90 @@
+"""Numba-jitted GSPMV kernels (the ``numba`` engine).
+
+A second compiled tier alongside :mod:`repro.sparse.kernels_cgen`: the
+same BCRS block-row walk, JIT-compiled by Numba with a parallel
+``prange`` over block rows.  On multi-core machines the parallel loop
+is what the ``cgen`` tier lacks; on single-core machines the two tiers
+are near-identical and the auto-selector keeps whichever measures
+faster.
+
+The import is guarded: environments without Numba (the project's
+baseline — it is deliberately *not* a dependency) get
+``HAVE_NUMBA = False`` and the registry falls back to the NumPy
+engines.  Kernels are specialized per ``(block_size, m)`` by baking
+both sizes into the jitted closure as compile-time constants, mirroring
+the paper's per-``m`` code generation; Numba then unrolls and
+vectorizes the fixed-trip-count block loops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "available", "get_kernel", "gspmv_numba"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the baseline environment
+    numba = None
+    HAVE_NUMBA = False
+
+_kernels: Dict[Tuple[int, int], Callable] = {}
+
+
+def available() -> bool:
+    """True when the Numba tier can be used in this process."""
+    return HAVE_NUMBA
+
+
+def _make_kernel(b: int, m: int) -> Callable:  # pragma: no cover - needs numba
+    """Build a jitted kernel with ``b`` and ``m`` frozen at compile time."""
+
+    @njit(parallel=True, cache=False, fastmath=False)
+    def kernel(row_ptr, col_ind, blocks, X, Y):
+        nb = row_ptr.shape[0] - 1
+        for i in prange(nb):
+            lo = row_ptr[i]
+            hi = row_ptr[i + 1]
+            for r in range(b):
+                for v in range(m):
+                    Y[i * b + r, v] = 0.0
+            for kk in range(lo, hi):
+                col = col_ind[kk]
+                for r in range(b):
+                    for c in range(b):
+                        a = blocks[kk, r, c]
+                        for v in range(m):
+                            Y[i * b + r, v] += a * X[col * b + c, v]
+
+    return kernel
+
+
+def get_kernel(b: int, m: int) -> Callable:  # pragma: no cover - needs numba
+    """Return (jitting on first use) the kernel for ``(b, m)``."""
+    if not HAVE_NUMBA:
+        raise RuntimeError("numba is not installed")
+    key = (b, m)
+    fn = _kernels.get(key)
+    if fn is None:
+        fn = _make_kernel(b, m)
+        _kernels[key] = fn
+    return fn
+
+
+def gspmv_numba(
+    row_ptr: np.ndarray,
+    col_ind: np.ndarray,
+    blocks: np.ndarray,
+    X: np.ndarray,
+    Y: np.ndarray,
+) -> None:  # pragma: no cover - needs numba
+    """Run the jitted kernel: ``Y = A @ X`` into preallocated ``Y``."""
+    b = blocks.shape[1]
+    m = X.shape[1]
+    fn = get_kernel(b, m)
+    fn(row_ptr, col_ind, blocks, X, Y)

@@ -24,23 +24,28 @@ def spmv(
     A: BCRSMatrix,
     x: np.ndarray,
     out: Optional[np.ndarray] = None,
-    engine: Engine = "scipy",
+    engine: Optional[Engine] = None,
 ) -> np.ndarray:
     """Compute ``y = A @ x`` for a single vector ``x`` of length ``n``.
 
     Equivalent to ``gspmv`` with ``m = 1``; provided separately because
     the paper's algorithms and models distinguish ``T(1)`` from ``T(m)``.
+    ``engine=None`` uses the registry default; ``"auto"`` and
+    unavailable engines are resolved here so telemetry always records
+    the engine that actually ran.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 1:
         raise ValueError("spmv expects a 1-D vector; use gspmv for multivectors")
     if out is not None and out.shape != (A.n_rows,):
         raise ValueError(f"out must have shape ({A.n_rows},)")
+    reg = get_default_registry()
+    engine = reg.resolve_engine(A, 1, engine)
     hub = _telemetry.active_hub
     if hub is None:
-        return get_default_registry().multiply(A, x, out=out, engine=engine)
+        return reg.multiply(A, x, out=out, engine=engine)
     t0 = time.perf_counter()
-    y = get_default_registry().multiply(A, x, out=out, engine=engine)
+    y = reg.multiply(A, x, out=out, engine=engine)
     nb, nnzb, b = A.structure
     hub.record_gspmv("spmv", time.perf_counter() - t0, nb, nnzb, b, 1, engine)
     return y

@@ -105,11 +105,15 @@ class TelemetryHub:
         cached = self._kcache.get(key)
         if cached is None:
             mx = self.metrics
+            # Label the counter family by engine so per-engine totals
+            # survive into metrics.json (the roofline report and the
+            # auto-selection validation both group by it).
+            labels = {"m": m, "engine": backend} if backend else {"m": m}
             cached = (
-                mx.counter(f"{kind}.calls", m=m),
-                mx.counter(f"{kind}.seconds", m=m),
-                mx.counter(f"{kind}.bytes", m=m),
-                mx.counter(f"{kind}.flops", m=m),
+                mx.counter(f"{kind}.calls", **labels),
+                mx.counter(f"{kind}.seconds", **labels),
+                mx.counter(f"{kind}.bytes", **labels),
+                mx.counter(f"{kind}.flops", **labels),
                 float(gspmv_bytes(nb, nnzb, b, m)),
                 float(gspmv_flops(nnzb, b, m)),
             )

@@ -21,7 +21,20 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perfmodel.engines import EngineProfile
 
 from repro.perfmodel.machine import (
     SANDY_BRIDGE,
@@ -83,10 +96,14 @@ class RooflineRow:
     """True when ``|deviation|`` exceeds the report threshold."""
     bound: str
     """``"bw"`` or ``"comp"`` — which term the model says dominates."""
+    engine: str = ""
+    """Kernel engine that produced the measurements ("" when the span
+    predates engine labelling)."""
 
     def as_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
+            "engine": self.engine,
             "m": self.m,
             "calls": self.calls,
             "measured_mean_s": self.measured_mean,
@@ -109,7 +126,7 @@ class RooflineReport:
         *,
         threshold: float = 0.25,
     ) -> None:
-        self.rows = sorted(rows, key=lambda r: (r.kind, r.m))
+        self.rows = sorted(rows, key=lambda r: (r.kind, r.engine, r.m))
         self.machine = machine
         self.threshold = threshold
 
@@ -122,17 +139,25 @@ class RooflineReport:
         *,
         threshold: float = 0.25,
         k: float = 0.0,
+        profiles: Optional[Dict[str, "EngineProfile"]] = None,
     ) -> "RooflineReport":
         """Join kernel spans against the model.
 
-        Spans are grouped by ``(name, m, nb, nnzb, b)``; each group
-        becomes one row comparing the measured mean against
+        Spans are grouped by ``(name, engine, m, nb, nnzb, b)``; each
+        group becomes one row comparing the measured mean against
         ``time_gspmv`` for the same structure (cache-miss factor ``k``,
         default 0 — the lower-bound model the live counters also use).
         An aggregated kernel span (``calls`` attribute) contributes its
         total duration weighted by its call count.
+
+        ``profiles`` optionally maps engine names to calibrated
+        :class:`~repro.perfmodel.engines.EngineProfile` objects; rows
+        whose engine has one are predicted with the engine-scaled model
+        instead of the machine-peak bound, which is how the
+        auto-selection is validated (measured must fall *within* the
+        threshold, not merely get flagged).
         """
-        groups: Dict[Tuple[str, int, int, int, int], List[float]] = {}
+        groups: Dict[Tuple[str, str, int, int, int, int], List[float]] = {}
         for ev in events:
             if ev.name not in KERNEL_SPAN_NAMES:
                 continue
@@ -140,6 +165,7 @@ class RooflineReport:
             try:
                 key = (
                     ev.name,
+                    str(a.get("backend", "")),
                     int(a["m"]),
                     int(a["nb"]),
                     int(a["nnzb"]),
@@ -153,12 +179,17 @@ class RooflineReport:
             ]
 
         rows: List[RooflineRow] = []
-        for (kind, m, nb, nnzb, b), (total, calls) in groups.items():
+        for (kind, engine, m, nb, nnzb, b), (total, calls) in groups.items():
             shape = MatrixShape(
                 nb=nb, blocks_per_row=nnzb / nb, block_size=b
             )
-            tbw = time_bandwidth(shape, m, machine, k)
-            tcomp = time_compute(shape, m, machine)
+            profile = (profiles or {}).get(engine)
+            if profile is not None:
+                tbw = profile.time_bandwidth(shape, m, machine, k)
+                tcomp = profile.time_compute(shape, m, machine)
+            else:
+                tbw = time_bandwidth(shape, m, machine, k)
+                tcomp = time_compute(shape, m, machine)
             predicted = max(tbw, tcomp)
             measured = total / calls
             deviation = measured / predicted - 1.0 if predicted > 0 else 0.0
@@ -174,6 +205,7 @@ class RooflineReport:
                     deviation=deviation,
                     flagged=abs(deviation) > threshold,
                     bound="bw" if tbw >= tcomp else "comp",
+                    engine=engine,
                 )
             )
         return cls(rows, machine, threshold=threshold)
@@ -186,13 +218,15 @@ class RooflineReport:
         *,
         threshold: float = 0.25,
         k: float = 0.0,
+        profiles: Optional[Dict[str, "EngineProfile"]] = None,
     ) -> "RooflineReport":
         """Build the report from a telemetry directory's ``trace.jsonl``."""
         trace = Path(run_dir) / TRACE_FILENAME
         if not trace.exists():
             raise FileNotFoundError(f"no {TRACE_FILENAME} in {run_dir}")
         return cls.from_events(
-            read_trace(trace), machine, threshold=threshold, k=k
+            read_trace(trace), machine,
+            threshold=threshold, k=k, profiles=profiles,
         )
 
     # ------------------------------------------------------------------
@@ -219,19 +253,20 @@ class RooflineReport:
             f"Roofline: measured vs model ({self.machine.name}, "
             f"flag > {self.threshold:.0%})",
             "",
-            "| kernel | m | calls | measured (s) | model (s) | Tbw (s) "
-            "| Tcomp (s) | bound | dev | flag |",
-            "|---|---|---|---|---|---|---|---|---|---|",
+            "| kernel | engine | m | calls | measured (s) | model (s) "
+            "| Tbw (s) | Tcomp (s) | bound | dev | flag |",
+            "|---|---|---|---|---|---|---|---|---|---|---|",
         ]
         for r in self.rows:
             lines.append(
-                f"| {r.kind} | {r.m} | {r.calls} | {r.measured_mean:.3e} "
+                f"| {r.kind} | {r.engine or '-'} | {r.m} | {r.calls} "
+                f"| {r.measured_mean:.3e} "
                 f"| {r.predicted:.3e} | {r.tbw:.3e} | {r.tcomp:.3e} "
                 f"| {r.bound} | {r.deviation:+.1%} "
                 f"| {'**>**' if r.flagged else ''} |"
             )
         if not self.rows:
-            lines.append("| (no kernel spans in trace) | | | | | | | | | |")
+            lines.append("| (no kernel spans in trace) | | | | | | | | | | |")
         return "\n".join(lines)
 
 

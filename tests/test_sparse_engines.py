@@ -1,0 +1,458 @@
+"""Backend registry: engine equivalence, cache correctness, auto-selection.
+
+The property suite asserts every available engine agrees with scipy
+ground truth across the structures that have historically broken
+kernels (empty rows, trailing empty rows, pooled blocks, 1-D X); the
+regression tests pin the three cache/aliasing/dtype bugs fixed by the
+backend-registry PR; the autotune tests cover per-machine selection and
+its disk cache; the profile tests cover the engine-aware perfmodel.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.telemetry as _telemetry
+from repro.perfmodel import (
+    EngineProfile,
+    MrhsCostModel,
+    SolverCounts,
+    WESTMERE,
+    calibrate_profile,
+)
+from repro.perfmodel.roofline import GspmvTimeModel, MatrixShape
+from repro.sparse import (
+    ENGINE_NAMES,
+    available_engines,
+    get_default_registry,
+    set_default_engine,
+)
+from repro.sparse.autotune import CACHE_FILENAME, AutoSelector
+from repro.sparse.bcrs import BCRSMatrix
+from repro.sparse.convert import bcrs_to_scipy
+from repro.sparse.gspmv import gspmv, gspmv_into
+from repro.sparse.kernels import KernelRegistry, kernels_cgen, kernels_numba
+from repro.telemetry import TelemetryHub
+from tests.conftest import random_bcrs
+
+AVAILABLE = available_engines()
+
+
+def pooled_bcrs(nb=24, n_unique=4, seed=0):
+    """A banded matrix whose blocks all come from a small pool (the
+    dedup engine's target structure)."""
+    rng = np.random.default_rng(seed)
+    pool = rng.standard_normal((n_unique, 3, 3))
+    rows, cols, blocks = [], [], []
+    for i in range(nb):
+        for j in (i - 1, i, i + 1):
+            if 0 <= j < nb:
+                rows.append(i)
+                cols.append(j)
+                blocks.append(pool[(2 * i + j) % n_unique])
+    return BCRSMatrix.from_block_coo(nb, nb, rows, cols, np.array(blocks))
+
+
+def case_matrices():
+    return {
+        "random": random_bcrs(20, 5.0, seed=1),
+        "empty_rows": BCRSMatrix.from_block_coo(
+            4, 4, [0, 3], [1, 2], np.stack([np.eye(3), 2 * np.eye(3)])
+        ),
+        "trailing_empty": BCRSMatrix.from_block_coo(
+            5, 5, [0], [0], np.eye(3)[None]
+        ),
+        "empty": BCRSMatrix.from_block_coo(3, 3, [], [], np.zeros((0, 3, 3))),
+        "pooled": pooled_bcrs(),
+    }
+
+
+class TestEngineEquivalence:
+    """All engines agree with ``bcrs_to_scipy(A) @ X``."""
+
+    @pytest.mark.parametrize("engine", AVAILABLE)
+    @pytest.mark.parametrize("m", [1, 2, 8, 16])
+    @pytest.mark.parametrize("case", sorted(case_matrices()))
+    def test_matches_scipy_ground_truth(self, engine, m, case):
+        A = case_matrices()[case]
+        X = np.random.default_rng(m).standard_normal((A.n_cols, m))
+        expected = bcrs_to_scipy(A) @ X
+        got = get_default_registry().multiply(A, X, engine=engine)
+        np.testing.assert_allclose(got, expected, rtol=1e-11, atol=1e-13)
+
+    @pytest.mark.parametrize("engine", AVAILABLE)
+    def test_1d_x(self, engine):
+        A = random_bcrs(15, 4.0, seed=2)
+        x = np.random.default_rng(0).standard_normal(A.n_cols)
+        y = get_default_registry().multiply(A, x, engine=engine)
+        assert y.ndim == 1
+        np.testing.assert_allclose(y, bcrs_to_scipy(A) @ x, rtol=1e-11)
+
+    @pytest.mark.skipif(
+        "cgen" not in AVAILABLE, reason="no C toolchain in environment"
+    )
+    @pytest.mark.parametrize("b,m", [(2, 1), (3, 3), (3, 5), (4, 16)])
+    def test_cgen_nonstandard_sizes(self, b, m):
+        """b != 3 and m not divisible by the register chunk."""
+        A = random_bcrs(12, 4.0, seed=3, block_size=b)
+        X = np.random.default_rng(1).standard_normal((A.n_cols, m))
+        got = get_default_registry().multiply(A, X, engine="cgen")
+        np.testing.assert_allclose(got, bcrs_to_scipy(A) @ X, rtol=1e-11)
+
+
+class TestScipyViewStaleness:
+    """Regression: the cached BSR view must see in-place block updates
+    (scipy sometimes copies ``data`` during construction)."""
+
+    def test_inplace_mutation_between_multiplies(self, small_bcrs):
+        reg = KernelRegistry()
+        X = np.random.default_rng(0).standard_normal((small_bcrs.n_cols, 3))
+        before = reg.multiply(small_bcrs, X, engine="scipy")
+        small_bcrs.blocks[:] *= 2.0
+        after = reg.multiply(small_bcrs, X, engine="scipy")
+        np.testing.assert_allclose(after, 2.0 * before, rtol=1e-12)
+        np.testing.assert_allclose(
+            after, bcrs_to_scipy(small_bcrs) @ X, rtol=1e-12
+        )
+
+    def test_view_always_shares_blocks(self, small_bcrs):
+        reg = KernelRegistry()
+        view = reg.scipy_view(small_bcrs)
+        assert np.shares_memory(view.data, small_bcrs.blocks)
+
+    def test_blocks_replacement_rebuilds_view(self, small_bcrs):
+        reg = KernelRegistry()
+        v1 = reg.scipy_view(small_bcrs)
+        object.__setattr__(small_bcrs, "blocks", small_bcrs.blocks.copy())
+        v2 = reg.scipy_view(small_bcrs)
+        assert v2 is not v1
+        assert np.shares_memory(v2.data, small_bcrs.blocks)
+
+    def test_invalidate_drops_cached_state(self, small_bcrs):
+        reg = KernelRegistry()
+        v1 = reg.scipy_view(small_bcrs)
+        reg.dedup_plan(small_bcrs)
+        reg.invalidate(small_bcrs)
+        assert reg.scipy_view(small_bcrs) is not v1
+
+
+class TestOutAliasing:
+    """Regression: ``out`` aliasing ``X`` must not corrupt the product."""
+
+    @pytest.mark.parametrize("engine", AVAILABLE)
+    def test_out_is_x(self, engine):
+        A = random_bcrs(18, 5.0, seed=4)  # block-square: shapes line up
+        X = np.random.default_rng(2).standard_normal((A.n_cols, 4))
+        expected = bcrs_to_scipy(A) @ X
+        Y = get_default_registry().multiply(A, X, out=X, engine=engine)
+        assert Y is X
+        np.testing.assert_allclose(X, expected, rtol=1e-11)
+
+    @pytest.mark.parametrize("engine", AVAILABLE)
+    def test_out_overlapping_view(self, engine):
+        """A partial overlap (out is a view into the same buffer)."""
+        A = random_bcrs(10, 3.0, seed=5)
+        buf = np.zeros((A.n_cols + A.n_rows, 2))
+        X = buf[: A.n_cols]
+        X[:] = np.random.default_rng(3).standard_normal((A.n_cols, 2))
+        out = buf[A.n_cols :]  # disjoint rows, same base buffer
+        expected = bcrs_to_scipy(A) @ X
+        Y = get_default_registry().multiply(A, X, out=out, engine=engine)
+        assert Y is out
+        np.testing.assert_allclose(out, expected, rtol=1e-11)
+
+    def test_gspmv_into_aliased(self, small_bcrs):
+        X = np.random.default_rng(4).standard_normal((small_bcrs.n_cols, 4))
+        expected = bcrs_to_scipy(small_bcrs) @ X
+        Y = gspmv_into(small_bcrs, X, X)
+        assert Y is X
+        np.testing.assert_allclose(X, expected, rtol=1e-11)
+
+
+class TestOutValidation:
+    """Regression: silent float32 down-cast / non-contiguous writes."""
+
+    def test_float32_out_raises(self, small_bcrs):
+        X = np.ones((small_bcrs.n_cols, 2))
+        out = np.empty((small_bcrs.n_rows, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="float64"):
+            get_default_registry().multiply(small_bcrs, X, out=out)
+
+    def test_non_contiguous_out_raises(self, small_bcrs):
+        X = np.ones((small_bcrs.n_cols, 2))
+        out = np.empty((small_bcrs.n_rows, 4))[:, ::2]
+        with pytest.raises(ValueError, match="contiguous"):
+            get_default_registry().multiply(small_bcrs, X, out=out)
+
+    def test_wrong_shape_out_raises(self, small_bcrs):
+        X = np.ones((small_bcrs.n_cols, 2))
+        with pytest.raises(ValueError, match="shape"):
+            get_default_registry().multiply(
+                small_bcrs, X, out=np.empty((3, 2))
+            )
+
+
+class TestEngineResolution:
+    def test_none_resolves_to_default(self, small_bcrs):
+        reg = KernelRegistry(default_engine="blocked")
+        assert reg.resolve_engine(small_bcrs, 4, None) == "blocked"
+
+    def test_auto_resolves_to_concrete_engine(self, small_bcrs):
+        reg = KernelRegistry()
+        engine = reg.resolve_engine(small_bcrs, 4, "auto")
+        assert engine in ENGINE_NAMES
+
+    def test_unknown_engine_rejected(self, small_bcrs):
+        reg = KernelRegistry()
+        with pytest.raises(ValueError, match="engine"):
+            reg.resolve_engine(small_bcrs, 4, "cuda")
+
+    def test_set_default_engine_roundtrip(self, small_bcrs):
+        prev = set_default_engine("tiled")
+        try:
+            X = np.ones((small_bcrs.n_cols, 2))
+            np.testing.assert_allclose(
+                gspmv(small_bcrs, X), bcrs_to_scipy(small_bcrs) @ X,
+                rtol=1e-11,
+            )
+        finally:
+            set_default_engine(prev)
+
+    def test_set_default_engine_rejects_unknown(self):
+        with pytest.raises(ValueError, match="engine"):
+            set_default_engine("cuda")
+
+    @pytest.mark.skipif(
+        kernels_numba.available(), reason="numba installed: no fallback"
+    )
+    def test_unavailable_numba_falls_back_with_warning(self, small_bcrs):
+        reg = KernelRegistry()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert reg.resolve_engine(small_bcrs, 4, "numba") == "tiled"
+        assert any("numba" in str(w.message) for w in caught)
+        # warned once, not per call
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            reg.resolve_engine(small_bcrs, 4, "numba")
+        assert not caught
+
+    @pytest.mark.skipif(
+        not kernels_numba.available(), reason="numba not installed"
+    )
+    def test_numba_available_resolves_to_itself(
+        self, small_bcrs
+    ):  # pragma: no cover - exercised in the numba CI leg
+        reg = KernelRegistry()
+        assert reg.resolve_engine(small_bcrs, 4, "numba") == "numba"
+
+
+class TestDedupEngine:
+    def test_unique_blocks_roundtrip(self):
+        A = pooled_bcrs(n_unique=3)
+        pool, inverse = A.unique_blocks()
+        assert len(pool) <= 3
+        np.testing.assert_array_equal(pool[inverse], A.blocks)
+
+    def test_grouped_mode_on_pooled_band(self):
+        # Banded: expansion fails (n_unique*nb_cols > nnzb) but the
+        # pool is tiny -> grouped per-unique batched GEMM.
+        A = pooled_bcrs(nb=40, n_unique=6)
+        reg = KernelRegistry()
+        assert reg.dedup_plan(A).mode == "grouped"
+        X = np.random.default_rng(5).standard_normal((A.n_cols, 8))
+        np.testing.assert_allclose(
+            reg.multiply(A, X, engine="dedup"),
+            bcrs_to_scipy(A) @ X,
+            rtol=1e-11,
+        )
+
+    def test_gemm_mode_on_dense_pooled(self):
+        rng = np.random.default_rng(6)
+        pool = rng.standard_normal((2, 3, 3))
+        rows = [i for i in range(6) for _ in range(6)]
+        cols = list(range(6)) * 6
+        blocks = np.array([pool[(r * c) % 2] for r, c in zip(rows, cols)])
+        A = BCRSMatrix.from_block_coo(6, 6, rows, cols, blocks)
+        reg = KernelRegistry()
+        assert reg.dedup_plan(A).mode == "gemm"
+        X = rng.standard_normal((A.n_cols, 4))
+        np.testing.assert_allclose(
+            reg.multiply(A, X, engine="dedup"),
+            bcrs_to_scipy(A) @ X,
+            rtol=1e-11,
+        )
+
+    def test_unique_heavy_matrix_falls_back(self):
+        A = random_bcrs(40, 8.0, seed=7)  # every block distinct
+        reg = KernelRegistry()
+        assert reg.dedup_plan(A).mode == "fallback"
+        X = np.random.default_rng(7).standard_normal((A.n_cols, 3))
+        np.testing.assert_allclose(
+            reg.multiply(A, X, engine="dedup"),
+            bcrs_to_scipy(A) @ X,
+            rtol=1e-11,
+        )
+
+    def test_fingerprint_catches_inplace_mutation(self):
+        A = pooled_bcrs(nb=30)
+        reg = KernelRegistry()
+        X = np.random.default_rng(8).standard_normal((A.n_cols, 4))
+        before = reg.multiply(A, X, engine="dedup")
+        A.blocks[:] *= 2.0
+        after = reg.multiply(A, X, engine="dedup")
+        np.testing.assert_allclose(after, 2.0 * before, rtol=1e-11)
+
+
+class TestAutoSelector:
+    def test_selects_a_measured_engine_and_caches(self, small_bcrs, tmp_path):
+        reg = KernelRegistry()
+        sel = AutoSelector(reg, cache_dir=tmp_path, repeats=1)
+        record = sel.record(small_bcrs, 4)
+        assert record["engine"] in AVAILABLE
+        assert set(record["timings"]) <= set(AVAILABLE)
+        cache = json.loads(
+            (tmp_path / CACHE_FILENAME).read_text(encoding="utf-8")
+        )
+        assert record["key"] in cache
+
+    def test_disk_cache_skips_retuning(self, small_bcrs, tmp_path):
+        reg = KernelRegistry()
+        AutoSelector(reg, cache_dir=tmp_path, repeats=1).select(small_bcrs, 4)
+        fresh = AutoSelector(reg, cache_dir=tmp_path, repeats=1)
+        fresh._tune = None  # would raise if consulted
+        assert fresh.select(small_bcrs, 4) in AVAILABLE
+
+    def test_shape_key_buckets(self, tmp_path):
+        reg = KernelRegistry()
+        sel = AutoSelector(reg, cache_dir=tmp_path)
+        a = random_bcrs(32, 4.0, seed=1)
+        b = random_bcrs(33, 4.0, seed=2)  # same power-of-two bucket
+        assert sel.shape_key(a, 8) == sel.shape_key(b, 8)
+        assert sel.shape_key(a, 8) != sel.shape_key(a, 16)
+
+    def test_cache_lands_in_telemetry_dir(self, small_bcrs, tmp_path):
+        hub = TelemetryHub(tmp_path)
+        _telemetry.install(hub)
+        try:
+            reg = KernelRegistry()
+            AutoSelector(reg, repeats=1).select(small_bcrs, 2)
+        finally:
+            hub.close()
+            _telemetry.uninstall()
+        assert (tmp_path / CACHE_FILENAME).exists()
+
+
+class TestTelemetryEngineLabel:
+    def test_span_and_counters_carry_resolved_engine(
+        self, small_bcrs, tmp_path
+    ):
+        from repro.telemetry.tracer import read_trace
+
+        hub = TelemetryHub(tmp_path)
+        _telemetry.install(hub)
+        try:
+            X = np.ones((small_bcrs.n_cols, 4))
+            gspmv(small_bcrs, X, engine="blocked")
+        finally:
+            hub.close()
+            _telemetry.uninstall()
+        events = [
+            e for e in read_trace(tmp_path / "trace.jsonl")
+            if e.name == "gspmv"
+        ]
+        assert events and all(
+            e.attrs["backend"] == "blocked" for e in events
+        )
+        metrics = json.loads(
+            (tmp_path / "metrics.json").read_text(encoding="utf-8")
+        )
+        assert any(
+            "engine=blocked" in key and key.startswith("gspmv.calls")
+            for key in metrics["counters"]
+        )
+
+    def test_auto_records_concrete_engine(self, small_bcrs, tmp_path):
+        from repro.telemetry.tracer import read_trace
+
+        hub = TelemetryHub(tmp_path)
+        _telemetry.install(hub)
+        try:
+            gspmv(small_bcrs, np.ones((small_bcrs.n_cols, 2)), engine="auto")
+        finally:
+            hub.close()
+            _telemetry.uninstall()
+        events = [
+            e for e in read_trace(tmp_path / "trace.jsonl")
+            if e.name == "gspmv"
+        ]
+        assert events and all(
+            e.attrs["backend"] in ENGINE_NAMES for e in events
+        )
+
+
+class TestCgenTier:
+    @pytest.mark.skipif(
+        "cgen" not in AVAILABLE, reason="no C toolchain in environment"
+    )
+    def test_source_generation_chunks_m(self):
+        src = kernels_cgen.generate_source(3, 16)
+        assert "VC = 8" in src
+        src = kernels_cgen.generate_source(3, 5)  # 5 % 8 != 0 -> shrink
+        assert "VC = 5" in src or "VC = 1" in src
+
+    def test_cli_engine_choices_match_registry(self):
+        from repro.cli import ENGINE_CHOICES
+
+        assert set(ENGINE_CHOICES) == {"auto", *ENGINE_NAMES}
+
+
+class TestEngineProfiles:
+    SHAPE = MatrixShape(nb=2000, blocks_per_row=20.0)
+
+    def test_calibration_recovers_known_scales(self):
+        truth = EngineProfile("x", bw_scale=0.5, flop_scale=4.0)
+        samples = {
+            m: truth.time(self.SHAPE, m, WESTMERE) for m in (1, 4, 16, 64)
+        }
+        fitted = calibrate_profile("x", self.SHAPE, WESTMERE, samples)
+        for m in samples:
+            assert fitted.time(self.SHAPE, m, WESTMERE) == pytest.approx(
+                samples[m], rel=0.05
+            )
+
+    def test_profiled_model_scales_prediction(self, small_bcrs):
+        half = EngineProfile("slow", bw_scale=0.5, flop_scale=0.5)
+        base = GspmvTimeModel(small_bcrs, WESTMERE)
+        slow = GspmvTimeModel(small_bcrs, WESTMERE, profile=half)
+        assert slow.time(8) == pytest.approx(2.0 * base.time(8))
+
+    def test_dedup_traffic_discount_reduces_tbw(self):
+        lean = EngineProfile("dedup", block_traffic_scale=0.1)
+        full = EngineProfile("dedup")
+        assert lean.time_bandwidth(
+            self.SHAPE, 1, WESTMERE
+        ) < full.time_bandwidth(self.SHAPE, 1, WESTMERE)
+
+    def test_mrhs_model_regimes_stay_exact_with_profile(self, spd_bcrs):
+        counts = SolverCounts(n_noguess=40, n_first=20, n_second=10)
+        prof = EngineProfile("cgen", bw_scale=0.6, flop_scale=3.0)
+        model = MrhsCostModel(
+            spd_bcrs, WESTMERE, counts, engine_profile=prof
+        )
+        ms = model.crossover_m() or 8
+        for m in (max(1, ms - 2), ms + 4):
+            expected = (
+                model.bandwidth_regime_time(m)
+                if model.model.is_bandwidth_bound(m)
+                else model.compute_regime_time(m)
+            )
+            assert model.average_step_time(m) == pytest.approx(expected)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            EngineProfile("x", bw_scale=0.0)
+        with pytest.raises(ValueError):
+            EngineProfile("x", block_traffic_scale=1.5)

@@ -8,9 +8,13 @@ from repro.sparse.convert import bcrs_to_scipy
 from repro.sparse.gspmv import gspmv, gspmv_into
 from repro.sparse.kernels import KernelRegistry, get_default_registry
 from repro.sparse.spmv import spmv
+from repro.sparse import available_engines
 from tests.conftest import random_bcrs
 
-ENGINES = ["blocked", "scipy"]
+# Every concrete engine present in this environment (cgen needs a C
+# toolchain, numba the optional dependency); test_sparse_engines.py
+# holds the deeper per-engine suites.
+ENGINES = list(available_engines())
 
 
 @pytest.fixture(params=ENGINES)

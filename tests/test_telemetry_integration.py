@@ -155,4 +155,8 @@ class TestKillAndResume:
         # the global step target — monotonic continuation, not a reset.
         assert doc["counters"]["steps.completed"] == 8.0
         assert doc["counters"]["chunks.completed"] == 2.0
-        assert doc["counters"]["gspmv.calls{m=4}"] > 0
+        gspmv_calls = [
+            v for k, v in doc["counters"].items()
+            if k.startswith("gspmv.calls{")
+        ]
+        assert gspmv_calls and sum(gspmv_calls) > 0

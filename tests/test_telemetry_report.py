@@ -145,7 +145,7 @@ class TestRooflineJoin:
         )
         json.loads(report.to_json())  # valid JSON
         md = report.to_markdown()
-        assert "| gspmv | 8 | 5 |" in md
+        assert "| gspmv | scipy | 8 | 5 |" in md
         assert "**>**" in md  # flagged marker
 
     def test_empty_trace_renders_placeholder(self):
