@@ -69,8 +69,19 @@ def _add_engine_argument(sub: argparse.ArgumentParser) -> None:
         default=None,
         help="kernel engine for all SPMV/GSPMV products (default: "
         "registry default; 'auto' micro-benchmarks per machine and "
-        "caches the choice; unavailable compiled engines fall back "
-        "to 'tiled')",
+        "caches the choice; unavailable compiled engines demote down "
+        "the fallback ladder)",
+    )
+    sub.add_argument(
+        "--verify-kernels",
+        type=int,
+        nargs="?",
+        const=-1,
+        default=None,
+        metavar="CADENCE",
+        help="shadow-check every CADENCE-th kernel product against the "
+        "reference engine and quarantine miscomparing engines (no "
+        "value: the default cadence; 0 disables)",
     )
 
 
@@ -681,6 +692,7 @@ def _cmd_report(args) -> int:
     from repro.telemetry.report import (
         RooflineReport,
         load_run_metrics,
+        render_engine_table,
         render_failover_table,
         resolve_machine,
     )
@@ -735,6 +747,16 @@ def _cmd_report(args) -> int:
         else:
             print()
         print(failover)
+        if md:
+            print()
+    engine_table = render_engine_table(metrics, markdown=md)
+    if engine_table is not None:
+        if md:
+            print("## Engine events")
+            print()
+        else:
+            print()
+        print(engine_table)
         if md:
             print()
     print("## Roofline" if md else "")
@@ -938,6 +960,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.sparse import set_default_engine
 
         set_default_engine(args.engine)
+    verify = getattr(args, "verify_kernels", None)
+    if verify is not None:
+        from repro.sparse import DEFAULT_VERIFY_CADENCE, get_engine_watch
+
+        cadence = DEFAULT_VERIFY_CADENCE if verify < 0 else verify
+        get_engine_watch().configure(cadence=cadence)
     try:
         return _COMMANDS[args.command](args)
     except BrokenPipeError:

@@ -278,6 +278,35 @@ class HealthMonitor:
                 )
         return results
 
+    def observe_engine(
+        self,
+        *,
+        check: str,
+        severity: Severity,
+        message: str,
+        step_index: int = -1,
+    ) -> InvariantResult:
+        """Record an engine-tier verdict from the kernel watchdog.
+
+        The :class:`~repro.sparse.enginewatch.EngineWatch` routes its
+        WARN/FATAL events (demotions, miscompares, quarantines) here so
+        engine trouble shows up in the same report — and the same
+        checkpointed history — as the physics invariants.
+        """
+        result = InvariantResult(
+            check=check,
+            severity=severity,
+            message=message,
+            step_index=step_index,
+        )
+        self.report.add(result)
+        if severity is Severity.FATAL:
+            logger.warning(
+                "step %d: engine verdict '%s' fatal: %s",
+                step_index, check, message,
+            )
+        return result
+
     # ------------------------------------------------------------------
     def fatal_for(self, step_index: int) -> Optional[InvariantResult]:
         return self.report.fatal_for(step_index)

@@ -18,12 +18,32 @@ exactly this check, closing the "flag but never converge" gap of PR 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Dict, Iterable, Mapping, Union
 
 from repro.perfmodel.machine import MachineSpec
 from repro.perfmodel.roofline import MatrixShape, time_bandwidth
 
-__all__ = ["EngineProfile", "calibrate_profile"]
+__all__ = ["EngineProfile", "calibrate_profile", "trusted_profiles"]
+
+
+def trusted_profiles(
+    profiles: Union[Mapping[str, "EngineProfile"], Iterable["EngineProfile"]],
+    quarantined: Iterable[str],
+) -> Dict[str, "EngineProfile"]:
+    """Drop profiles of engines the watchdog has quarantined.
+
+    Performance-model comparisons (roofline validation, engine ranking)
+    must not reason about an engine whose *answers* are distrusted —
+    a fast wrong kernel would win every ranking.  ``quarantined`` is a
+    set of engine names, typically
+    ``get_engine_watch().quarantined_engines(shape)``.
+    """
+    banned = set(quarantined)
+    if isinstance(profiles, Mapping):
+        items = profiles.items()
+    else:
+        items = ((p.engine, p) for p in profiles)
+    return {name: p for name, p in items if p.engine not in banned}
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,19 @@ site                        instrumented location
                             rank's time by ``factor``
 ``runner.abort``            ``ResilientRunner`` step loop — raises
                             :class:`SimulationKilled` (simulated process kill)
+``engine.compile``          ``kernels_cgen._compile`` — raises
+                            :class:`~repro.sparse.enginewatch.CompileError`
+                            (compiler missing/crashing)
+``engine.load``             ``kernels_cgen._load_checked`` — truncates the
+                            cached ``.so`` in place so the checksum gate and
+                            delete-and-rebuild recovery are exercised
+``engine.multiply``         ``KernelRegistry._multiply_watched`` — mutates a
+                            finished product (``corrupt``/``scale`` = wrong
+                            numbers, ``nan`` = poisoned kernel) or demotes it
+                            (``raise``); context carries ``engine``, ``b``,
+                            ``m``
+``engine.autotune_cache``   ``AutoSelector._load_disk`` — serves a torn
+                            verdict file (rejected and retuned)
 ==========================  ==================================================
 """
 
@@ -57,7 +70,17 @@ __all__ = [
     "disarm",
     "active_injector",
     "armed",
+    "ENGINE_FAULT_SITES",
 ]
+
+#: The engine-tier fault sites (DESIGN.md §14); every one is exercised
+#: end-to-end by ``benchmarks/bench_enginefault.py``.
+ENGINE_FAULT_SITES = (
+    "engine.compile",
+    "engine.load",
+    "engine.multiply",
+    "engine.autotune_cache",
+)
 
 
 class FaultInjected(RuntimeError):

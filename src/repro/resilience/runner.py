@@ -50,6 +50,7 @@ from repro.resilience.policies import (
     ResilienceExhausted,
     RetryPolicy,
 )
+from repro.sparse.enginewatch import get_engine_watch
 from repro.stokesian.neighbors import neighbor_pairs
 from repro.stokesian.particles import ParticleSystem
 
@@ -198,6 +199,12 @@ class ResilientRunner:
                 retry=retry,
                 monitor=monitor if reject_on_fatal else None,
             )
+        # Engine watchdog wiring: kernel demotions and miscompares get
+        # stamped with the step index, and (with a monitor) surface in
+        # the same health report as the physics invariants.
+        self._watch = get_engine_watch()
+        if monitor is not None:
+            self._watch.attach_monitor(monitor)
 
     # ------------------------------------------------------------------
     def _sd(self):
@@ -242,6 +249,9 @@ class ResilientRunner:
             arm(self.injector)
         try:
             while report.steps_completed < n_steps:
+                # Stamp before the chunk solve too, so engine events
+                # fired by block-solve multiplies carry a step index.
+                self._watch.current_step = self.step_index
                 if self._chunked and self.driver.pending is None:
                     remaining = n_steps - report.steps_completed
                     self._begin_chunk_resilient(
@@ -370,6 +380,7 @@ class ResilientRunner:
         :class:`~repro.health.acceptance.StepAcceptanceController`;
         this method only folds its outcome into the run report.
         """
+        self._watch.current_step = self.step_index
         if self._distributed:
             self._attempt_step_distributed(report)
             return
@@ -413,6 +424,9 @@ class ResilientRunner:
         state = self.driver.get_state()
         if self.monitor is not None:
             state["health"] = self.monitor.report.to_state()
+        # Quarantine state rides in every checkpoint: a resumed run must
+        # not re-trust an engine that was caught miscomparing.
+        state["enginewatch"] = self._watch.to_state()
         telemetry = getattr(self._sd(), "telemetry", None)
         if telemetry is not None and telemetry.enabled:
             # Counters ride in the checkpoint so a resumed run's metrics
@@ -446,6 +460,8 @@ def resume_driver(
     hub = NULL_HUB if telemetry is None else telemetry
     if hub.enabled and "telemetry" in state:
         hub.metrics.load_state(state["telemetry"])
+    if "enginewatch" in state:
+        get_engine_watch().load_state(state["enginewatch"])
     kind = state.get("kind")
     if kind == "sd":
         from repro.stokesian.dynamics import StokesianDynamics

@@ -19,6 +19,12 @@ format to take advantage of spatial locality").
 :mod:`repro.sparse.traffic` counts the exact memory traffic ``Mtr(m)``
 and flops of a kernel invocation and estimates the cache-miss function
 ``k(m)`` of the paper's performance model.
+
+:mod:`repro.sparse.enginewatch` is the self-healing runtime around the
+kernel engines: an explicit fallback ladder for engine-tier failures,
+cadence-based shadow verification against the reference kernel, and
+per-shape quarantine of engines caught returning wrong numbers
+(DESIGN.md §14).
 """
 
 from repro.sparse.bcrs import BCRSMatrix
@@ -32,6 +38,19 @@ from repro.sparse.kernels import (
     set_default_engine,
 )
 from repro.sparse.autotune import AutoSelector
+from repro.sparse.enginewatch import (
+    DEFAULT_VERIFY_CADENCE,
+    FALLBACK_LADDER,
+    REFERENCE_ENGINE,
+    CompileError,
+    EngineEvent,
+    EngineFailure,
+    EngineWatch,
+    KernelLoadError,
+    LadderExhausted,
+    get_engine_watch,
+    shape_class,
+)
 from repro.sparse.traffic import (
     TrafficCounts,
     memory_traffic_bytes,
@@ -52,6 +71,17 @@ __all__ = [
     "available_engines",
     "set_default_engine",
     "AutoSelector",
+    "EngineWatch",
+    "EngineEvent",
+    "EngineFailure",
+    "CompileError",
+    "KernelLoadError",
+    "LadderExhausted",
+    "FALLBACK_LADDER",
+    "REFERENCE_ENGINE",
+    "DEFAULT_VERIFY_CADENCE",
+    "get_engine_watch",
+    "shape_class",
     "TrafficCounts",
     "memory_traffic_bytes",
     "flop_count",

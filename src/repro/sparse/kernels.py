@@ -31,13 +31,13 @@ Engines (see DESIGN.md §13):
     Generated C kernels compiled per ``(block_size, m)`` with the
     system compiler and register blocking over the vector dimension —
     the reproduction of the paper's per-``m`` code generator
-    (:mod:`repro.sparse.kernels_cgen`).  Unavailable environments fall
-    back to ``tiled``.
+    (:mod:`repro.sparse.kernels_cgen`).  Unavailable environments
+    demote down the fallback ladder with a one-time warning.
 
 ``"numba"``
     Numba-jitted kernels with a parallel block-row loop
-    (:mod:`repro.sparse.kernels_numba`); import-guarded, falls back to
-    ``tiled`` when Numba is absent.
+    (:mod:`repro.sparse.kernels_numba`); import-guarded, demoted down
+    the ladder when Numba is absent.
 
 ``"dedup"``
     Hash-conses ``A.blocks`` into a unique-block pool and computes all
@@ -51,10 +51,18 @@ Engines (see DESIGN.md §13):
     Micro-benchmarks the available engines for this machine and matrix
     shape at first use, caches the choice to disk, and dispatches to
     the winner (:mod:`repro.sparse.autotune`).
+
+Every dispatch runs under the engine watchdog
+(:mod:`repro.sparse.enginewatch`, DESIGN.md §14): engine-tier failures
+demote the product down an explicit fallback ladder instead of raising,
+an opt-in shadow check verifies results against the ``blocked``
+reference on a cadence, and an engine caught miscomparing is
+quarantined for that shape class and routed around from then on.
 """
 
 from __future__ import annotations
 
+import time
 import warnings
 import weakref
 from dataclasses import dataclass
@@ -63,8 +71,16 @@ from typing import Dict, Literal, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.resilience.faults import active_injector, fire_fault
 from repro.sparse import kernels_cgen, kernels_numba
 from repro.sparse.bcrs import BCRSMatrix
+from repro.sparse.enginewatch import (
+    REFERENCE_ENGINE,
+    EngineFailure,
+    EngineWatch,
+    reference_rows,
+    shape_class,
+)
 
 __all__ = [
     "KernelRegistry",
@@ -223,6 +239,9 @@ class KernelRegistry:
         )
         self._selector = None  # built lazily (imports autotune)
         self._warned_fallback: set = set()
+        #: The engine watchdog: fallback ladder, shadow verification,
+        #: quarantine (see :mod:`repro.sparse.enginewatch`).
+        self.watch = EngineWatch()
 
     # ------------------------------------------------------------------
     # engine resolution
@@ -245,33 +264,61 @@ class KernelRegistry:
         ``None`` resolves to :attr:`default_engine`; ``"auto"`` runs the
         per-machine auto-selection; an unavailable compiled tier
         (``cgen`` without a toolchain, ``numba`` without the package)
-        falls back to ``tiled`` with a one-time warning, so scripts stay
-        portable across environments.
+        demotes down the fallback ladder with a one-time warning and a
+        recorded ``fallback`` event, so scripts stay portable across
+        environments.  An engine quarantined for this shape class is
+        routed around the same way.
         """
         engine = engine or self.default_engine
         if engine == "auto":
-            return self.selector.select(A, m)
-        if engine not in ENGINE_NAMES:
+            engine = self.selector.select(A, m)
+        elif engine not in ENGINE_NAMES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of "
                 f"{('auto',) + ENGINE_NAMES}"
             )
         if engine == "cgen" and not kernels_cgen.available():
-            return self._fallback(engine, "no C toolchain")
-        if engine == "numba" and not kernels_numba.available():
-            return self._fallback(engine, "numba is not installed")
+            engine = self._fallback(
+                engine, kernels_cgen.unavailable_reason() or "no C toolchain"
+            )
+        elif engine == "numba" and not kernels_numba.available():
+            engine = self._fallback(engine, "numba is not installed")
+        if self.watch.has_quarantines:
+            shape = shape_class(A, m)
+            if self.watch.is_quarantined(engine, shape):
+                engine = self._demote(engine, shape)
         return engine
 
     def _fallback(self, engine: str, reason: str) -> str:
+        """Route an *unavailable* engine to its ladder replacement.
+
+        The event and the warning fire once per engine per process —
+        unavailability is a standing condition, not a per-call incident.
+        """
+        rung = self.watch.next_rung(engine, set(available_engines()))
         if engine not in self._warned_fallback:
             self._warned_fallback.add(engine)
+            self.watch.record(
+                "fallback", engine, reason=f"{reason}; using {rung!r}"
+            )
             warnings.warn(
                 f"engine {engine!r} is unavailable ({reason}); "
-                "falling back to 'tiled'",
+                f"falling back to {rung!r}",
                 RuntimeWarning,
-                stacklevel=3,
+                stacklevel=4,
             )
-        return "tiled"
+        return rung
+
+    def _demote(self, engine: str, shape: str) -> str:
+        """The next trustworthy rung below ``engine`` for ``shape``.
+
+        ``scipy`` is the ladder's final rung; below it only the
+        reference engine remains, which is always available and can
+        never be quarantined — so demotion always terminates.
+        """
+        if engine == "scipy":
+            return REFERENCE_ENGINE
+        return self.watch.next_rung(engine, set(available_engines()), shape)
 
     # ------------------------------------------------------------------
     # cached plans and views
@@ -435,29 +482,141 @@ class KernelRegistry:
         # through a temporary.
         alias = out2d is not None and np.may_share_memory(out2d, X)
         target = None if alias else out2d
-        if engine == "scipy":
-            Y = self.scipy_view(A) @ X
-            if target is not None:
-                np.copyto(target, Y)
-                Y = target
-        elif engine == "blocked":
-            Y = self._multiply_blocked(A, X, target)
-        elif engine == "tiled":
-            Y = self._multiply_tiled(A, X, target)
-        elif engine == "cgen":
-            Y = self._multiply_cgen(A, X, target)
-        elif engine == "numba":
-            Y = self._multiply_numba(A, X, target)
-        elif engine == "dedup":
-            Y = self._multiply_dedup(A, X, target)
-        else:  # pragma: no cover - resolve_engine rejects unknown names
-            raise ValueError(f"unknown engine {engine!r}")
+        Y = self._multiply_watched(A, X, target, engine)
         if alias:
             np.copyto(out2d, Y)
             Y = out2d
         if squeeze:
             return out if out is not None else Y[:, 0]
         return Y
+
+    def _multiply_watched(
+        self,
+        A: BCRSMatrix,
+        X: np.ndarray,
+        target: Optional[np.ndarray],
+        engine: str,
+    ) -> np.ndarray:
+        """Dispatch under the watchdog: ladder on failure, shadow-verify
+        on cadence, quarantine and re-execute on miscompare.
+
+        The loop terminates because every demotion moves strictly down
+        :data:`~repro.sparse.enginewatch.FALLBACK_LADDER` and the
+        reference engine neither raises :class:`EngineFailure` nor gets
+        verified against itself.
+        """
+        watch = self.watch
+        m = X.shape[1]
+        shape: Optional[str] = None
+        while True:
+            try:
+                Y = self._dispatch(A, X, target, engine)
+            except EngineFailure as exc:
+                shape = shape or shape_class(A, m)
+                watch.record("engine_failure", engine, shape, str(exc))
+                engine = self._demote(engine, shape)
+                continue
+            spec = fire_fault(
+                "engine.multiply", engine=engine, b=A.block_size, m=m
+            )
+            if spec is not None:
+                if spec.kind == "raise":
+                    shape = shape or shape_class(A, m)
+                    watch.record(
+                        "engine_failure", engine, shape,
+                        "injected multiply failure",
+                    )
+                    engine = self._demote(engine, shape)
+                    continue
+                # Data-corruption kinds simulate a kernel returning
+                # wrong numbers: mutate the product in place so the
+                # shadow check (not the injection site) must catch it.
+                np.copyto(Y, spec.mutate(Y, active_injector().rng))
+            if watch.enabled:
+                shape = shape or shape_class(A, m)
+                if watch.should_verify(engine, shape):
+                    if not self._verify_product(A, X, Y, engine, shape):
+                        watch.record(
+                            "verify_fail", engine, shape,
+                            "shadow check miscompared with reference",
+                        )
+                        watch.quarantine(
+                            engine, shape, "shadow verification miscompare"
+                        )
+                        engine = self._demote(engine, shape)
+                        continue
+            return Y
+
+    def _dispatch(
+        self,
+        A: BCRSMatrix,
+        X: np.ndarray,
+        target: Optional[np.ndarray],
+        engine: str,
+    ) -> np.ndarray:
+        """Raw single-engine dispatch: no ladder, no verification.
+
+        The autotuner times candidates through this entry point so a
+        failing engine raises :class:`EngineFailure` to the timing loop
+        instead of being silently served by a fallback rung (which
+        would corrupt the measurement).
+        """
+        if engine == "scipy":
+            Y = self.scipy_view(A) @ X
+            if target is not None:
+                np.copyto(target, Y)
+                Y = target
+            return Y
+        if engine == "blocked":
+            return self._multiply_blocked(A, X, target)
+        if engine == "tiled":
+            return self._multiply_tiled(A, X, target)
+        if engine == "cgen":
+            return self._multiply_cgen(A, X, target)
+        if engine == "numba":
+            return self._multiply_numba(A, X, target)
+        if engine == "dedup":
+            return self._multiply_dedup(A, X, target)
+        raise ValueError(f"unknown engine {engine!r}")
+
+    def _verify_product(
+        self,
+        A: BCRSMatrix,
+        X: np.ndarray,
+        Y: np.ndarray,
+        engine: str,
+        shape: str,
+    ) -> bool:
+        """One shadow check of ``Y`` against the reference engine.
+
+        Normally a strided sample of block rows; every
+        :attr:`~repro.sparse.enginewatch.EngineWatch.full_every`-th
+        verification (and whenever the matrix is no bigger than the
+        sample) the full product.
+        """
+        watch = self.watch
+        start = time.perf_counter()
+        count = watch.bump_verification(engine, shape)
+        b = A.block_size
+        m = X.shape[1]
+        tol = watch.tolerance(b, m)
+        full = (
+            A.nb_rows <= watch.sample_rows
+            or watch.full_every == 1
+            or count % watch.full_every == 0
+        )
+        if full:
+            ref = self._multiply_blocked(A, X, None)
+            ok = watch.compare(np.asarray(Y), ref, tol)
+        else:
+            rows = watch.sample_block_rows(A.nb_rows, count)
+            ref = reference_rows(A, X, rows)
+            got = np.ascontiguousarray(Y).reshape(A.nb_rows, b, m)[rows]
+            ok = watch.compare(got, ref, tol)
+        watch.note_verification(
+            engine, ok, time.perf_counter() - start, full
+        )
+        return ok
 
     # ------------------------------------------------------------------
     # engine implementations
@@ -532,7 +691,9 @@ class KernelRegistry:
         Xc = np.ascontiguousarray(X)
         use_out_directly = out is not None and out.flags["C_CONTIGUOUS"]
         Y = out if use_out_directly else np.empty((A.n_rows, m))
-        kernels_cgen.gspmv_cgen(A.row_ptr, A.col_ind, A.blocks, Xc, Y)
+        kernels_cgen.gspmv_cgen(
+            A.row_ptr, A.col_ind, A.blocks, Xc, Y, watch=self.watch
+        )
         if out is not None and not use_out_directly:
             np.copyto(out, Y)
             return out
@@ -616,8 +777,8 @@ def set_default_engine(engine: str) -> str:
 
     Returns the previous default.  ``"auto"`` and every concrete engine
     name are accepted; availability is still checked per call, so
-    setting ``"numba"`` in a numba-less environment degrades to
-    ``tiled`` with a warning rather than failing.
+    setting ``"numba"`` in a numba-less environment degrades down the
+    fallback ladder with a warning rather than failing.
     """
     if engine != "auto" and engine not in ENGINE_NAMES:
         raise ValueError(

@@ -22,6 +22,8 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
+from repro.sparse.enginewatch import EngineFailure
+
 __all__ = ["HAVE_NUMBA", "available", "get_kernel", "gspmv_numba"]
 
 try:  # pragma: no cover - exercised only where numba is installed
@@ -65,13 +67,23 @@ def _make_kernel(b: int, m: int) -> Callable:  # pragma: no cover - needs numba
 
 
 def get_kernel(b: int, m: int) -> Callable:  # pragma: no cover - needs numba
-    """Return (jitting on first use) the kernel for ``(b, m)``."""
+    """Return (jitting on first use) the kernel for ``(b, m)``.
+
+    Raises :class:`~repro.sparse.enginewatch.EngineFailure` when numba
+    is missing or the JIT rejects the kernel, so the registry's
+    fallback ladder (rather than the caller) absorbs the failure.
+    """
     if not HAVE_NUMBA:
-        raise RuntimeError("numba is not installed")
+        raise EngineFailure("numba is not installed")
     key = (b, m)
     fn = _kernels.get(key)
     if fn is None:
-        fn = _make_kernel(b, m)
+        try:
+            fn = _make_kernel(b, m)
+        except Exception as exc:  # numba's TypingError zoo is not stable API
+            raise EngineFailure(
+                f"numba JIT failed for (b={b}, m={m}): {exc}"
+            ) from exc
         _kernels[key] = fn
     return fn
 

@@ -60,6 +60,7 @@ __all__ = [
     "render_phase_totals",
     "load_run_metrics",
     "render_failover_table",
+    "render_engine_table",
 ]
 
 #: Span names treated as generalized SPMV measurements.
@@ -449,5 +450,69 @@ def render_failover_table(
             ("" if markdown else "  ")
             + f"mean recovery time: {rec['mean']:.3g}s over "
             f"{rec['count']} recovery(ies)"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# engine watchdog table
+# ----------------------------------------------------------------------
+def render_engine_table(
+    metrics: Optional[Dict[str, Any]], *, markdown: bool = False
+) -> Optional[str]:
+    """The engine-events table: what the kernel watchdog did.
+
+    Joins the ``engine.events{engine=...,kind=...}`` counters recorded
+    by :class:`~repro.sparse.enginewatch.EngineWatch` (demotions,
+    miscompares, quarantines, cache recoveries) with the shadow
+    verification totals.  Returns ``None`` when the run recorded
+    neither — healthy unverified runs get no empty section.
+    """
+    if not metrics:
+        return None
+    counters = metrics.get("counters", {})
+    rows: List[Tuple[str, str, float]] = []
+    for key, value in sorted(counters.items()):
+        if not key.startswith("engine.events{") or value <= 0:
+            continue
+        labels = dict(
+            part.split("=", 1)
+            for part in key[len("engine.events{"):-1].split(",")
+            if "=" in part
+        )
+        rows.append(
+            (labels.get("engine", "?"), labels.get("kind", "?"), value)
+        )
+    verify_calls = sum(
+        v for k, v in counters.items()
+        if k == "engine.verify.calls" or k.startswith("engine.verify.calls{")
+    )
+    verify_failures = sum(
+        v for k, v in counters.items()
+        if k == "engine.verify.failures"
+        or k.startswith("engine.verify.failures{")
+    )
+    verify_seconds = counters.get("engine.verify.seconds", 0.0)
+    if not rows and not verify_calls:
+        return None
+    lines: List[str] = []
+    if markdown:
+        lines.append("| engine | event | count |")
+        lines.append("|---|---|---:|")
+        for engine, kind, value in rows:
+            lines.append(f"| `{engine}` | {kind} | {value:g} |")
+    else:
+        lines.append("engine events:")
+        width = max(
+            (len(f"{engine}: {kind}") for engine, kind, _ in rows), default=0
+        )
+        for engine, kind, value in rows:
+            label = f"{engine}: {kind}"
+            lines.append(f"  {label:<{width}}  {value:g}")
+    if verify_calls:
+        lines.append(
+            ("" if markdown else "  ")
+            + f"shadow checks: {verify_calls:g} "
+            f"({verify_failures:g} failed, {verify_seconds:.3g}s total)"
         )
     return "\n".join(lines)

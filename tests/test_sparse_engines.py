@@ -231,7 +231,7 @@ class TestEngineResolution:
         reg = KernelRegistry()
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            assert reg.resolve_engine(small_bcrs, 4, "numba") == "tiled"
+            assert reg.resolve_engine(small_bcrs, 4, "numba") == "dedup"
         assert any("numba" in str(w.message) for w in caught)
         # warned once, not per call
         with warnings.catch_warnings(record=True) as caught:
@@ -316,7 +316,7 @@ class TestAutoSelector:
         cache = json.loads(
             (tmp_path / CACHE_FILENAME).read_text(encoding="utf-8")
         )
-        assert record["key"] in cache
+        assert record["key"] in cache["entries"]
 
     def test_disk_cache_skips_retuning(self, small_bcrs, tmp_path):
         reg = KernelRegistry()
