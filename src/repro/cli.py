@@ -30,6 +30,21 @@ Small, scriptable entry points over the library's main workflows:
     Run a distributed power iteration on the simulated cluster, with
     optional injected channel faults (``--net-faults``) and
     checkpoint-backed rank recovery (``--checkpoint-every``).
+``submit``
+    Queue a job spec into a service directory's inbox (picked up by
+    the next ``serve``).
+``serve``
+    Drain a service directory through the fault-tolerant
+    :class:`~repro.service.manager.JobManager`: admission control,
+    priority-with-aging scheduling, quantum preemption, retry with
+    backoff, overload shedding — resumable after a kill via the job
+    journal.
+``jobs``
+    Read-only view of a service directory's job journal (state,
+    progress, digests) without constructing a manager.
+``faults``
+    ``faults list`` prints the catalogue of registered fault
+    injection sites across every layer.
 
 ``simulate`` grows a resilient mode: passing ``--checkpoint-every`` /
 ``--checkpoint-dir`` runs the MRHS driver under the
@@ -308,6 +323,106 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-dir",
         default=None,
         help="record span trace + metrics (feeds the report failover table)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant job service over a directory",
+    )
+    serve.add_argument("dir", help="service directory (journal + checkpoints)")
+    serve.add_argument(
+        "--jobs",
+        default=None,
+        metavar="FILE",
+        help="JSON file with a list of job specs to submit before draining",
+    )
+    serve.add_argument(
+        "--quantum",
+        type=int,
+        default=0,
+        help="steps per dispatch before preemption (0 = run to completion)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, help="max pending jobs"
+    )
+    serve.add_argument(
+        "--shed-watermark",
+        type=int,
+        default=None,
+        help="shed lowest-priority pending jobs above this backlog",
+    )
+    serve.add_argument(
+        "--mem-budget-mb",
+        type=float,
+        default=None,
+        help="aggregate memory budget for admitted jobs (MiB)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="job retry budget after worker crashes (default 3)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=4,
+        help="per-job checkpoint cadence in steps (default 4)",
+    )
+    serve.add_argument(
+        "--max-ticks",
+        type=int,
+        default=None,
+        help="stop the scheduler after this many logical ticks",
+    )
+    serve.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="record service metrics (feeds the report jobs section)",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="emit the job table as JSON"
+    )
+
+    submit = sub.add_parser(
+        "submit", help="queue one job spec for a service directory"
+    )
+    submit.add_argument("dir", help="service directory")
+    submit.add_argument("--name", required=True, help="unique job name")
+    submit.add_argument("--n", type=int, default=24, help="particles")
+    submit.add_argument(
+        "--phi", type=float, default=0.2, help="volume occupancy"
+    )
+    submit.add_argument("--m", type=int, default=4, help="right-hand sides")
+    submit.add_argument("--steps", type=int, default=8, help="time steps")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--dt", type=float, default=0.05)
+    submit.add_argument(
+        "--priority", type=int, default=0, help="larger runs sooner"
+    )
+    submit.add_argument(
+        "--deadline",
+        type=int,
+        default=None,
+        help="ticks after submission by which the job must be admitted",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", help="read-only job table from a service journal"
+    )
+    jobs.add_argument("dir", help="service directory (or journal path)")
+    jobs.add_argument(
+        "--json", action="store_true", help="emit the job table as JSON"
+    )
+
+    faults = sub.add_parser(
+        "faults", help="inspect the fault-injection machinery"
+    )
+    faults.add_argument(
+        "action", choices=["list"], help="'list' prints every fault site"
+    )
+    faults.add_argument(
+        "--json", action="store_true", help="emit the catalogue as JSON"
     )
     return parser
 
@@ -759,6 +874,27 @@ def _cmd_report(args) -> int:
         print(engine_table)
         if md:
             print()
+    from pathlib import Path as _Path
+
+    journal = _Path(args.run) / "journal.jsonl"
+    if journal.exists():
+        from repro.service import JobJournal, replay_records
+        from repro.service.manager import job_table
+        from repro.telemetry.report import render_jobs_table
+
+        records, _valid = JobJournal.scan(journal)
+        jobs_table = render_jobs_table(
+            job_table(replay_records(records)[0]), markdown=md
+        )
+        if jobs_table is not None:
+            if md:
+                print("## Jobs")
+                print()
+            else:
+                print()
+            print(jobs_table)
+            if md:
+                print()
     print("## Roofline" if md else "")
     print(roofline.to_markdown())
     if roofline.flagged_rows:
@@ -941,6 +1077,170 @@ def _cmd_distsim(args) -> int:
     return 0
 
 
+def _service_dir(raw: str):
+    """Accept either the service directory or its journal path."""
+    from pathlib import Path
+
+    path = Path(raw)
+    return path.parent if path.name == "journal.jsonl" else path
+
+
+def _cmd_serve(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.service import (
+        JobManager,
+        JobSpec,
+        ManagerKilled,
+        ServiceConfig,
+    )
+    from repro.telemetry.report import render_jobs_table
+
+    budget = (
+        None
+        if args.mem_budget_mb is None
+        else int(args.mem_budget_mb * (1 << 20))
+    )
+    config = ServiceConfig(
+        quantum=args.quantum,
+        queue_limit=args.queue_limit,
+        shed_watermark=args.shed_watermark,
+        mem_budget_bytes=budget,
+        max_attempts=args.max_attempts,
+        checkpoint_every=args.checkpoint_every,
+    )
+    hub = _make_hub(args)
+    directory = _service_dir(args.dir)
+    specs = []
+    if args.jobs is not None:
+        for doc in _json.loads(Path(args.jobs).read_text(encoding="utf-8")):
+            specs.append(JobSpec.from_json(doc))
+    inbox = directory / "inbox"
+    if inbox.is_dir():
+        for path in sorted(inbox.glob("*.json")):
+            specs.append(
+                JobSpec.from_json(
+                    _json.loads(path.read_text(encoding="utf-8"))
+                )
+            )
+    try:
+        with JobManager(directory, config=config, telemetry=hub) as mgr:
+            if mgr.recovered_jobs:
+                print(
+                    f"recovered {mgr.recovered_jobs} unfinished job(s) "
+                    "from the journal"
+                )
+            known = {j.spec.name for j in mgr.jobs.values()}
+            for spec in specs:
+                if spec.name in known:
+                    continue  # already journaled (idempotent restart)
+                mgr.submit(spec)
+            report = mgr.run(max_ticks=args.max_ticks)
+    except ManagerKilled as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        _close_hub(hub, command="serve", outcome="killed")
+        return 3
+    if args.json:
+        print(_json.dumps(report.jobs, indent=2, sort_keys=True))
+    else:
+        table = render_jobs_table(report.jobs)
+        if table is not None:
+            print(table)
+        print(
+            f"{report.completed} done, {report.failed} failed, "
+            f"{report.shed} shed, {report.rejected} rejected in "
+            f"{report.ticks} ticks ({report.preemptions} preemptions, "
+            f"{report.worker_crashes} worker crashes)"
+        )
+    _close_hub(hub, command="serve", outcome="drained")
+    return 0 if report.failed == 0 else 1
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.io import atomic_write_text
+    from repro.service import JobSpec
+
+    spec = JobSpec(
+        name=args.name,
+        n=args.n,
+        phi=args.phi,
+        m=args.m,
+        steps=args.steps,
+        seed=args.seed,
+        dt=args.dt,
+        priority=args.priority,
+        deadline=args.deadline,
+    )
+    inbox = _service_dir(args.dir) / "inbox"
+    inbox.mkdir(parents=True, exist_ok=True)
+    target = inbox / f"{spec.name}.json"
+    if target.exists():
+        print(f"error: job {spec.name!r} already queued", file=sys.stderr)
+        return 2
+    atomic_write_text(target, _json.dumps(spec.to_json(), sort_keys=True))
+    print(f"queued {spec.name!r} -> {target}")
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json as _json
+
+    from repro.service import JobJournal, replay_records
+    from repro.service.manager import job_table
+    from repro.telemetry.report import render_jobs_table
+
+    journal = _service_dir(args.dir) / "journal.jsonl"
+    if not journal.exists():
+        print(f"error: no journal at {journal}", file=sys.stderr)
+        return 2
+    records, _valid = JobJournal.scan(journal)
+    jobs, last_tick, _dispatches = replay_records(records)
+    rows = job_table(jobs)
+    if args.json:
+        print(_json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    table = render_jobs_table(rows)
+    if table is None:
+        print("(no jobs journaled)")
+    else:
+        print(table)
+        print(f"{len(rows)} job(s), journal at tick {last_tick}")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    import json as _json
+
+    from repro.resilience.faults import fault_site_catalogue
+
+    catalogue = fault_site_catalogue()
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    name: {"layer": layer, "description": desc}
+                    for name, (layer, desc) in catalogue.items()
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    by_layer = {}
+    for name, (layer, desc) in catalogue.items():
+        by_layer.setdefault(layer, []).append((name, desc))
+    width = max(len(name) for name in catalogue)
+    for layer in sorted(by_layer):
+        print(f"{layer}:")
+        for name, desc in sorted(by_layer[layer]):
+            print(f"  {name:<{width}}  {desc}")
+    print(f"{len(catalogue)} fault site(s)")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "roofline": _cmd_roofline,
@@ -951,6 +1251,10 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "report": _cmd_report,
     "distsim": _cmd_distsim,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "faults": _cmd_faults,
 }
 
 

@@ -26,6 +26,7 @@ standalone around a bare driver.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any, List, Optional
 
@@ -76,6 +77,9 @@ class StepOutcome:
     quarantines: int = 0
     rejected_checks: List[str] = field(default_factory=list)
     """Invariant names whose fatal verdicts caused rejections."""
+    backoff_seconds: float = 0.0
+    """Total wall-clock wait spent between rejections and retries
+    (:class:`~repro.resilience.policies.BackoffPolicy`)."""
 
 
 class StepAcceptanceController:
@@ -93,6 +97,12 @@ class StepAcceptanceController:
         state-screen diagnosis, every retry backs off ``dt``); with one,
         fatal invariant verdicts also reject steps and traced
         violations quarantine the MRHS chunk.
+    sleep:
+        Callable taking a delay in seconds, invoked before each retry
+        with the :class:`~repro.resilience.policies.BackoffPolicy`
+        delay (skipped when it is zero).  Defaults to
+        :func:`time.sleep`; tests and the job service inject a virtual
+        clock here.
     """
 
     def __init__(
@@ -101,10 +111,12 @@ class StepAcceptanceController:
         *,
         retry: RetryPolicy = RetryPolicy(),
         monitor: Optional[HealthMonitor] = None,
+        sleep: Optional[Any] = None,
     ) -> None:
         self.driver = driver
         self.retry = retry
         self.monitor = monitor
+        self.sleep = time.sleep if sleep is None else sleep
         self._chunked = hasattr(driver, "begin_chunk") and hasattr(driver, "sd")
 
     # ------------------------------------------------------------------
@@ -198,6 +210,14 @@ class StepAcceptanceController:
             telemetry.metrics.counter("steps.rejected").inc()
             retries += 1
             outcome.retries += 1
+            # Seeded exponential backoff between rejection and retry —
+            # deterministic under a fixed seed, so campaign replays
+            # stall for identical spans (immediate by default).
+            wait = self.retry.backoff.delay(retries, key=step_at)
+            if wait > 0:
+                outcome.backoff_seconds += wait
+                telemetry.metrics.counter("steps.backoff_seconds").inc(wait)
+                self.sleep(wait)
             if (
                 self.monitor is not None
                 and self._chunked

@@ -26,6 +26,7 @@ from repro.stokesian.particles import ParticleSystem
 
 __all__ = [
     "atomic_savez",
+    "atomic_write_text",
     "save_bcrs",
     "load_bcrs",
     "save_system",
@@ -67,6 +68,29 @@ def atomic_savez(
     try:
         with os.fdopen(fd, "wb") as fh:
             writer(fh, **arrays)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def atomic_write_text(
+    path: PathLike, text: str, *, fsync: bool = True
+) -> Path:
+    """Write ``text`` with the same write-to-temp + ``os.replace``
+    guarantee as :func:`atomic_savez` (used for job-spec drop files)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
             fh.flush()
             if fsync:
                 os.fsync(fh.fileno())

@@ -43,6 +43,7 @@ from repro.resilience.faults import (
     fire_fault,
 )
 from repro.resilience.policies import (
+    BackoffPolicy,
     DegradePolicy,
     RecoveryPolicy,
     ResilienceExhausted,
@@ -68,6 +69,7 @@ __all__ = [
     "armed",
     "disarm",
     "fire_fault",
+    "BackoffPolicy",
     "DegradePolicy",
     "RecoveryPolicy",
     "ResilienceExhausted",

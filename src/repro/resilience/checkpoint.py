@@ -232,6 +232,19 @@ class CheckpointManager:
         path = atomic_savez(
             self.path_for(step), compress=False, fsync=False, **arrays
         )
+        # Retention safety: never let a bad in-flight write evict the
+        # newest *verified* checkpoint.  Pruning runs only after the
+        # just-written file passes the same checksum gate a resume
+        # would apply; a write that lands torn is deleted and reported,
+        # leaving every older checkpoint in place.
+        try:
+            self._verify(path)
+        except CheckpointCorruptionError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            raise
         self._prune()
         hub = _telemetry.active_hub
         if hub is not None:
@@ -289,6 +302,30 @@ class CheckpointManager:
         if exc is not None:
             raise exc
 
+    def _verify(self, path: Path) -> None:
+        """Checksum-verify the file at ``path`` without unpacking it.
+
+        Raises :class:`CheckpointCorruptionError` on a torn archive or
+        digest mismatch — the cheap read-back gate :meth:`save` applies
+        before pruning older checkpoints.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                arrays = {k: np.asarray(data[k]) for k in data.files}
+        except (zipfile.BadZipFile, ValueError, KeyError, OSError, EOFError) as exc:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} failed write verification: {exc}"
+            ) from exc
+        if _CHECKSUM_KEY not in arrays:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} was written without a checksum"
+            )
+        if _digest(arrays) != str(arrays[_CHECKSUM_KEY][()]):
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} failed its content checksum right "
+                "after writing (torn or corrupted write)"
+            )
+
     def _prune(self) -> None:
         found = self.checkpoints()
         for old in found[: max(0, len(found) - self.keep)]:
@@ -334,6 +371,16 @@ class CheckpointManager:
             self.shard_path_for(step, rank), compress=False, fsync=False,
             **arrays,
         )
+        # Same verify-before-prune gate as :meth:`save`: a torn shard
+        # write must never evict the last complete shard wave.
+        try:
+            self._verify(path)
+        except CheckpointCorruptionError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            raise
         self._prune_shards()
         hub = _telemetry.active_hub
         if hub is not None:

@@ -71,6 +71,8 @@ __all__ = [
     "active_injector",
     "armed",
     "ENGINE_FAULT_SITES",
+    "register_fault_site",
+    "fault_site_catalogue",
 ]
 
 #: The engine-tier fault sites (DESIGN.md §14); every one is exercised
@@ -81,6 +83,78 @@ ENGINE_FAULT_SITES = (
     "engine.multiply",
     "engine.autotune_cache",
 )
+
+#: Registry of every injectable fault site: ``name -> (layer,
+#: description)``.  The core sites are seeded here; subsystems whose
+#: sites live in optional modules (the job service, the simulated
+#: cluster) register theirs at import via :func:`register_fault_site`.
+#: ``repro faults list`` renders this catalogue so campaign configs
+#: never hardcode site names.
+_FAULT_SITES: Dict[str, Tuple[str, str]] = {
+    "brownian.forcing": (
+        "resilience",
+        "StokesianDynamics.step — corrupts the Brownian forcing f^B",
+    ),
+    "mrhs.block_breakdown": (
+        "resilience",
+        "MrhsStokesianDynamics._solve_block — raises BlockSolveBroken "
+        "before the auxiliary block solve",
+    ),
+    "runner.abort": (
+        "resilience",
+        "ResilientRunner step loop — raises SimulationKilled "
+        "(simulated process kill)",
+    ),
+    "comm.exchange": (
+        "distributed",
+        "DistributedGspmv boundary send — corrupts or drops a boundary "
+        "block in transit",
+    ),
+    "cluster.straggler": (
+        "distributed",
+        "MultiNodeTimeModel.rank_time — scales one rank's time by "
+        "`factor`",
+    ),
+    "engine.compile": (
+        "engine",
+        "kernels_cgen._compile — raises CompileError (compiler "
+        "missing/crashing)",
+    ),
+    "engine.load": (
+        "engine",
+        "kernels_cgen._load_checked — truncates the cached .so so the "
+        "checksum gate and delete-and-rebuild recovery are exercised",
+    ),
+    "engine.multiply": (
+        "engine",
+        "KernelRegistry._multiply_watched — mutates a finished product "
+        "(corrupt/scale/nan) or demotes the engine (raise)",
+    ),
+    "engine.autotune_cache": (
+        "engine",
+        "AutoSelector._load_disk — serves a torn verdict file "
+        "(rejected and retuned)",
+    ),
+}
+
+
+def register_fault_site(name: str, layer: str, description: str) -> None:
+    """Add (or update) one site in the injectable-fault catalogue."""
+    if not name or not layer:
+        raise ValueError("fault site name and layer must be non-empty")
+    _FAULT_SITES[name] = (layer, description)
+
+
+def fault_site_catalogue() -> Dict[str, Tuple[str, str]]:
+    """Every registered fault site: ``{name: (layer, description)}``.
+
+    Importing :mod:`repro.service` (done lazily here) completes the
+    catalogue with the job-service sites; modules already imported have
+    registered theirs as a side effect.
+    """
+    import repro.service  # noqa: F401  (registers service.* sites)
+
+    return dict(sorted(_FAULT_SITES.items()))
 
 
 class FaultInjected(RuntimeError):

@@ -20,9 +20,12 @@ honest failure beats a silent hang.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 __all__ = [
+    "BackoffPolicy",
     "RetryPolicy",
     "DegradePolicy",
     "RecoveryPolicy",
@@ -32,6 +35,60 @@ __all__ = [
 
 class ResilienceExhausted(RuntimeError):
     """All bounded recovery budgets were spent without a healthy step."""
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with seeded, deterministic jitter.
+
+    ``delay(attempt)`` for attempt 1, 2, 3, ... grows as
+    ``base * multiplier**(attempt-1)``, capped at ``cap``, then scaled
+    by a jitter factor drawn uniformly from ``[1-jitter, 1+jitter]``.
+    The jitter stream is a pure function of ``(seed, key, attempt)``
+    (hashed through :class:`numpy.random.SeedSequence`), so two replays
+    of the same campaign wait the identical sequence of delays — no
+    shared mutable RNG state, no order sensitivity.
+
+    The default ``base=0.0`` keeps retries immediate (the historical
+    behavior); give a positive base to space retries out.  Units are
+    the caller's: the step-retry loop treats delays as seconds, the job
+    service treats them as scheduler ticks.
+    """
+
+    base: float = 0.0
+    """First-retry delay; 0 disables waiting entirely."""
+    multiplier: float = 2.0
+    """Growth factor per further attempt."""
+    cap: float = 60.0
+    """Upper bound on the un-jittered delay."""
+    jitter: float = 0.1
+    """Fractional jitter half-width (0 = deterministic ladder)."""
+    seed: int = 0
+    """Root of the jitter stream; replays with one seed are identical."""
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError("base must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if self.cap < 0:
+            raise ValueError("cap must be non-negative")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, *, key: int = 0) -> float:
+        """Delay before retry ``attempt`` (1-based) of entity ``key``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        if self.base == 0.0:
+            return 0.0
+        raw = min(self.cap, self.base * self.multiplier ** (attempt - 1))
+        if self.jitter == 0.0:
+            return raw
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, int(key) & 0x7FFFFFFF, attempt])
+        )
+        return raw * float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
 
 
 @dataclass(frozen=True)
@@ -47,6 +104,11 @@ class RetryPolicy:
     overlap_tol: float = 1e-9
     """Surface-gap slack below which a pair counts as overlapping
     (relative to the mean radius)."""
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    """Wall-clock wait before each retry (default: immediate).  The
+    delay for retry ``r`` of the step at index ``s`` is
+    ``backoff.delay(r, key=s)`` — deterministic under a fixed seed, so
+    a replayed campaign stalls for the identical spans."""
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:

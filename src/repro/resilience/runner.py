@@ -81,6 +81,9 @@ class RunReport:
     retries: int = 0
     dt_backoffs: int = 0
     dt_heals: int = 0
+    backoff_seconds: float = 0.0
+    """Total retry backoff waited (seeded-jitter exponential; see
+    :class:`~repro.resilience.policies.BackoffPolicy`)."""
     final_dt: float = 0.0
     degradations: List[Tuple[int, int]] = field(default_factory=list)
     """``(chunk_index, m_after)`` per degradation event."""
@@ -134,6 +137,10 @@ class ResilientRunner:
         With ``False`` the monitor only *observes* (report still
         recorded and checkpointed) and step rejection falls back to the
         exception/state-screen diagnosis alone.
+    sleep:
+        Injectable wait callable for retry backoff (see
+        :class:`~repro.resilience.policies.BackoffPolicy`); defaults to
+        :func:`time.sleep`.
     """
 
     def __init__(
@@ -148,6 +155,7 @@ class ResilientRunner:
         injector: Optional[Union[FaultInjector, FaultPlan]] = None,
         monitor: Optional[HealthMonitor] = None,
         reject_on_fatal: bool = True,
+        sleep: Optional[Any] = None,
     ) -> None:
         self._distributed = hasattr(driver, "shard_states") and hasattr(
             driver, "recover"
@@ -198,6 +206,7 @@ class ResilientRunner:
                 driver,
                 retry=retry,
                 monitor=monitor if reject_on_fatal else None,
+                sleep=sleep,
             )
         # Engine watchdog wiring: kernel demotions and miscompares get
         # stamped with the step index, and (with a monitor) surface in
@@ -387,6 +396,7 @@ class ResilientRunner:
         outcome = self._controller.attempt_step()
         report.retries += outcome.retries
         report.dt_backoffs += outcome.dt_backoffs
+        report.backoff_seconds += outcome.backoff_seconds
         report.quarantines += outcome.quarantines
         report.rejected_checks.extend(outcome.rejected_checks)
         if outcome.retries:

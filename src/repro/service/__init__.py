@@ -1,0 +1,74 @@
+"""Fault-tolerant multi-tenant simulation job service.
+
+Built on the resilience stack: a :class:`JobManager` journals every
+job-state transition to a write-ahead log, schedules jobs with
+admission control, priority-with-aging, checkpoint-backed preemption,
+seeded retry backoff, and overload shedding — and survives being
+killed at any instant (see :mod:`repro.service.manager`).
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import register_fault_site
+from repro.service.clock import ServiceClock
+from repro.service.errors import ManagerKilled, WorkerCrashed
+from repro.service.journal import JobJournal
+from repro.service.manager import (
+    JobManager,
+    ServiceConfig,
+    ServiceInjector,
+    ServiceReport,
+    job_table,
+    replay_records,
+)
+from repro.service.spec import (
+    JobRecord,
+    JobSpec,
+    JobState,
+    estimate_job_bytes,
+)
+from repro.service.worker import JobWorker
+
+__all__ = [
+    "JobJournal",
+    "JobManager",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobWorker",
+    "ManagerKilled",
+    "ServiceClock",
+    "ServiceConfig",
+    "ServiceInjector",
+    "ServiceReport",
+    "WorkerCrashed",
+    "estimate_job_bytes",
+    "job_table",
+    "replay_records",
+]
+
+register_fault_site(
+    "service.journal",
+    "service",
+    "kill the manager mid-journal-append; `raise` leaves a torn "
+    "half-written record, `zero` loses the record entirely "
+    "(`at={'seq': n}`)",
+)
+register_fault_site(
+    "service.dispatch",
+    "service",
+    "kill the manager right after journaling a dispatch, before the "
+    "job slice runs (`at={'dispatch': k}` or `at={'job': id}`)",
+)
+register_fault_site(
+    "service.worker_crash",
+    "service",
+    "crash the worker running a job mid-slice; the job requeues "
+    "behind seeded backoff (`at={'job': id, 'step': s}`)",
+)
+register_fault_site(
+    "service.clock",
+    "service",
+    "forward clock jump: a `scale` spec multiplies the current tick "
+    "by `factor` (`at={'tick': t}`)",
+)

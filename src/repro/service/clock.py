@@ -1,0 +1,56 @@
+"""Deterministic scheduler clock.
+
+The service measures queue wait, aging, deadlines, and retry backoff
+in **ticks** of a logical clock rather than wall time, so every
+scheduling decision — and therefore every campaign — replays
+identically.  The manager advances the clock once per scheduler
+iteration and once per completed simulation step, and fast-forwards it
+over idle backoff windows instead of sleeping.
+
+The ``service.clock`` fault site strikes on :meth:`advance`: a
+``"scale"`` spec multiplies the current tick (a forward jump, e.g. NTP
+slew or a suspended VM), which must never shed an admitted job or
+derail recovery — the clock-jump chaos campaign pins that down.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import fire_fault
+
+__all__ = ["ServiceClock"]
+
+
+class ServiceClock:
+    """Monotonic logical clock; integer ticks, deterministic faults."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        self._now = int(start)
+        self.jumps = 0
+        """Count of injected clock jumps (``service.clock`` fires)."""
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def advance(self, ticks: int = 1) -> int:
+        """Move forward ``ticks``; returns the new time."""
+        if ticks < 0:
+            raise ValueError("the clock never runs backwards")
+        self._now += int(ticks)
+        spec = fire_fault("service.clock", tick=self._now)
+        if spec is not None and spec.kind == "scale":
+            # A forward jump: the clock suddenly reads far later.
+            self._now = int(self._now * max(1.0, spec.factor))
+            self.jumps += 1
+        return self._now
+
+    def fast_forward(self, to: int) -> int:
+        """Jump idle time to ``to`` (no-op when already past it)."""
+        self._now = max(self._now, int(to))
+        return self._now
+
+    def restore(self, now: int) -> None:
+        """Reset after journal recovery (monotonic across restarts)."""
+        self._now = max(self._now, int(now))

@@ -1,0 +1,33 @@
+"""Failure taxonomy of the job service.
+
+Both exceptions model *simulated process death* — the in-process
+analogue of ``kill -9`` on the manager or a worker — and both are
+:class:`~repro.resilience.faults.FaultInjected` so drill faults are
+distinguishable from organic errors everywhere in the stack.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import FaultInjected
+
+__all__ = ["ManagerKilled", "WorkerCrashed"]
+
+
+class ManagerKilled(FaultInjected):
+    """The job manager died mid-operation (simulated process kill).
+
+    Raised by the ``service.dispatch`` and ``service.journal`` fault
+    sites — and by an un-translated ``runner.abort`` striking while a
+    job slice runs.  The journal on disk is the recovery contract: a
+    new :class:`~repro.service.manager.JobManager` over the same
+    directory rebuilds every job's state and finishes the work.
+    """
+
+
+class WorkerCrashed(FaultInjected):
+    """A worker died while running a job slice.
+
+    The manager survives: the job's in-memory driver is discarded, the
+    attempt counter bumped, and the job re-queued behind its seeded
+    retry backoff to resume from its last checkpoint.
+    """

@@ -61,6 +61,7 @@ __all__ = [
     "load_run_metrics",
     "render_failover_table",
     "render_engine_table",
+    "render_jobs_table",
 ]
 
 #: Span names treated as generalized SPMV measurements.
@@ -515,4 +516,64 @@ def render_engine_table(
             + f"shadow checks: {verify_calls:g} "
             f"({verify_failures:g} failed, {verify_seconds:.3g}s total)"
         )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# job-service table
+# ----------------------------------------------------------------------
+_JOB_COLUMNS = (
+    ("job", "job"),
+    ("name", "name"),
+    ("state", "state"),
+    ("priority", "prio"),
+    ("steps", "steps"),
+    ("wait", "wait"),
+    ("attempts", "attempts"),
+    ("preemptions", "preempt"),
+    ("digest", "digest"),
+    ("reason", "reason"),
+)
+
+
+def render_jobs_table(
+    rows: Sequence[Dict[str, Any]], *, markdown: bool = False
+) -> Optional[str]:
+    """The job-service table: one line per submitted job.
+
+    ``rows`` is :meth:`repro.service.manager.JobManager.table` output
+    (live or rebuilt read-only from the journal by the ``jobs`` CLI).
+    Returns ``None`` for an empty table.
+    """
+    if not rows:
+        return None
+
+    def cell(row: Dict[str, Any], key: str) -> str:
+        value = row.get(key)
+        return "-" if value in (None, "") else str(value)
+
+    lines: List[str] = []
+    if markdown:
+        lines.append("| " + " | ".join(h for _, h in _JOB_COLUMNS) + " |")
+        lines.append("|" + "|".join("---" for _ in _JOB_COLUMNS) + "|")
+        for row in rows:
+            lines.append(
+                "| " + " | ".join(cell(row, k) for k, _ in _JOB_COLUMNS) + " |"
+            )
+    else:
+        widths = {
+            key: max(
+                len(header), max(len(cell(r, key)) for r in rows)
+            )
+            for key, header in _JOB_COLUMNS
+        }
+        lines.append(
+            "  ".join(h.ljust(widths[k]) for k, h in _JOB_COLUMNS).rstrip()
+        )
+        for row in rows:
+            lines.append(
+                "  ".join(
+                    cell(row, k).ljust(widths[k]) for k, _ in _JOB_COLUMNS
+                ).rstrip()
+            )
     return "\n".join(lines)

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.perfmodel",
     "repro.distributed",
     "repro.resilience",
+    "repro.service",
     "repro.util",
 ]
 

@@ -1,0 +1,140 @@
+"""Seeded-jitter exponential backoff (resilience + service layers).
+
+Satellite contract: retries wait ``base * multiplier^(attempt-1)``
+capped at ``cap``, scaled by a seeded jitter factor — deterministic
+under a fixed seed, and actually honoured by the step-retry path in
+:class:`~repro.health.acceptance.StepAcceptanceController`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    BackoffPolicy,
+    FaultPlan,
+    FaultSpec,
+    ResilientRunner,
+    RetryPolicy,
+)
+from repro.core.mrhs import MrhsParameters, MrhsStokesianDynamics
+from repro.stokesian.dynamics import SDParameters
+from repro.stokesian.packing import random_configuration
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_and_cap(self):
+        policy = BackoffPolicy(base=1.0, multiplier=2.0, cap=5.0, jitter=0.0)
+        assert [policy.delay(a) for a in (1, 2, 3, 4)] == [
+            1.0, 2.0, 4.0, 5.0
+        ]
+
+    def test_zero_base_disables_waiting(self):
+        policy = BackoffPolicy()  # base defaults to 0.0: legacy behavior
+        assert policy.delay(1) == 0.0 and policy.delay(9) == 0.0
+
+    def test_jitter_is_deterministic_under_seed(self):
+        policy = BackoffPolicy(base=1.0, jitter=0.5, seed=42)
+        again = BackoffPolicy(base=1.0, jitter=0.5, seed=42)
+        delays = [policy.delay(a, key=7) for a in (1, 2, 3)]
+        assert delays == [again.delay(a, key=7) for a in (1, 2, 3)]
+
+    def test_jitter_varies_with_seed_key_and_attempt(self):
+        base = BackoffPolicy(base=1.0, jitter=0.5, seed=0)
+        assert base.delay(1, key=1) != base.delay(1, key=2)
+        assert base.delay(1, key=1) != BackoffPolicy(
+            base=1.0, jitter=0.5, seed=1
+        ).delay(1, key=1)
+
+    def test_jitter_bounded(self):
+        policy = BackoffPolicy(base=2.0, multiplier=1.0, jitter=0.25, seed=3)
+        for attempt in range(1, 20):
+            delay = policy.delay(attempt, key=attempt)
+            assert 1.5 <= delay <= 2.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=1.0, cap=0.5).delay(0)
+
+
+class TestRunnerBackoffIntegration:
+    def _driver(self, seed=0):
+        system = random_configuration(10, 0.2, rng=seed)
+        return MrhsStokesianDynamics(
+            system, SDParameters(), MrhsParameters(m=2), rng=seed + 1
+        )
+
+    def test_retry_waits_through_injected_sleep(self):
+        """A nan-corrupted step retries behind the policy's delay; the
+        runner records the wait and calls the injected sleep."""
+        waited = []
+        retry = RetryPolicy(
+            backoff=BackoffPolicy(base=0.5, jitter=0.0)
+        )
+        runner = ResilientRunner(
+            self._driver(),
+            retry=retry,
+            injector=FaultPlan(
+                specs=(
+                    FaultSpec(
+                        site="brownian.forcing", kind="nan",
+                        at={"step": 1}, times=1,
+                    ),
+                )
+            ),
+            sleep=waited.append,
+        )
+        report = runner.run_steps(3)
+        assert report.steps_completed == 3
+        assert report.retries >= 1
+        assert waited and waited[0] == 0.5
+        assert report.backoff_seconds == pytest.approx(sum(waited))
+
+    def test_default_policy_never_sleeps(self):
+        """Immediate-retry default: no behavior change for existing
+        users (base=0 -> zero delay, sleep never called)."""
+        called = []
+        runner = ResilientRunner(
+            self._driver(),
+            injector=FaultPlan(
+                specs=(
+                    FaultSpec(
+                        site="brownian.forcing", kind="nan",
+                        at={"step": 1}, times=1,
+                    ),
+                )
+            ),
+            sleep=called.append,
+        )
+        report = runner.run_steps(2)
+        assert report.retries >= 1
+        assert called == [] and report.backoff_seconds == 0.0
+
+    def test_backoff_does_not_change_trajectory(self):
+        """Waiting is pure dead time: the recovered trajectory with
+        backoff bit-matches the one with immediate retries."""
+        def run(policy):
+            runner = ResilientRunner(
+                self._driver(),
+                retry=RetryPolicy(backoff=policy),
+                injector=FaultPlan(
+                    specs=(
+                        FaultSpec(
+                            site="brownian.forcing", kind="nan",
+                            at={"step": 1}, times=1,
+                        ),
+                    )
+                ),
+                sleep=lambda _s: None,
+            )
+            runner.run_steps(3)
+            return runner.driver.sd.system.positions.copy()
+
+        fast = run(BackoffPolicy())
+        slow = run(BackoffPolicy(base=1.0, jitter=0.3, seed=5))
+        np.testing.assert_array_equal(fast, slow)

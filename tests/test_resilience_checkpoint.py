@@ -189,6 +189,68 @@ class TestAtomicity:
         assert not path.exists()
 
 
+class TestRetentionSafety:
+    """Keep-K pruning must never let a bad in-flight write evict the
+    newest *verified* checkpoint (regression: pruning used to run
+    unconditionally after the write)."""
+
+    def _torn_savez(self, cut=200):
+        """An ``atomic_savez`` stand-in whose file lands truncated —
+        storage that acknowledged a write it only half-performed."""
+
+        def savez(path, *, compress=False, fsync=False, **arrays):
+            real = atomic_savez(
+                path, compress=compress, fsync=fsync, **arrays
+            )
+            real.write_bytes(real.read_bytes()[:cut])
+            return real
+
+        return savez
+
+    def test_torn_write_raises_and_keeps_older(self, tmp_path, monkeypatch):
+        import repro.resilience.checkpoint as ckpt_mod
+
+        man = CheckpointManager(tmp_path, keep=1)
+        good = man.save({"kind": "sd", "v": np.arange(8.0)}, step=1)
+        monkeypatch.setattr(
+            ckpt_mod, "atomic_savez", self._torn_savez()
+        )
+        with pytest.raises(CheckpointCorruptionError, match="verification"):
+            man.save({"kind": "sd", "v": np.arange(8.0) + 1}, step=2)
+        # Even at keep=1, the failed write must not have pruned the
+        # only verified checkpoint — and its torn file is cleaned up.
+        assert [p.name for p in man.checkpoints()] == [good.name]
+        state, meta, path = man.load_latest()
+        assert meta["step"] == 1 and path == good
+
+    def test_torn_shard_write_keeps_older_wave(self, tmp_path, monkeypatch):
+        import repro.resilience.checkpoint as ckpt_mod
+
+        man = CheckpointManager(tmp_path, keep=1)
+        man.save_shard({"x": np.arange(4.0)}, step=1, rank=0)
+        monkeypatch.setattr(
+            ckpt_mod, "atomic_savez", self._torn_savez()
+        )
+        with pytest.raises(CheckpointCorruptionError):
+            man.save_shard({"x": np.arange(4.0) + 1}, step=2, rank=0)
+        assert man.shard_steps() == [1]
+
+    def test_async_torn_write_surfaces_on_flush(self, tmp_path, monkeypatch):
+        import repro.resilience.checkpoint as ckpt_mod
+
+        man = CheckpointManager(tmp_path, keep=1)
+        man.save({"kind": "sd", "v": np.arange(4.0)}, step=1)
+        monkeypatch.setattr(
+            ckpt_mod, "atomic_savez", self._torn_savez()
+        )
+        man.save_async({"kind": "sd", "v": np.arange(4.0)}, step=2)
+        with pytest.raises(CheckpointCorruptionError):
+            man.flush()
+        assert [p.name for p in man.checkpoints()] == [
+            "ckpt-000000001.npz"
+        ]
+
+
 class TestBitExactResume:
     def test_sd_resume_matches_uninterrupted(self, tmp_path):
         full = _sd_driver()

@@ -1,0 +1,141 @@
+"""CLI surface of the job service: serve / submit / jobs / faults."""
+
+import json
+
+from repro.cli import main
+
+
+class TestSubmitServe:
+    def test_submit_then_serve_drains_inbox(self, tmp_path, capsys):
+        svc = tmp_path / "svc"
+        rc = main([
+            "submit", str(svc), "--name", "alpha", "--n", "8",
+            "--steps", "4", "--seed", "3", "--priority", "2",
+        ])
+        assert rc == 0
+        assert (svc / "inbox" / "alpha.json").exists()
+        rc = main([
+            "submit", str(svc), "--name", "beta", "--n", "8",
+            "--steps", "4", "--seed", "4",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["serve", str(svc), "--quantum", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 done, 0 failed" in out
+        assert "alpha" in out and "beta" in out
+
+    def test_duplicate_submit_refused(self, tmp_path, capsys):
+        svc = tmp_path / "svc"
+        assert main(["submit", str(svc), "--name", "a"]) == 0
+        assert main(["submit", str(svc), "--name", "a"]) == 2
+
+    def test_serve_jobs_file_and_json_output(self, tmp_path, capsys):
+        spec_file = tmp_path / "jobs.json"
+        spec_file.write_text(json.dumps([
+            {"name": "j1", "n": 8, "steps": 3, "seed": 1},
+            {"name": "j2", "n": 8, "steps": 3, "seed": 2},
+        ]))
+        rc = main([
+            "serve", str(tmp_path / "svc"), "--jobs", str(spec_file),
+            "--json",
+        ])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["name"] for r in rows} == {"j1", "j2"}
+        assert all(r["state"] == "done" for r in rows)
+
+    def test_serve_restart_is_idempotent(self, tmp_path, capsys):
+        """Serving the same directory again re-reads the inbox but
+        re-submits nothing (journal already has the jobs)."""
+        svc = tmp_path / "svc"
+        assert main(["submit", str(svc), "--name", "a", "--n", "8",
+                     "--steps", "3"]) == 0
+        assert main(["serve", str(svc)]) == 0
+        capsys.readouterr()
+        assert main(["serve", str(svc)]) == 0
+        out = capsys.readouterr().out
+        assert "1 done" in out  # still exactly one job
+
+
+class TestJobs:
+    def test_jobs_renders_journal_read_only(self, tmp_path, capsys):
+        svc = tmp_path / "svc"
+        main(["submit", str(svc), "--name", "a", "--n", "8",
+              "--steps", "3"])
+        main(["serve", str(svc)])
+        journal = (svc / "journal.jsonl").read_bytes()
+        capsys.readouterr()
+        rc = main(["jobs", str(svc)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "done" in out and "1 job(s)" in out
+        assert (svc / "journal.jsonl").read_bytes() == journal
+
+    def test_jobs_accepts_journal_path_and_json(self, tmp_path, capsys):
+        svc = tmp_path / "svc"
+        main(["submit", str(svc), "--name", "a", "--n", "8",
+              "--steps", "3"])
+        main(["serve", str(svc)])
+        capsys.readouterr()
+        rc = main(["jobs", str(svc / "journal.jsonl"), "--json"])
+        rows = json.loads(capsys.readouterr().out)
+        assert rc == 0 and rows[0]["name"] == "a"
+
+    def test_jobs_missing_journal_errors(self, tmp_path, capsys):
+        rc = main(["jobs", str(tmp_path / "void")])
+        assert rc == 2
+        assert "no journal" in capsys.readouterr().err
+
+
+class TestFaultsList:
+    def test_lists_every_layer(self, capsys):
+        rc = main(["faults", "list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for layer in ("resilience:", "distributed:", "engine:",
+                      "service:"):
+            assert layer in out
+        for site in ("runner.abort", "comm.exchange", "engine.compile",
+                     "service.journal", "service.dispatch",
+                     "service.worker_crash", "service.clock"):
+            assert site in out
+
+    def test_json_catalogue(self, capsys):
+        rc = main(["faults", "list", "--json"])
+        catalogue = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert catalogue["service.journal"]["layer"] == "service"
+        assert len(catalogue) >= 13
+
+
+class TestReportJobsSection:
+    def test_report_includes_jobs_table(self, tmp_path, capsys):
+        svc = tmp_path / "svc"
+        main(["submit", str(svc), "--name", "a", "--n", "8",
+              "--steps", "3"])
+        main(["serve", str(svc), "--telemetry-dir", str(svc)])
+        capsys.readouterr()
+        rc = main(["report", str(svc)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "service.jobs_completed" in out
+        assert "done" in out  # the jobs table row
+
+    def test_markdown_report_jobs_section(self, tmp_path, capsys):
+        svc = tmp_path / "svc"
+        main(["submit", str(svc), "--name", "a", "--n", "8",
+              "--steps", "3"])
+        main(["serve", str(svc), "--telemetry-dir", str(svc)])
+        capsys.readouterr()
+        rc = main(["report", str(svc), "--markdown"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "## Jobs" in out
+
+
+def test_render_jobs_table_empty_is_none():
+    from repro.telemetry.report import render_jobs_table
+
+    assert render_jobs_table([]) is None
+    assert render_jobs_table([], markdown=True) is None

@@ -1,0 +1,234 @@
+"""Write-ahead job journal: framing, recovery, and the truncation law.
+
+The load-bearing property (DESIGN.md §15): *any* prefix truncation of
+the journal file recovers to a consistent job table — the longest
+valid record prefix replays, no admitted job is lost, and the torn
+tail is discarded exactly.  The hypothesis test drives it byte by
+byte.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.faults import FaultSpec, arm, disarm
+from repro.service import (
+    JobJournal,
+    JobSpec,
+    JobState,
+    ManagerKilled,
+    replay_records,
+)
+
+
+def _spec(i: int) -> dict:
+    return JobSpec(name=f"job{i}", n=8, steps=4, seed=i).to_json()
+
+
+def _sample_records(n_jobs: int = 3):
+    """A plausible journal: submit/admit/dispatch/outcome per job."""
+    records = []
+    for i in range(1, n_jobs + 1):
+        records.append(
+            {"t": "submit", "job": i, "spec": _spec(i), "tick": i}
+        )
+    for i in range(1, n_jobs + 1):
+        records.append({"t": "admit", "job": i, "tick": n_jobs + i})
+        records.append(
+            {
+                "t": "dispatch",
+                "job": i,
+                "from_step": 0,
+                "dispatch": i,
+                "tick": n_jobs + i,
+            }
+        )
+    records.append(
+        {"t": "done", "job": 1, "steps": 4, "digest": "ab" * 8, "tick": 9}
+    )
+    records.append(
+        {"t": "crash", "job": 2, "attempt": 1, "next_eligible": 12,
+         "reason": "drill", "tick": 9}
+    )
+    return records
+
+
+class TestFraming:
+    def test_append_scan_roundtrip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        records = _sample_records()
+        with JobJournal(path) as journal:
+            for rec in records:
+                journal.append(rec)
+        replayed, valid = JobJournal.scan(path)
+        assert replayed == records
+        assert valid == path.stat().st_size
+
+    def test_scan_missing_file_is_empty(self, tmp_path):
+        records, valid = JobJournal.scan(tmp_path / "nope.jsonl")
+        assert records == [] and valid == 0
+
+    def test_torn_tail_ignored_and_truncated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.append({"t": "submit", "job": 1, "spec": _spec(1),
+                            "tick": 0})
+        whole = path.read_bytes()
+        path.write_bytes(whole + b'{"seq": 2, "crc": "dead')
+        records, valid = JobJournal.scan(path)
+        assert len(records) == 1 and valid == len(whole)
+        journal = JobJournal(path)
+        journal.recover()
+        assert path.stat().st_size == len(whole)
+        # Appends continue the sequence where the valid prefix ended.
+        journal.append({"t": "admit", "job": 1, "tick": 1})
+        journal.close()
+        records, _ = JobJournal.scan(path)
+        assert [r["t"] for r in records] == ["submit", "admit"]
+
+    def test_corrupt_middle_record_ends_prefix(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            for rec in _sample_records(2):
+                journal.append(rec)
+        lines = path.read_bytes().splitlines(keepends=True)
+        # Flip a byte inside the *payload* of the second record.
+        bad = bytearray(lines[1])
+        bad[bad.find(b"job") + 1] ^= 0x20
+        path.write_bytes(lines[0] + bytes(bad) + b"".join(lines[2:]))
+        records, valid = JobJournal.scan(path)
+        assert len(records) == 1  # later valid lines don't resurrect
+        assert valid == len(lines[0])
+
+    def test_seq_gap_ends_prefix(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            for rec in _sample_records(2):
+                journal.append(rec)
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(lines[0] + b"".join(lines[2:]))  # drop seq 2
+        records, _ = JobJournal.scan(path)
+        assert len(records) == 1
+
+
+class TestJournalFaultSite:
+    def test_torn_write_kills_manager_but_keeps_prefix(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.append({"t": "submit", "job": 1, "spec": _spec(1),
+                        "tick": 0})
+        before = path.stat().st_size
+        arm([FaultSpec(site="service.journal", at={"seq": 2})])
+        try:
+            with pytest.raises(ManagerKilled, match="torn"):
+                journal.append({"t": "admit", "job": 1, "tick": 1})
+        finally:
+            disarm()
+        assert path.stat().st_size > before  # half a line landed
+        records, valid = JobJournal.scan(path)
+        assert len(records) == 1 and valid == before
+
+    def test_lost_write_kills_manager_before_bytes(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.append({"t": "submit", "job": 1, "spec": _spec(1),
+                        "tick": 0})
+        before = path.stat().st_size
+        arm([FaultSpec(site="service.journal", kind="zero",
+                       at={"seq": 2})])
+        try:
+            with pytest.raises(ManagerKilled, match="lost"):
+                journal.append({"t": "admit", "job": 1, "tick": 1})
+        finally:
+            disarm()
+        assert path.stat().st_size == before
+
+
+class TestPrefixTruncationProperty:
+    """Satellite: any prefix truncation recovers consistently."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_any_truncation_recovers_consistent_table(
+        self, tmp_path_factory, data
+    ):
+        tmp_path = tmp_path_factory.mktemp("journal")
+        path = tmp_path / "journal.jsonl"
+        records = _sample_records()
+        with JobJournal(path) as journal:
+            for rec in records:
+                journal.append(rec)
+        whole = path.read_bytes()
+        cut = data.draw(
+            st.integers(min_value=0, max_value=len(whole)), label="cut"
+        )
+        path.write_bytes(whole[:cut])
+
+        journal = JobJournal(path)
+        replayed = journal.recover()
+        journal.close()
+        # 1. The recovered prefix is an exact record prefix.
+        assert replayed == records[: len(replayed)]
+        # 2. The file was truncated back to exactly those records.
+        survivors, valid = JobJournal.scan(path)
+        assert survivors == replayed
+        assert valid == path.stat().st_size
+        # 3. The table replays without error and loses no admitted job:
+        #    every job whose admit record survived is present and
+        #    non-pending (ADMITTED or beyond — never dropped).
+        jobs, _tick, _dispatches = replay_records(replayed)
+        admitted = {
+            r["job"] for r in replayed if r["t"] == "admit"
+        }
+        for job_id in admitted:
+            assert job_id in jobs
+            assert jobs[job_id].state is not JobState.PENDING
+            assert not jobs[job_id].state in (
+                JobState.SHED, JobState.REJECTED
+            )
+        # 4. Submitted-but-unadmitted jobs are PENDING, ready to be
+        #    re-scheduled, not lost.
+        for rec in replayed:
+            if rec["t"] == "submit":
+                assert rec["job"] in jobs
+
+    @settings(max_examples=30, deadline=None)
+    @given(junk=st.binary(min_size=1, max_size=80))
+    def test_arbitrary_tail_garbage_never_replays(
+        self, tmp_path_factory, junk
+    ):
+        tmp_path = tmp_path_factory.mktemp("journal")
+        path = tmp_path / "journal.jsonl"
+        records = _sample_records(2)
+        with JobJournal(path) as journal:
+            for rec in records:
+                journal.append(rec)
+        whole = path.read_bytes()
+        path.write_bytes(whole + junk)
+        replayed, valid = JobJournal.scan(path)
+        # Garbage may only ever *shorten* nothing: the full prefix
+        # stays, nothing fabricated appears after it.
+        assert replayed == records
+        assert valid == len(whole)
+
+
+def test_replay_handles_lost_submit_gracefully():
+    """Records for a job whose submit was torn away are skipped, not
+    fatal (the job was never acknowledged to the client)."""
+    jobs, _, _ = replay_records([
+        {"t": "admit", "job": 7, "tick": 1},
+        {"t": "submit", "job": 8, "spec": _spec(8), "tick": 2},
+    ])
+    assert sorted(jobs) == [8]
+
+
+def test_canonical_encoding_is_stable():
+    from repro.service.journal import _decode, _encode
+
+    rec = {"t": "submit", "job": 1, "spec": _spec(1), "tick": 3}
+    line = _encode(5, rec)
+    assert _decode(line.rstrip(b"\n")) == (5, rec)
+    doc = json.loads(line)
+    assert set(doc) == {"seq", "crc", "rec"}
