@@ -41,7 +41,12 @@ Small, scriptable entry points over the library's main workflows:
     journal.
 ``jobs``
     Read-only view of a service directory's job journal (state,
-    progress, digests) without constructing a manager.
+    progress, digests) without constructing a manager.  ``--watch``
+    re-renders on an interval (as does ``report --watch``).
+``top``
+    Live view of a telemetry directory: the exporter's newest metrics
+    snapshot (queue depths, per-tenant throughput and SLO burn, engine
+    trouble) plus the tail of the unified event bus.
 ``faults``
     ``faults list`` prints the catalogue of registered fault
     injection sites across every layer.
@@ -75,6 +80,23 @@ __all__ = ["main", "build_parser"]
 ENGINE_CHOICES = (
     "auto", "blocked", "tiled", "scipy", "cgen", "numba", "dedup",
 )
+
+
+def _add_watch_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--watch",
+        type=float,
+        nargs="?",
+        const=2.0,
+        default=None,
+        metavar="SECONDS",
+        help="re-render from the live exporter snapshot every SECONDS "
+        "(default 2) until interrupted",
+    )
+    # Bounded refresh count for tests/scripts (watch forever otherwise).
+    sub.add_argument(
+        "--watch-count", type=int, default=None, help=argparse.SUPPRESS
+    )
 
 
 def _add_engine_argument(sub: argparse.ArgumentParser) -> None:
@@ -243,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="metrics summary + measured-vs-model roofline"
     )
     rep.add_argument("run", help="telemetry directory")
+    _add_watch_arguments(rep)
     rep.add_argument(
         "--machine",
         choices=["wsm", "snb", "host"],
@@ -381,6 +404,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="record service metrics (feeds the report jobs section)",
     )
     serve.add_argument(
+        "--export-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="metrics exporter cadence for --telemetry-dir (default 1.0)",
+    )
+    serve.add_argument(
+        "--slo-target",
+        type=int,
+        default=None,
+        metavar="TICKS",
+        help="per-tenant submit-to-done latency SLO in logical ticks "
+        "(default 32)",
+    )
+    serve.add_argument(
         "--json", action="store_true", help="emit the job table as JSON"
     )
 
@@ -401,6 +439,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--priority", type=int, default=0, help="larger runs sooner"
     )
     submit.add_argument(
+        "--tenant",
+        default="default",
+        help="billing/SLO identity the job's latency counts against",
+    )
+    submit.add_argument(
         "--deadline",
         type=int,
         default=None,
@@ -413,6 +456,34 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument("dir", help="service directory (or journal path)")
     jobs.add_argument(
         "--json", action="store_true", help="emit the job table as JSON"
+    )
+    _add_watch_arguments(jobs)
+
+    top = sub.add_parser(
+        "top",
+        help="live view of a telemetry directory (exporter snapshot "
+        "+ unified event tail)",
+    )
+    top.add_argument("run", help="telemetry directory")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, help=argparse.SUPPRESS
+    )
+    top.add_argument(
+        "--events",
+        type=int,
+        default=8,
+        metavar="N",
+        help="show the last N bus events (default 8)",
     )
 
     faults = sub.add_parser(
@@ -488,7 +559,29 @@ def _make_hub(args):
         return None
     from repro.telemetry import TelemetryHub
 
-    return TelemetryHub(args.telemetry_dir)
+    interval = getattr(args, "export_interval", None)
+    if interval is None:
+        return TelemetryHub(args.telemetry_dir)
+    return TelemetryHub(args.telemetry_dir, export_interval=interval)
+
+
+def _watch_loop(render, *, interval: float, count: Optional[int]) -> int:
+    """Run ``render`` every ``interval`` seconds ``count`` times
+    (forever when ``count`` is None, until interrupted)."""
+    import time as _time
+
+    done = 0
+    while True:
+        if done and sys.stdout.isatty():  # fresh frame between renders
+            print("\x1b[2J\x1b[H", end="")
+        code = render()
+        done += 1
+        if count is not None and done >= count:
+            return code
+        try:
+            _time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _close_hub(hub, **attrs) -> None:
@@ -546,11 +639,15 @@ def _simulate_resilient(args) -> int:
         try:
             report = runner.run_steps(n_steps)
         except SimulationKilled as exc:
+            if hub is not None:
+                hub.dump_flight("simulation-killed", error=str(exc)[:160])
             _close_hub(hub, killed=True)
             hub = None
             print(f"killed: {exc}; checkpoints remain in {manager.directory}")
             return 3
         except ResilienceExhausted as exc:
+            if hub is not None:
+                hub.dump_flight("resilience-exhausted", error=str(exc)[:160])
             print(f"aborted: {exc}", file=sys.stderr)
             if monitor is not None:
                 print(monitor.report.summary(), file=sys.stderr)
@@ -610,6 +707,8 @@ def _cmd_resume(args) -> int:
         try:
             report = runner.run_steps(remaining)
         except SimulationKilled as exc:
+            if hub is not None:
+                hub.dump_flight("simulation-killed", error=str(exc)[:160])
             _close_hub(hub, killed=True)
             hub = None
             print(f"killed: {exc}; checkpoints remain in {manager.directory}")
@@ -802,6 +901,16 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    if args.watch is not None:
+        return _watch_loop(
+            lambda: _render_report(args),
+            interval=args.watch,
+            count=args.watch_count,
+        )
+    return _render_report(args)
+
+
+def _render_report(args) -> int:
     import json as _json
 
     from repro.telemetry.report import (
@@ -1089,11 +1198,14 @@ def _cmd_serve(args) -> int:
     import json as _json
     from pathlib import Path
 
+    import repro.telemetry as _telemetry
+    from repro.health import HealthMonitor, Severity
     from repro.service import (
         JobManager,
         JobSpec,
         ManagerKilled,
         ServiceConfig,
+        SLOPolicy,
     )
     from repro.telemetry.report import render_jobs_table
 
@@ -1102,6 +1214,11 @@ def _cmd_serve(args) -> int:
         if args.mem_budget_mb is None
         else int(args.mem_budget_mb * (1 << 20))
     )
+    slo = (
+        SLOPolicy()
+        if args.slo_target is None
+        else SLOPolicy(latency_target_ticks=args.slo_target)
+    )
     config = ServiceConfig(
         quantum=args.quantum,
         queue_limit=args.queue_limit,
@@ -1109,8 +1226,15 @@ def _cmd_serve(args) -> int:
         mem_budget_bytes=budget,
         max_attempts=args.max_attempts,
         checkpoint_every=args.checkpoint_every,
+        slo=slo,
     )
     hub = _make_hub(args)
+    if hub is not None:
+        # Installed globally so every layer under the manager — runner
+        # scopes, kernel spans, health verdicts, fault firings — lands
+        # on this hub's bus with the dispatch's correlation ids.
+        _telemetry.install(hub)
+    monitor = HealthMonitor(checks=())
     directory = _service_dir(args.dir)
     specs = []
     if args.jobs is not None:
@@ -1125,7 +1249,9 @@ def _cmd_serve(args) -> int:
                 )
             )
     try:
-        with JobManager(directory, config=config, telemetry=hub) as mgr:
+        with JobManager(
+            directory, config=config, telemetry=hub, monitor=monitor
+        ) as mgr:
             if mgr.recovered_jobs:
                 print(
                     f"recovered {mgr.recovered_jobs} unfinished job(s) "
@@ -1139,8 +1265,12 @@ def _cmd_serve(args) -> int:
             report = mgr.run(max_ticks=args.max_ticks)
     except ManagerKilled as exc:
         print(f"error: {exc}", file=sys.stderr)
+        if hub is not None:
+            hub.dump_flight("manager-killed", error=str(exc)[:160])
         _close_hub(hub, command="serve", outcome="killed")
         return 3
+    if monitor.report.worst() is not Severity.OK:
+        print(monitor.report.summary())
     if args.json:
         print(_json.dumps(report.jobs, indent=2, sort_keys=True))
     else:
@@ -1172,6 +1302,7 @@ def _cmd_submit(args) -> int:
         seed=args.seed,
         dt=args.dt,
         priority=args.priority,
+        tenant=args.tenant,
         deadline=args.deadline,
     )
     inbox = _service_dir(args.dir) / "inbox"
@@ -1186,6 +1317,16 @@ def _cmd_submit(args) -> int:
 
 
 def _cmd_jobs(args) -> int:
+    if args.watch is not None:
+        return _watch_loop(
+            lambda: _render_jobs(args),
+            interval=args.watch,
+            count=args.watch_count,
+        )
+    return _render_jobs(args)
+
+
+def _render_jobs(args) -> int:
     import json as _json
 
     from repro.service import JobJournal, replay_records
@@ -1209,6 +1350,47 @@ def _cmd_jobs(args) -> int:
         print(table)
         print(f"{len(rows)} job(s), journal at tick {last_tick}")
     return 0
+
+
+def _cmd_top(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.telemetry.events import EVENTS_FILENAME, read_events
+    from repro.telemetry.report import render_top
+
+    directory = Path(args.run)
+
+    def render() -> int:
+        metrics = None
+        metrics_path = directory / "metrics.json"
+        stream_path = directory / "metrics.jsonl"
+        if metrics_path.exists():
+            try:
+                metrics = _json.loads(
+                    metrics_path.read_text(encoding="utf-8")
+                )
+            except ValueError:
+                metrics = None  # mid-swap torn read: render without
+        if metrics is None and stream_path.exists():
+            # Fall back to the newest complete line of the history
+            # stream (the same torn-tail tolerance the readers use).
+            lines = stream_path.read_bytes().split(b"\n")
+            for raw in reversed(lines):
+                if not raw.strip():
+                    continue
+                try:
+                    metrics = _json.loads(raw.decode("utf-8"))
+                    break
+                except (ValueError, UnicodeDecodeError):
+                    continue
+        events_path = directory / EVENTS_FILENAME
+        events = read_events(events_path) if events_path.exists() else []
+        print(render_top(metrics, events, tail=args.events, title=args.run))
+        return 0
+
+    count = 1 if args.once else args.iterations
+    return _watch_loop(render, interval=args.interval, count=count)
 
 
 def _cmd_faults(args) -> int:
@@ -1254,6 +1436,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
+    "top": _cmd_top,
     "faults": _cmd_faults,
 }
 

@@ -62,11 +62,20 @@ class HealthReport:
         self.counts[result.severity] += 1
         hub = _telemetry.active_hub
         if hub is not None:
+            severity = result.severity.name.lower()
             # Recorded inside the step's metrics-snapshot window, so a
             # rejected step withdraws its verdict counts with the rest.
-            hub.metrics.counter(
-                "health.verdicts", severity=result.severity.name.lower()
-            ).inc()
+            hub.metrics.counter("health.verdicts", severity=severity).inc()
+            if severity != "ok":
+                # Non-OK verdicts also land on the unified event bus,
+                # correlated with whatever job/run/step is live.
+                hub.emit_event(
+                    "health",
+                    severity,
+                    check=result.check,
+                    message=result.message[:160],
+                    step=result.step_index,
+                )
 
     @property
     def results(self) -> List[InvariantResult]:
@@ -278,7 +287,7 @@ class HealthMonitor:
                 )
         return results
 
-    def observe_engine(
+    def observe_external(
         self,
         *,
         check: str,
@@ -286,12 +295,13 @@ class HealthMonitor:
         message: str,
         step_index: int = -1,
     ) -> InvariantResult:
-        """Record an engine-tier verdict from the kernel watchdog.
+        """Record a verdict originating outside the physics checks.
 
-        The :class:`~repro.sparse.enginewatch.EngineWatch` routes its
-        WARN/FATAL events (demotions, miscompares, quarantines) here so
-        engine trouble shows up in the same report — and the same
-        checkpointed history — as the physics invariants.
+        The kernel watchdog (engine demotions, miscompares,
+        quarantines) and the service's SLO tracker (sustained per-tenant
+        burn-rate violations) both route their WARN/FATAL verdicts here
+        so operational trouble shows up in the same report — and the
+        same checkpointed history — as the physics invariants.
         """
         result = InvariantResult(
             check=check,
@@ -302,10 +312,27 @@ class HealthMonitor:
         self.report.add(result)
         if severity is Severity.FATAL:
             logger.warning(
-                "step %d: engine verdict '%s' fatal: %s",
+                "step %d: external verdict '%s' fatal: %s",
                 step_index, check, message,
             )
         return result
+
+    def observe_engine(
+        self,
+        *,
+        check: str,
+        severity: Severity,
+        message: str,
+        step_index: int = -1,
+    ) -> InvariantResult:
+        """Engine-tier alias of :meth:`observe_external` (kept for the
+        :class:`~repro.sparse.enginewatch.EngineWatch` call sites)."""
+        return self.observe_external(
+            check=check,
+            severity=severity,
+            message=message,
+            step_index=step_index,
+        )
 
     # ------------------------------------------------------------------
     def fatal_for(self, step_index: int) -> Optional[InvariantResult]:

@@ -318,6 +318,18 @@ class FaultInjector:
                     fire_number=self.fired[i],
                 )
             )
+            from repro import telemetry as _telemetry
+
+            hub = _telemetry.active_hub
+            if hub is not None:
+                # The event's own ``kind`` is the site; the spec's fault
+                # flavour rides as an attr under a non-clashing name.
+                payload = {
+                    "fault_kind" if k == "kind" else k: v
+                    for k, v in context.items()
+                }
+                payload.setdefault("fault_kind", spec.kind)
+                hub.emit_event("fault", site, **payload)
             return spec
         return None
 

@@ -53,6 +53,8 @@ from repro.resilience.policies import (
 from repro.sparse.enginewatch import get_engine_watch
 from repro.stokesian.neighbors import neighbor_pairs
 from repro.stokesian.particles import ParticleSystem
+import repro.telemetry as _telemetry
+from repro.telemetry import context as _obs
 
 __all__ = [
     "ResilientRunner",
@@ -256,31 +258,39 @@ class ResilientRunner:
         armed_here = self.injector is not None
         if armed_here:
             arm(self.injector)
-        try:
-            while report.steps_completed < n_steps:
-                # Stamp before the chunk solve too, so engine events
-                # fired by block-solve multiplies carry a step index.
-                self._watch.current_step = self.step_index
-                if self._chunked and self.driver.pending is None:
-                    remaining = n_steps - report.steps_completed
-                    self._begin_chunk_resilient(
-                        min(int(self.driver.mrhs.m), remaining), report
-                    )
-                self._attempt_step(report)
-                report.steps_completed += 1
-                self._after_healthy_step(report)
-            if self.manager is not None:
-                self._save_checkpoint(report)
-        finally:
-            if self.manager is not None:
-                # Queued async writes must be on disk before control
-                # returns (kill-and-resume reads the directory next).
-                self.manager.flush()
-            report.final_dt = self._dt()
-            if self.injector is not None:
-                report.faults = list(self.injector.events)
-            if armed_here:
-                disarm()
+        # Correlation: keep the caller's job_id/run_id if one is live
+        # (the service opened a scope); otherwise mint a solo run_id.
+        # The scope snapshot also rolls back the chunk/step annotations
+        # made inside the loop when this call exits.
+        ambient = _obs.correlation()
+        run_id = ambient.get("run_id") or _obs.next_run_id()
+        with _obs.scope(run_id=run_id):
+            try:
+                while report.steps_completed < n_steps:
+                    # Stamp before the chunk solve too, so engine events
+                    # fired by block-solve multiplies carry a step index.
+                    self._watch.current_step = self.step_index
+                    _obs.annotate(step=self.step_index)
+                    if self._chunked and self.driver.pending is None:
+                        remaining = n_steps - report.steps_completed
+                        self._begin_chunk_resilient(
+                            min(int(self.driver.mrhs.m), remaining), report
+                        )
+                    self._attempt_step(report)
+                    report.steps_completed += 1
+                    self._after_healthy_step(report)
+                if self.manager is not None:
+                    self._save_checkpoint(report)
+            finally:
+                if self.manager is not None:
+                    # Queued async writes must be on disk before control
+                    # returns (kill-and-resume reads the directory next).
+                    self.manager.flush()
+                report.final_dt = self._dt()
+                if self.injector is not None:
+                    report.faults = list(self.injector.events)
+                if armed_here:
+                    disarm()
         return report
 
     # ------------------------------------------------------------------
@@ -315,6 +325,9 @@ class ResilientRunner:
                     attempts = 0
                 continue
             pending.degradations.extend(degradations)
+            # Stamp the live chunk index into the correlation context so
+            # kernel spans and engine events join back to this chunk.
+            _obs.annotate(chunk=pending.chunk_index)
             for m_after in degradations:
                 report.degradations.append((pending.chunk_index, m_after))
                 logger.warning(
@@ -429,6 +442,11 @@ class ResilientRunner:
             raise SimulationKilled(
                 f"simulated kill after step {self.step_index}"
             )
+        hub = _telemetry.active_hub
+        if hub is not None:
+            # Wall-clock export cadence rides the step loop; the call is
+            # a clock read and a compare when no export is due.
+            hub.pulse()
 
     def _save_checkpoint(self, report: RunReport) -> None:
         state = self.driver.get_state()
@@ -448,6 +466,11 @@ class ResilientRunner:
         path = self.manager.save_async(state, step=self.step_index)
         if not report.checkpoints or report.checkpoints[-1] != path:
             report.checkpoints.append(path)
+        hub = _telemetry.active_hub
+        if hub is not None:
+            hub.emit_event(
+                "checkpoint", "write", step=self.step_index, path=path.name
+            )
         if self._distributed and self.driver.recovery is not None:
             # The global checkpoint resumes a killed run; the shard wave
             # is what rank recovery restores from — same cadence.

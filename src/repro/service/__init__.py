@@ -21,6 +21,7 @@ from repro.service.manager import (
     job_table,
     replay_records,
 )
+from repro.service.slo import SLOPolicy, SLOTracker
 from repro.service.spec import (
     JobRecord,
     JobSpec,
@@ -37,6 +38,8 @@ __all__ = [
     "JobState",
     "JobWorker",
     "ManagerKilled",
+    "SLOPolicy",
+    "SLOTracker",
     "ServiceClock",
     "ServiceConfig",
     "ServiceInjector",

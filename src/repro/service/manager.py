@@ -55,6 +55,7 @@ from repro.resilience.policies import (
 from repro.service.clock import ServiceClock
 from repro.service.errors import ManagerKilled
 from repro.service.journal import JobJournal, JournalRecord
+from repro.service.slo import SLOPolicy, SLOTracker
 from repro.service.spec import (
     JobRecord,
     JobSpec,
@@ -62,6 +63,7 @@ from repro.service.spec import (
     estimate_job_bytes,
 )
 from repro.service.worker import JobWorker
+from repro.telemetry import context as _obs
 
 __all__ = [
     "JobManager",
@@ -111,6 +113,8 @@ class ServiceConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     """Step-level retry policy handed to each job's runner."""
     fsync_journal: bool = False
+    slo: Optional[SLOPolicy] = field(default_factory=SLOPolicy)
+    """Per-tenant SLO accounting; ``None`` disables the tracker."""
 
     def __post_init__(self) -> None:
         if self.quantum < 0:
@@ -296,6 +300,7 @@ def job_table(jobs: Dict[int, JobRecord]) -> List[Dict[str, Any]]:
             {
                 "job": job_id,
                 "name": job.spec.name,
+                "tenant": job.spec.tenant,
                 "state": job.state.value,
                 "priority": job.spec.priority,
                 "steps": f"{job.steps_done}/{job.spec.steps}",
@@ -318,6 +323,7 @@ class JobManager:
         *,
         config: Optional[ServiceConfig] = None,
         telemetry: Optional[Any] = None,
+        monitor: Optional[Any] = None,
         fault_plan: Union[
             FaultPlan,
             FaultSpec,
@@ -332,6 +338,12 @@ class JobManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.config = config if config is not None else ServiceConfig()
         self.hub = NULL_HUB if telemetry is None else telemetry
+        self.monitor = monitor
+        self.slo = (
+            None
+            if self.config.slo is None
+            else SLOTracker(self.config.slo, hub=self.hub, monitor=monitor)
+        )
         self.clock = ServiceClock()
         if isinstance(fault_plan, ServiceInjector):
             # A campaign's chaos agent outlives manager incarnations:
@@ -382,6 +394,19 @@ class JobManager:
     def _counter(self, name: str):
         return self.hub.metrics.counter(name)
 
+    def _event(self, kind: str, job: JobRecord, **attrs: Any) -> None:
+        """One job-lifecycle event on the unified bus, stamped with the
+        correlation identifiers a post-mortem grep joins on."""
+        self.hub.emit_event(
+            "service",
+            kind,
+            job_id=job.job_id,
+            tenant=job.spec.tenant,
+            name=job.spec.name,
+            tick=self.clock.now,
+            **attrs,
+        )
+
     def _job_dir(self, job_id: int) -> Path:
         return self.directory / "jobs" / str(job_id) / "ckpt"
 
@@ -431,6 +456,7 @@ class JobManager:
             )
             self.jobs[job_id] = job
             self._counter("service.jobs_submitted").inc()
+            self._event("submit", job, priority=spec.priority)
             reason = self._admission_veto(spec)
             if reason is not None:
                 self.journal.append(
@@ -443,6 +469,7 @@ class JobManager:
                 )
                 job.transition(JobState.REJECTED, reason=reason)
                 self._counter("service.jobs_rejected").inc()
+                self._event("reject", job, reason=reason)
         return job
 
     def _admission_veto(self, spec: JobSpec) -> Optional[str]:
@@ -479,6 +506,7 @@ class JobManager:
             )
             job.transition(JobState.SHED, reason=reason)
             self._counter("service.jobs_shed").inc()
+            self._event("shed", job, reason=reason)
 
     def _shed_overloaded(self) -> None:
         now = self.clock.now
@@ -540,6 +568,7 @@ class JobManager:
             self.hub.metrics.histogram("service.queue_wait_ticks").observe(
                 float(now - job.submitted_tick)
             )
+            self._event("admit", job, wait=now - job.submitted_tick)
 
     def _pick(self) -> Optional[JobRecord]:
         now = self.clock.now
@@ -588,11 +617,25 @@ class JobManager:
         if cfg.quantum and remaining > cfg.quantum:
             self.injector.preempt_at = from_step + cfg.quantum
         self.injector.current_job = job.job_id
+        # One correlation scope per dispatch: every span, health
+        # verdict, fault and engine event the slice produces joins back
+        # to (job_id, tenant, run_id) on the bus.
+        run_id = f"{job.job_id}.{dispatch}"
+        self._event(
+            "resume" if from_step else "dispatch",
+            job,
+            from_step=from_step,
+            dispatch=dispatch,
+            run_id=run_id,
+        )
         try:
-            with self.hub.tracer.span(
-                "service.slice", job=job.spec.name, dispatch=dispatch
+            with _obs.scope(
+                job_id=job.job_id, tenant=job.spec.tenant, run_id=run_id
             ):
-                worker.run(remaining)
+                with self.hub.tracer.span(
+                    "service.slice", job=job.spec.name, dispatch=dispatch
+                ):
+                    worker.run(remaining)
         except SimulationKilled as exc:
             control = self.injector.take_control_kind()
             if control == "preempt":
@@ -629,6 +672,18 @@ class JobManager:
         job.finished_tick = self.clock.now
         self._release(job.job_id)
         self._counter("service.jobs_completed").inc()
+        self.hub.metrics.counter(
+            "service.tenant_jobs", tenant=job.spec.tenant, state="done"
+        ).inc()
+        self._event(
+            "done", job, steps=job.steps_done, digest=(job.digest or "")[:12]
+        )
+        if self.slo is not None:
+            self.slo.observe(
+                job.spec.tenant,
+                latency_ticks=job.finished_tick - job.submitted_tick,
+                job_id=job.job_id,
+            )
 
     def _preempt(self, job: JobRecord, worker: JobWorker) -> None:
         # Checkpoint *before* journaling: if the append kills the
@@ -650,6 +705,7 @@ class JobManager:
         if not self.config.keep_warm:
             worker.discard()
         self._counter("service.preemptions").inc()
+        self._event("preempt", job, at_step=job.steps_done)
 
     def _crash(self, job: JobRecord, *, reason: str) -> None:
         """A worker died mid-slice: requeue behind backoff or fail."""
@@ -673,6 +729,17 @@ class JobManager:
             job.finished_tick = self.clock.now
             self._release(job.job_id)
             self._counter("service.jobs_failed").inc()
+            self.hub.metrics.counter(
+                "service.tenant_jobs", tenant=job.spec.tenant, state="failed"
+            ).inc()
+            self._event("failed", job, reason=reason[:160])
+            if self.slo is not None:
+                self.slo.observe(
+                    job.spec.tenant,
+                    latency_ticks=job.finished_tick - job.submitted_tick,
+                    failed=True,
+                    job_id=job.job_id,
+                )
             return
         delay = self.config.backoff.delay(job.attempts, key=job.job_id)
         job.next_eligible_tick = self.clock.now + max(1, math.ceil(delay))
@@ -688,6 +755,13 @@ class JobManager:
         )
         job.transition(JobState.ADMITTED)
         self._counter("service.job_retries").inc()
+        self._event(
+            "crash",
+            job,
+            attempt=job.attempts,
+            next_eligible=job.next_eligible_tick,
+            reason=reason[:160],
+        )
 
     # -- the scheduler loop --------------------------------------------
     def run(self, *, max_ticks: Optional[int] = None) -> ServiceReport:
@@ -701,6 +775,7 @@ class JobManager:
         with self._armed():
             while True:
                 self.clock.advance()
+                self._tick_stats()
                 if max_ticks is not None and self.clock.now >= max_ticks:
                     break
                 self._shed_overloaded()
@@ -733,6 +808,17 @@ class JobManager:
                     continue
                 break
         return self.report()
+
+    def _tick_stats(self) -> None:
+        """Queue-depth gauges plus the exporter's logical heartbeat."""
+        counts: Dict[str, int] = {}
+        for j in self.jobs.values():
+            counts[j.state.value] = counts.get(j.state.value, 0) + 1
+        for state in ("pending", "admitted", "running", "preempted"):
+            self.hub.metrics.gauge("service.queue_depth", state=state).set(
+                float(counts.get(state, 0))
+            )
+        self.hub.pulse(tick=self.clock.now)
 
     # -- reporting -----------------------------------------------------
     def table(self) -> List[Dict[str, Any]]:

@@ -1,0 +1,153 @@
+"""Per-tenant SLO accounting for the job service.
+
+The service's promise is stated per tenant: a job should reach a
+terminal state within ``latency_target_ticks`` logical ticks of
+submission, and at most an ``error_budget`` fraction of a tenant's
+recent jobs may miss that target (or fail outright).  The
+:class:`SLOTracker` turns every finished job into
+
+* a latency observation in ``slo.latency_ticks{tenant=...}``,
+* a hit/miss counter pair, and
+* a **burn rate** gauge ``slo.burn_rate{tenant=...}`` — the fraction of
+  the rolling window that missed, divided by the error budget.  Burn
+  1.0 means the tenant is consuming its budget exactly as fast as
+  allowed; sustained burn above ``burn_threshold`` is a violation.
+
+Violations surface through the same
+:meth:`~repro.health.monitor.HealthMonitor.observe_external` path the
+kernel watchdog uses, so an operator reading ``repro health`` — or a
+checkpointed health history — sees SLO trouble next to physics
+trouble.  The WARN fires on the *transition* into violation (and an
+``slo``-category bus event records every burning window), so a tenant
+pinned over budget does not flood the report ring.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional
+
+from repro.health.invariants import Severity
+
+__all__ = ["SLOPolicy", "SLOTracker"]
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """The per-tenant service-level objective."""
+
+    latency_target_ticks: int = 32
+    """Submission-to-terminal latency target, in logical ticks."""
+    error_budget: float = 0.25
+    """Allowed miss fraction over the rolling window."""
+    window: int = 32
+    """Rolling window size, in finished jobs per tenant."""
+    min_samples: int = 4
+    """No verdicts before this many finished jobs (cold-start guard)."""
+    burn_threshold: float = 1.0
+    """Burn rate above which the tenant is in violation."""
+
+    def __post_init__(self) -> None:
+        if self.latency_target_ticks < 1:
+            raise ValueError("latency_target_ticks must be >= 1")
+        if not 0 < self.error_budget <= 1:
+            raise ValueError("error_budget must be in (0, 1]")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+
+
+class SLOTracker:
+    """Rolling per-tenant hit/miss windows over finished jobs."""
+
+    def __init__(
+        self,
+        policy: SLOPolicy,
+        *,
+        hub: Any,
+        monitor: Optional[Any] = None,
+    ) -> None:
+        self.policy = policy
+        self.hub = hub
+        self.monitor = monitor
+        self._windows: Dict[str, Deque[bool]] = {}
+        self._burning: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        tenant: str,
+        *,
+        latency_ticks: int,
+        failed: bool = False,
+        job_id: Optional[int] = None,
+    ) -> float:
+        """Fold one finished job into the tenant's window.
+
+        Returns the tenant's burn rate after the observation.
+        """
+        policy = self.policy
+        miss = failed or latency_ticks > policy.latency_target_ticks
+        metrics = self.hub.metrics
+        metrics.histogram("slo.latency_ticks", tenant=tenant).observe(
+            float(latency_ticks)
+        )
+        kind = "misses" if miss else "hits"
+        metrics.counter(f"slo.{kind}", tenant=tenant).inc()
+        window = self._windows.setdefault(
+            tenant, deque(maxlen=policy.window)
+        )
+        window.append(miss)
+        burn = self.burn_rate(tenant)
+        metrics.gauge("slo.burn_rate", tenant=tenant).set(burn)
+        burning = (
+            len(window) >= policy.min_samples
+            and burn > policy.burn_threshold
+        )
+        if burning:
+            metrics.counter("slo.violations", tenant=tenant).inc()
+            self.hub.emit_event(
+                "slo",
+                "burn",
+                tenant=tenant,
+                burn=round(burn, 4),
+                window=len(window),
+                latency=int(latency_ticks),
+                job_id=job_id,
+            )
+            if not self._burning.get(tenant) and self.monitor is not None:
+                self.monitor.observe_external(
+                    check=f"slo:{tenant}",
+                    severity=Severity.WARN,
+                    message=(
+                        f"tenant {tenant!r} burn rate {burn:.2f} over "
+                        f"threshold {policy.burn_threshold:g} "
+                        f"({sum(window)}/{len(window)} recent jobs missed "
+                        f"the {policy.latency_target_ticks}-tick target)"
+                    ),
+                )
+        elif self._burning.get(tenant) and len(window) >= policy.min_samples:
+            self.hub.emit_event(
+                "slo", "recovered", tenant=tenant, burn=round(burn, 4)
+            )
+        self._burning[tenant] = burning
+        return burn
+
+    def burn_rate(self, tenant: str) -> float:
+        """Miss fraction over the window, divided by the error budget."""
+        window = self._windows.get(tenant)
+        if not window:
+            return 0.0
+        miss_frac = sum(window) / len(window)
+        return miss_frac / self.policy.error_budget
+
+    def violating(self, tenant: str) -> bool:
+        return bool(self._burning.get(tenant))
+
+    def tenants(self) -> Dict[str, float]:
+        """Current burn rate per observed tenant."""
+        return {t: self.burn_rate(t) for t in sorted(self._windows)}

@@ -90,6 +90,9 @@ class JobSpec:
     dt: float = 0.05
     priority: int = 0
     """Base priority; larger runs sooner (aging lifts waiters)."""
+    tenant: str = "default"
+    """Billing/SLO identity.  Latency histograms, burn-rate gauges and
+    violation verdicts are all keyed by this label."""
     deadline: Optional[int] = None
     """Ticks after submission by which the job must be *admitted*;
     pending jobs past it are shed.  Admission stops the clock — an
@@ -108,6 +111,8 @@ class JobSpec:
             raise ValueError("steps must be >= 1")
         if self.dt <= 0:
             raise ValueError("dt must be positive")
+        if not self.tenant or "/" in self.tenant:
+            raise ValueError("tenant must be a non-empty bare identifier")
         if self.deadline is not None and self.deadline < 1:
             raise ValueError("deadline must be >= 1 tick")
 
@@ -115,7 +120,8 @@ class JobSpec:
         return {
             "name": self.name, "n": self.n, "phi": self.phi, "m": self.m,
             "steps": self.steps, "seed": self.seed, "dt": self.dt,
-            "priority": self.priority, "deadline": self.deadline,
+            "priority": self.priority, "tenant": self.tenant,
+            "deadline": self.deadline,
         }
 
     @classmethod

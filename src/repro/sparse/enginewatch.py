@@ -299,6 +299,16 @@ class EngineWatch:
             hub.metrics.counter(
                 "engine.events", kind=kind, engine=engine
             ).inc()
+            # The unified bus line carries the correlation ids, so a
+            # quarantine that strikes mid-job joins that job's story.
+            hub.emit_event(
+                "engine",
+                kind,
+                engine=engine,
+                shape=shape,
+                reason=reason[:160],
+                step=self.current_step,
+            )
             tr = hub.tracer
             tr.emit(
                 "engine_event",

@@ -24,15 +24,25 @@ from __future__ import annotations
 
 from typing import Optional
 
+from . import context
+from .events import EVENTS_FILENAME, NULL_BUS, BusEvent, EventBus, read_events
+from .exporter import (
+    MetricsExporter,
+    parse_prometheus_text,
+    prom_key,
+    render_prometheus,
+)
 from .hub import NULL_HUB, TelemetryHub, gspmv_bytes, gspmv_flops
 from .metrics import (
     NULL_METRICS,
+    WITHDRAWN_KEY,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     exponential_buckets,
 )
+from .recorder import FlightRecorder
 from .tracer import (
     NULL_SPAN,
     NULL_TRACER,
@@ -47,6 +57,18 @@ from .tracer import (
 __all__ = [
     "TelemetryHub",
     "NULL_HUB",
+    "BusEvent",
+    "EventBus",
+    "EVENTS_FILENAME",
+    "NULL_BUS",
+    "read_events",
+    "MetricsExporter",
+    "parse_prometheus_text",
+    "prom_key",
+    "render_prometheus",
+    "FlightRecorder",
+    "WITHDRAWN_KEY",
+    "context",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

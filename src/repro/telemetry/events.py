@@ -1,0 +1,200 @@
+"""The unified event bus: one causally-ordered ``events.jsonl``.
+
+Every *discrete* incident across the stack lands here as one line —
+engine events (demotions, miscompares, quarantines), health verdicts,
+fault-injection firings, checkpoint writes, and job state transitions
+— stamped with a monotonic sequence number, a wall-clock timestamp,
+and the current correlation ids from :mod:`repro.telemetry.context`.
+Appends happen in program order from a single-threaded runtime, so
+``seq`` *is* the causal order: sorting (or just reading) the file
+reconstructs what happened, and filtering by ``job_id`` reconstructs
+one job's story across every layer.
+
+The file is append-only (a resumed service extends it) and the reader
+mirrors the job journal's longest-valid-prefix rule: a torn final line
+from a crash mid-append is skipped and counted, never raised.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from . import context as _context
+
+__all__ = [
+    "BusEvent",
+    "EventBus",
+    "EVENTS_FILENAME",
+    "NULL_BUS",
+    "read_events",
+]
+
+EVENTS_FILENAME = "events.jsonl"
+
+_CORR = _context.CORRELATION_FIELDS
+
+
+@dataclass(frozen=True)
+class BusEvent:
+    """One incident on the bus, as it appears in ``events.jsonl``."""
+
+    seq: int
+    ts: float
+    """Wall-clock seconds (annotation only; ``seq`` carries the order)."""
+    category: str
+    """Emitting layer: ``service``/``engine``/``health``/``fault``/
+    ``checkpoint``/``slo``."""
+    kind: str
+    correlation: Dict[str, Any] = field(default_factory=dict)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        doc: Dict[str, Any] = {
+            "seq": self.seq,
+            "ts": self.ts,
+            "cat": self.category,
+            "kind": self.kind,
+        }
+        doc.update(self.correlation)
+        if self.attrs:
+            doc["attrs"] = self.attrs
+        return json.dumps(doc, sort_keys=True)
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "BusEvent":
+        return cls(
+            seq=int(doc["seq"]),
+            ts=float(doc["ts"]),
+            category=str(doc["cat"]),
+            kind=str(doc["kind"]),
+            correlation={k: doc[k] for k in _CORR if k in doc},
+            attrs=dict(doc.get("attrs", {})),
+        )
+
+
+def read_events(
+    path: Union[str, Path], *, with_stats: bool = False
+) -> Union[List[BusEvent], Tuple[List[BusEvent], int]]:
+    """Parse ``events.jsonl``, tolerating a torn tail.
+
+    Mirrors the journal's longest-valid-prefix rule: parsing stops at
+    the first line that fails to decode (a crash mid-append tears at
+    most the final line) and the remainder is *counted*, not raised.
+    With ``with_stats=True`` returns ``(events, skipped_lines)``.
+    """
+    events: List[BusEvent] = []
+    skipped = 0
+    raw = Path(path).read_bytes() if Path(path).exists() else b""
+    lines = [ln for ln in raw.split(b"\n") if ln.strip()]
+    for i, line in enumerate(lines):
+        try:
+            events.append(BusEvent.from_doc(json.loads(line.decode("utf-8"))))
+        except (ValueError, KeyError, UnicodeDecodeError):
+            skipped = len(lines) - i
+            break
+    if with_stats:
+        return events, skipped
+    return events
+
+
+class EventBus:
+    """Appends :class:`BusEvent` lines; keeps a bounded recent ring.
+
+    Parameters
+    ----------
+    path:
+        Target ``events.jsonl``; ``None`` keeps events in memory only
+        (the ring still feeds the flight recorder).
+    ring:
+        Recent events retained in memory for ``FlightRecorder`` dumps.
+    wall:
+        Injectable wall clock (tests pin it).
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        *,
+        ring: int = 2048,
+        wall: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.ring: "deque[BusEvent]" = deque(maxlen=int(ring))
+        self.listeners: List[Callable[[BusEvent], None]] = []
+        self.events_emitted = 0
+        self._wall = wall
+        self._fh = None
+        self._seq: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        if self._seq is None:
+            self._seq = 0
+            if self.path is not None and self.path.exists():
+                # Resume the sequence past the existing file so causal
+                # order spans manager incarnations.
+                prior, _ = read_events(self.path, with_stats=True)
+                if prior:
+                    self._seq = prior[-1].seq
+        self._seq += 1
+        return self._seq
+
+    def emit(self, category: str, kind: str, **attrs: Any) -> BusEvent:
+        """Record one incident.
+
+        Correlation ids come from the ambient context; explicit
+        keyword arguments named like a correlation field override it
+        (the manager knows which job an admission event belongs to
+        before any scope is open).
+        """
+        corr = dict(_context._context)
+        for k in _CORR:
+            if k in attrs:
+                corr[k] = attrs.pop(k)
+        event = BusEvent(
+            seq=self._next_seq(),
+            ts=self._wall(),
+            category=category,
+            kind=kind,
+            correlation=corr,
+            attrs=attrs,
+        )
+        self.ring.append(event)
+        self.events_emitted += 1
+        for listener in self.listeners:
+            listener(event)
+        if self.path is not None:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("a", encoding="utf-8")
+            self._fh.write(event.to_json() + "\n")
+            self._fh.flush()
+        return event
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class _NullBus:
+    """Disabled bus: ``emit`` is a no-op (used by ``NULL_HUB``)."""
+
+    __slots__ = ()
+    path = None
+    ring: "deque[BusEvent]" = deque(maxlen=1)
+    events_emitted = 0
+
+    def emit(self, category: str, kind: str, **attrs: Any) -> None:
+        return None
+
+    def close(self) -> None:
+        pass
+
+
+NULL_BUS = _NullBus()

@@ -16,7 +16,10 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from .events import EVENTS_FILENAME, NULL_BUS, EventBus
+from .exporter import MetricsExporter
 from .metrics import NULL_METRICS, MetricsRegistry, _NullMetrics
+from .recorder import FlightRecorder
 from .tracer import NULL_TRACER, JsonlSink, NullTracer, Tracer
 
 __all__ = ["TelemetryHub", "NULL_HUB"]
@@ -57,6 +60,8 @@ class TelemetryHub:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         buffer_size: int = 512,
+        export_interval: float = 1.0,
+        flight_ring: int = 2048,
     ) -> None:
         self.directory = Path(directory) if directory is not None else None
         if tracer is not None:
@@ -69,6 +74,39 @@ class TelemetryHub:
         else:
             self.tracer = Tracer(buffer_size=buffer_size)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Live observability plane: the unified event bus, the bounded
+        # flight-recorder rings, and the cadence-driven exporter.  The
+        # recorder tees the tracer's sink (spans keep flowing to the
+        # JSONL file) and listens on the bus; without a directory the
+        # bus stays in-memory and the exporter is absent.
+        self.recorder = FlightRecorder(
+            span_ring=flight_ring, event_ring=flight_ring
+        )
+        self.events = EventBus(
+            self.directory / EVENTS_FILENAME
+            if self.directory is not None
+            else None
+        )
+        self.events.listeners.append(self.recorder.note_event)
+        sink = self.tracer.sink
+        if sink is not None:
+            recorder = self.recorder
+
+            def _tee(events, _sink=sink, _rec=recorder):
+                _rec.note_spans(events)
+                _sink(events)
+
+            self.tracer.sink = _tee
+            self._sink = sink
+        else:
+            self._sink = None
+        self.exporter: Optional[MetricsExporter] = (
+            MetricsExporter(
+                self.metrics, self.directory, interval=export_interval
+            )
+            if self.directory is not None
+            else None
+        )
         # Hot-path caches: resolved counter tuples per kernel key, and
         # the one in-flight aggregate of consecutive same-key calls.
         self._kcache: dict = {}
@@ -152,6 +190,40 @@ class TelemetryHub:
         )
 
     # ------------------------------------------------------------------
+    # the live observability plane
+    # ------------------------------------------------------------------
+    def emit_event(self, category: str, kind: str, **attrs: Any) -> Any:
+        """Publish one incident on the unified event bus (stamped with
+        the current correlation ids; see :mod:`repro.telemetry.events`)."""
+        return self.events.emit(category, kind, **attrs)
+
+    def pulse(self, tick: Optional[int] = None) -> None:
+        """Cadence heartbeat from the step/scheduler loops: give the
+        exporter a chance to export (cheap when the interval has not
+        elapsed).  ``tick`` additionally drives the logical cadence."""
+        exporter = self.exporter
+        if exporter is None:
+            return
+        if tick is not None and exporter.tick_every:
+            exporter.tick(tick)
+        else:
+            exporter.maybe_export()
+
+    def dump_flight(self, reason: str, **extra: Any) -> Optional[Path]:
+        """Write the flight-recorder post-mortem bundle (FATAL/crash).
+
+        Flushes pending spans first so the rings hold the freshest
+        tail.  Returns ``None`` for a directory-less hub.
+        """
+        if self.directory is None:
+            return None
+        self._flush_pending()
+        self.tracer.drain()  # the teed sink feeds the recorder's ring
+        return self.recorder.dump(
+            self.directory, reason=reason, metrics=self.metrics, extra=extra
+        )
+
+    # ------------------------------------------------------------------
     def flush(self) -> None:
         """Drain the tracer to disk and rewrite ``metrics.json``."""
         self._flush_pending()
@@ -164,13 +236,16 @@ class TelemetryHub:
             tmp.replace(path)
 
     def close(self, **attrs: Any) -> None:
-        """Force-close any spans still open (aborted run), flush, and
-        release the trace file handle."""
+        """Force-close any spans still open (aborted run), flush — with
+        one final export so ``metrics.prom`` reflects the run's end —
+        and release the trace/event file handles."""
         self.tracer.close_open(**attrs)
         self.flush()
-        sink = self.tracer.sink
-        if isinstance(sink, JsonlSink):
-            sink.close()
+        if self.exporter is not None:
+            self.exporter.maybe_export(force=True)
+        self.events.close()
+        if isinstance(self._sink, JsonlSink):
+            self._sink.close()
 
 
 class _NullHub:
@@ -180,10 +255,22 @@ class _NullHub:
     directory = None
     tracer: NullTracer = NULL_TRACER
     metrics: _NullMetrics = NULL_METRICS
+    events = NULL_BUS
+    exporter = None
+    recorder = None
     enabled = False
 
     def record_gspmv(self, kind: str, duration: float, **kw: Any) -> None:
         pass
+
+    def emit_event(self, category: str, kind: str, **attrs: Any) -> None:
+        pass
+
+    def pulse(self, tick: Optional[int] = None) -> None:
+        pass
+
+    def dump_flight(self, reason: str, **extra: Any) -> None:
+        return None
 
     def flush(self) -> None:
         pass

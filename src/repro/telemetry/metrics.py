@@ -23,6 +23,7 @@ loop:
 from __future__ import annotations
 
 import json
+import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,8 +34,14 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_METRICS",
+    "WITHDRAWN_KEY",
     "exponential_buckets",
 ]
+
+#: Self-metric counting observations rolled back by :meth:`restore`.
+#: Exempt from the restore itself, so rejected-step accounting is
+#: observable instead of being withdrawn along with what it counts.
+WITHDRAWN_KEY = "telemetry.withdrawn"
 
 
 def exponential_buckets(
@@ -68,15 +75,22 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (current dt, current m, buffer depth)."""
+    """A point-in-time value (current dt, current m, buffer depth).
 
-    __slots__ = ("value",)
+    ``updated_at`` records the wall time of the last :meth:`set` — the
+    staleness timestamp the Prometheus exporter attaches to gauge
+    samples (0.0 means never explicitly set, no stamp emitted).
+    """
+
+    __slots__ = ("value", "updated_at")
 
     def __init__(self, value: float = 0.0) -> None:
         self.value = float(value)
+        self.updated_at = 0.0
 
     def set(self, value: float) -> None:
         self.value = float(value)
+        self.updated_at = time.time()
 
 
 class Histogram:
@@ -213,6 +227,13 @@ class MetricsRegistry:
             if k.startswith(prefix)
         }
 
+    def gauge_stamps(self) -> Dict[str, float]:
+        """``{key: last-set wall time}`` for every gauge that has been
+        explicitly set (the exporter's staleness timestamps)."""
+        return {
+            k: g.updated_at for k, g in self._gauges.items() if g.updated_at
+        }
+
     # ------------------------------------------------------------------
     # rejection rollback
     # ------------------------------------------------------------------
@@ -228,26 +249,47 @@ class MetricsRegistry:
             },
         }
 
-    def restore(self, snapshot: Mapping[str, Any]) -> None:
+    def restore(self, snapshot: Mapping[str, Any]) -> int:
         """Restore :meth:`snapshot`: metrics recorded since are withdrawn
-        (metrics *created* since are reset to zero, not deleted)."""
+        (metrics *created* since are reset to zero, not deleted).
+
+        Returns how many observations were withdrawn — counter/gauge
+        updates rolled back plus histogram observations discarded —
+        and adds that to the monotonic ``telemetry.withdrawn``
+        self-counter, which is itself exempt from the restore so
+        rejected-step accounting stays observable.
+        """
+        withdrawn = 0
         counters = snapshot["counters"]
         for k, c in self._counters.items():
-            c.value = counters.get(k, 0.0)
+            if k == WITHDRAWN_KEY:
+                continue
+            target = counters.get(k, 0.0)
+            if c.value != target:
+                withdrawn += 1
+            c.value = target
         gauges = snapshot["gauges"]
         for k, g in self._gauges.items():
-            g.value = gauges.get(k, 0.0)
+            target = gauges.get(k, 0.0)
+            if g.value != target:
+                withdrawn += 1
+            g.value = target
         hists = snapshot["histograms"]
         for k, h in self._histograms.items():
             if k in hists:
                 counts, total, count = hists[k]
+                withdrawn += max(0, h.count - count)
                 h.counts = list(counts)
                 h.sum = total
                 h.count = count
             else:
+                withdrawn += h.count
                 h.counts = [0] * (len(h.buckets) + 1)
                 h.sum = 0.0
                 h.count = 0
+        if withdrawn:
+            self.counter(WITHDRAWN_KEY).inc(float(withdrawn))
+        return withdrawn
 
     # ------------------------------------------------------------------
     # serialization

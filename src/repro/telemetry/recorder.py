@@ -1,0 +1,99 @@
+"""Flight recorder: bounded rings of recent spans/events, dumped on
+FATAL/crash as a self-contained post-mortem bundle.
+
+The recorder passively tees two streams — completed spans on their way
+from the tracer to ``trace.jsonl``, and bus events as they are emitted
+— into bounded :class:`~collections.deque` rings.  It costs one append
+per span batch / event while armed, nothing more.  When a run dies
+(``ResilienceExhausted``, ``SimulationKilled``, ``ManagerKilled``, a
+FATAL health verdict escalating to an abort), :meth:`dump` writes a
+bundle directory::
+
+    <telemetry-dir>/flight/<NNN>-<reason>/
+        MANIFEST.json     reason, wall time, counts, correlation ids
+        spans.jsonl       the newest spans (same schema as trace.jsonl)
+        events.jsonl      the newest bus events (same schema)
+        metrics.json      full metrics snapshot at the moment of death
+
+so a post-mortem needs nothing but the bundle — the causal tail that
+led to the crash, already correlated by job/run/step ids.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+from . import context as _context
+from .events import BusEvent
+from .tracer import SpanEvent
+
+__all__ = ["FlightRecorder", "MANIFEST_FILENAME"]
+
+MANIFEST_FILENAME = "MANIFEST.json"
+
+
+def _slug(reason: str) -> str:
+    out = "".join(ch if ch.isalnum() or ch in "-_" else "-" for ch in reason)
+    return out.strip("-")[:48] or "crash"
+
+
+class FlightRecorder:
+    """Bounded in-memory tail of the run, dumpable as a bundle."""
+
+    def __init__(self, *, span_ring: int = 2048, event_ring: int = 2048) -> None:
+        self.spans: "deque[SpanEvent]" = deque(maxlen=int(span_ring))
+        self.events: "deque[BusEvent]" = deque(maxlen=int(event_ring))
+        self.dumps = 0
+
+    # -- tee targets ---------------------------------------------------
+    def note_spans(self, events: Sequence[SpanEvent]) -> None:
+        self.spans.extend(events)
+
+    def note_event(self, event: BusEvent) -> None:
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def dump(
+        self,
+        directory: Union[str, Path],
+        *,
+        reason: str,
+        metrics: Optional[Any] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Write one post-mortem bundle under ``<directory>/flight/``.
+
+        ``metrics`` is an optional :class:`MetricsRegistry` whose full
+        snapshot rides along; ``extra`` merges into the manifest.
+        """
+        self.dumps += 1
+        bundle = Path(directory) / "flight" / f"{self.dumps:03d}-{_slug(reason)}"
+        bundle.mkdir(parents=True, exist_ok=True)
+        (bundle / "spans.jsonl").write_text(
+            "".join(e.to_json() + "\n" for e in self.spans), encoding="utf-8"
+        )
+        (bundle / "events.jsonl").write_text(
+            "".join(e.to_json() + "\n" for e in self.events), encoding="utf-8"
+        )
+        if metrics is not None:
+            (bundle / "metrics.json").write_text(
+                metrics.dump_json() + "\n", encoding="utf-8"
+            )
+        manifest: Dict[str, Any] = {
+            "reason": reason,
+            "created": time.time(),
+            "spans": len(self.spans),
+            "events": len(self.events),
+            "correlation": _context.correlation(),
+        }
+        if extra:
+            manifest.update(extra)
+        (bundle / MANIFEST_FILENAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return bundle

@@ -62,6 +62,7 @@ __all__ = [
     "render_failover_table",
     "render_engine_table",
     "render_jobs_table",
+    "render_top",
 ]
 
 #: Span names treated as generalized SPMV measurements.
@@ -525,6 +526,7 @@ def render_engine_table(
 _JOB_COLUMNS = (
     ("job", "job"),
     ("name", "name"),
+    ("tenant", "tenant"),
     ("state", "state"),
     ("priority", "prio"),
     ("steps", "steps"),
@@ -576,4 +578,113 @@ def render_jobs_table(
                     cell(row, k).ljust(widths[k]) for k, _ in _JOB_COLUMNS
                 ).rstrip()
             )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# repro top
+# ----------------------------------------------------------------------
+def _by_label(
+    family: Dict[str, float], name: str, label: str
+) -> Dict[str, float]:
+    """``{label value: sample}`` for one metric family, e.g. the
+    per-state ``service.queue_depth`` gauges."""
+    from repro.telemetry.exporter import _split_key
+
+    out: Dict[str, float] = {}
+    for key, value in family.items():
+        base, labels = _split_key(key)
+        if base == name and label in labels:
+            out[labels[label]] = float(value)
+    return out
+
+
+def render_top(
+    metrics: Optional[Dict[str, Any]],
+    events: Optional[Sequence[Any]] = None,
+    *,
+    tail: int = 8,
+    title: str = "",
+) -> str:
+    """One ``repro top`` frame from the exporter's latest snapshot.
+
+    ``metrics`` is the ``metrics.json`` document (or the last
+    ``metrics.jsonl`` line); ``events`` the newest
+    :class:`~repro.telemetry.events.BusEvent` records.  Pure renderer —
+    the CLI owns file reading and the refresh loop.
+    """
+    from repro.telemetry.exporter import _split_key
+
+    lines: List[str] = [f"repro top — {title}" if title else "repro top"]
+    if not metrics:
+        lines.append("  (no exporter snapshot yet)")
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+    else:
+        counters = metrics.get("counters", {})
+        gauges = metrics.get("gauges", {})
+    depths = _by_label(gauges, "service.queue_depth", "state")
+    if depths:
+        lines.append(
+            "  queue: "
+            + "  ".join(f"{s}={int(v)}" for s, v in sorted(depths.items()))
+        )
+    # Per-tenant throughput and SLO burn.
+    tenants: Dict[str, Dict[str, float]] = {}
+    for key, value in counters.items():
+        base, labels = _split_key(key)
+        if base == "service.tenant_jobs" and "tenant" in labels:
+            row = tenants.setdefault(labels["tenant"], {})
+            row[labels.get("state", "?")] = row.get(
+                labels.get("state", "?"), 0.0
+            ) + float(value)
+    for tenant, burn in _by_label(gauges, "slo.burn_rate", "tenant").items():
+        tenants.setdefault(tenant, {})["burn"] = burn
+    for tenant in sorted(tenants):
+        row = tenants[tenant]
+        done = int(row.get("done", 0))
+        failed = int(row.get("failed", 0))
+        burn = row.get("burn")
+        text = f"  tenant {tenant}: done={done} failed={failed}"
+        if burn is not None:
+            text += f" slo_burn={burn:.2f}"
+            if burn > 1.0:
+                text += " (BURNING)"
+        lines.append(text)
+    # Engine trouble (demotions / miscompares / quarantines).
+    engine = _by_label(counters, "engine.events", "kind")
+    if engine:
+        lines.append(
+            "  engine: "
+            + "  ".join(f"{k}={int(v)}" for k, v in sorted(engine.items()))
+        )
+    steps = counters.get("steps.completed")
+    if steps is not None:
+        lines.append(f"  steps completed: {int(steps)}")
+    exports = counters.get("telemetry.exports")
+    withdrawn = counters.get("telemetry.withdrawn")
+    heartbeat = []
+    if exports is not None:
+        heartbeat.append(f"exports={int(exports)}")
+    if withdrawn:
+        heartbeat.append(f"withdrawn={int(withdrawn)}")
+    if heartbeat:
+        lines.append("  exporter: " + "  ".join(heartbeat))
+    if events:
+        lines.append(f"  last {min(tail, len(events))} event(s):")
+        for ev in list(events)[-tail:]:
+            corr = " ".join(
+                f"{k}={v}"
+                for k, v in sorted(ev.correlation.items())
+                if v is not None
+            )
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(ev.attrs.items())
+            )
+            text = f"    #{ev.seq} {ev.category}/{ev.kind}"
+            if corr:
+                text += f" [{corr}]"
+            if attrs:
+                text += f" {attrs}"
+            lines.append(text[:120])
     return "\n".join(lines)

@@ -25,7 +25,19 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .context import _context as _corr
 
 __all__ = [
     "SpanEvent",
@@ -187,14 +199,32 @@ class JsonlSink:
             self._fh = None
 
 
-def read_trace(path: Union[str, Path]) -> List[SpanEvent]:
-    """Parse a JSONL trace file back into :class:`SpanEvent` objects."""
+def read_trace(
+    path: Union[str, Path], *, with_stats: bool = False
+) -> Union[List[SpanEvent], Tuple[List[SpanEvent], int]]:
+    """Parse a JSONL trace file back into :class:`SpanEvent` objects.
+
+    Tolerates a torn tail (crash mid-append), mirroring the job
+    journal's longest-valid-prefix rule: parsing stops at the first
+    line that fails to decode and the remaining lines are *counted*
+    instead of raised.  With ``with_stats=True`` the return value is
+    ``(events, skipped_lines)``.
+    """
     events: List[SpanEvent] = []
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(SpanEvent.from_json(line))
+    skipped = 0
+    # Bytes, decoded per line: a byte-level truncation can tear a
+    # multi-byte character, which must count as a torn line, not raise.
+    lines = [
+        ln for ln in Path(path).read_bytes().split(b"\n") if ln.strip()
+    ]
+    for i, line in enumerate(lines):
+        try:
+            events.append(SpanEvent.from_json(line.decode("utf-8")))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            skipped = len(lines) - i
+            break
+    if with_stats:
+        return events, skipped
     return events
 
 
@@ -244,11 +274,16 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     def start(self, name: str, **attrs: Any) -> Span:
-        """Open a span; its parent is the currently innermost open span."""
+        """Open a span; its parent is the currently innermost open span.
+
+        The ambient correlation ids (job/run/chunk/step, when a scope
+        is active) are stamped under the span's attrs — explicit attrs
+        win on a key clash."""
         span_id = self._next_id
         self._next_id += 1
         parent = self._stack[-1].span_id if self._stack else None
-        span = Span(self, name, span_id, parent, self.clock(), dict(attrs))
+        merged = {**_corr, **attrs} if _corr else dict(attrs)
+        span = Span(self, name, span_id, parent, self.clock(), merged)
         self._stack.append(span)
         return span
 
@@ -321,7 +356,7 @@ class Tracer:
                 parent_id=parent_id,
                 start=start,
                 duration=duration,
-                attrs=dict(attrs),
+                attrs={**_corr, **attrs} if _corr else dict(attrs),
             )
         )
         self.events_emitted += 1

@@ -1,0 +1,280 @@
+"""The metrics exporter and its exposition-format round trip.
+
+Three contracts from DESIGN.md §16:
+
+* ``render_prometheus`` output parses back (``parse_prometheus_text``)
+  to exactly the registry's samples — including escaped label values,
+  cumulative histogram buckets, and gauge staleness timestamps;
+* the exporter's three artifacts (``metrics.prom`` atomically swapped,
+  ``metrics.jsonl`` append-only history, ``metrics.json`` live
+  snapshot) obey their cadence (wall interval and logical ticks) and a
+  reader never observes a partial ``metrics.prom``;
+* the JSONL readers (``read_trace``, ``read_events``) survive a torn
+  final line — a crash truncating the file at *any* byte offset yields
+  the longest valid prefix plus a skipped-line count, never a raise;
+* ``MetricsRegistry.restore`` reports what it rolled back through the
+  ``telemetry.withdrawn`` self-metric, which the restore itself exempts.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.telemetry.events import EventBus, read_events
+from repro.telemetry.exporter import (
+    MetricsExporter,
+    PROM_FILENAME,
+    STREAM_FILENAME,
+    escape_label_value,
+    parse_prometheus_text,
+    prom_key,
+    prom_name,
+    render_prometheus,
+)
+from repro.telemetry.metrics import WITHDRAWN_KEY, MetricsRegistry
+from repro.telemetry.tracer import JsonlSink, Tracer, read_trace
+
+
+class TestExpositionRoundTrip:
+    def test_counters_and_gauges_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("gspmv.calls", m=4).inc(7)
+        reg.counter("gspmv.calls", m=8).inc(3)
+        reg.counter("service.jobs_completed").inc(2)
+        reg.gauge("service.queue_depth", state="pending").set(5.0)
+        parsed = parse_prometheus_text(render_prometheus(reg))
+        assert parsed["types"]["gspmv_calls"] == "counter"
+        assert parsed["types"]["service_queue_depth"] == "gauge"
+        samples = parsed["samples"]
+        assert samples[prom_key("gspmv.calls", m=4)] == (7.0, None)
+        assert samples[prom_key("gspmv.calls", m=8)] == (3.0, None)
+        assert samples["service_jobs_completed"] == (2.0, None)
+        value, ts = samples[prom_key("service.queue_depth", state="pending")]
+        assert value == 5.0 and ts is not None
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=[1.0, 10.0, 100.0], tenant="acme")
+        for v in (0.5, 5.0, 5000.0):
+            h.observe(v)
+        parsed = parse_prometheus_text(render_prometheus(reg))
+        assert parsed["types"]["lat"] == "histogram"
+        s = parsed["samples"]
+        assert s[prom_key("lat_bucket", le="1.0", tenant="acme")][0] == 1
+        assert s[prom_key("lat_bucket", le="10.0", tenant="acme")][0] == 2
+        assert s[prom_key("lat_bucket", le="100.0", tenant="acme")][0] == 2
+        assert s[prom_key("lat_bucket", le="+Inf", tenant="acme")][0] == 3
+        assert s[prom_key("lat_sum", tenant="acme")][0] == 5005.5
+        assert s[prom_key("lat_count", tenant="acme")][0] == 3
+
+    def test_label_escaping_round_trips(self):
+        hostile = 'a\\b"c\nd'
+        reg = MetricsRegistry()
+        reg.counter("c", path=hostile).inc()
+        parsed = parse_prometheus_text(render_prometheus(reg))
+        # prom_key escapes the same way the renderer does, so the
+        # hostile value survives render -> parse exactly.
+        assert parsed["samples"][prom_key("c", path=hostile)] == (1.0, None)
+        assert escape_label_value(hostile) == 'a\\\\b\\"c\\nd'
+
+    def test_name_sanitization(self):
+        assert prom_name("gspmv.seconds") == "gspmv_seconds"
+        assert prom_name("telemetry.withdrawn") == "telemetry_withdrawn"
+        assert prom_name("9lives") == "_lives"
+        assert prom_name("a:b_c") == "a:b_c"
+
+    def test_gauge_staleness_stamp(self):
+        reg = MetricsRegistry()
+        before = time.time()
+        reg.gauge("fresh").set(1.0)
+        after = time.time()
+        # A gauge that was created but never set() carries no stamp —
+        # that is exactly what makes staleness observable.
+        reg.gauge("never_set").value = 2.0
+        samples = parse_prometheus_text(render_prometheus(reg))["samples"]
+        _, stamp_ms = samples["fresh"]
+        assert int(before * 1000) <= stamp_ms <= int(after * 1000) + 1
+        assert samples["never_set"] == (2.0, None)
+
+
+class TestExporterCadence:
+    def _exporter(self, tmp_path, **kw):
+        clock = {"t": 0.0}
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        exp = MetricsExporter(
+            reg, tmp_path, clock=lambda: clock["t"], **kw
+        )
+        return exp, reg, clock
+
+    def test_wall_interval_gates_exports(self, tmp_path):
+        exp, _, clock = self._exporter(tmp_path, interval=10.0)
+        assert exp.maybe_export() is not None  # first call always exports
+        clock["t"] = 5.0
+        assert exp.maybe_export() is None  # inside the interval: cheap no-op
+        clock["t"] = 10.0
+        assert exp.maybe_export() is not None
+        assert exp.exports == 2
+        assert exp.maybe_export(force=True) is not None  # close-time flush
+
+    def test_tick_cadence(self, tmp_path):
+        exp, _, _ = self._exporter(tmp_path, interval=10.0, tick_every=3)
+        assert exp.tick(0) is not None
+        assert exp.tick(1) is None
+        assert exp.tick(2) is None
+        assert exp.tick(3) is not None
+        assert exp.exports == 2
+
+    def test_stream_is_append_only_history(self, tmp_path):
+        exp, reg, clock = self._exporter(tmp_path, interval=0.0)
+        exp.maybe_export()
+        reg.counter("c").inc()
+        clock["t"] = 1.0
+        exp.maybe_export()
+        lines = [
+            json.loads(ln)
+            for ln in (tmp_path / STREAM_FILENAME)
+            .read_text()
+            .splitlines()
+        ]
+        assert [doc["export"] for doc in lines] == [1, 2]
+        assert lines[0]["counters"]["c"] == 1.0
+        assert lines[1]["counters"]["c"] == 2.0  # history, not just "now"
+
+    def test_prom_swap_is_complete_and_leaves_no_temp(self, tmp_path):
+        exp, reg, clock = self._exporter(tmp_path, interval=0.0)
+        for i in range(4):
+            reg.counter("c").inc()
+            clock["t"] = float(i + 1)
+            exp.maybe_export()
+            # Every observation of the file sees one complete rendering
+            # (os.replace swap), never a partial write.
+            parsed = parse_prometheus_text(
+                (tmp_path / PROM_FILENAME).read_text()
+            )
+            assert parsed["samples"]["c"][0] == float(i + 2)
+        stray = [
+            p.name
+            for p in tmp_path.iterdir()
+            if p.name
+            not in (PROM_FILENAME, STREAM_FILENAME, "metrics.json")
+        ]
+        assert stray == []
+        # metrics.json is the same live snapshot report/top read.
+        doc = json.loads((tmp_path / "metrics.json").read_text())
+        assert doc == reg.as_dict()
+
+    def test_exports_self_metric(self, tmp_path):
+        exp, _, clock = self._exporter(tmp_path, interval=0.0)
+        exp.maybe_export()
+        clock["t"] = 1.0
+        exp.maybe_export()
+        samples = parse_prometheus_text(
+            (tmp_path / PROM_FILENAME).read_text()
+        )["samples"]
+        assert samples["telemetry_exports"][0] == 2.0
+
+
+class TestTornTailReaders:
+    """A crash mid-append tears at most the final line; the readers
+    must return the longest valid prefix at *every* truncation point."""
+
+    def _sweep(self, tmp_path, path, reader, full):
+        raw = path.read_bytes()
+        torn_cuts = 0
+        cut_path = tmp_path / ("cut-" + path.name)
+        for cut in range(len(raw) + 1):
+            cut_path.write_bytes(raw[:cut])
+            events, skipped = reader(cut_path, with_stats=True)
+            got = [e.to_json() for e in events]
+            want = [e.to_json() for e in full[: len(events)]]
+            assert got == want, f"not a prefix at byte {cut}"
+            if skipped:
+                torn_cuts += 1
+                assert len(events) < len(full)
+        assert torn_cuts > 0  # the sweep actually exercised torn lines
+        assert reader(path, with_stats=True)[1] == 0
+
+    def test_events_survive_any_byte_truncation(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(path, wall=lambda: 123.0)
+        for i in range(4):
+            # Multi-byte attr: a cut inside the UTF-8 sequence must
+            # count as torn, not raise UnicodeDecodeError.
+            bus.emit("service", "admit", job_id=i, note="λ-jump")
+        bus.close()
+        full = read_events(path)
+        assert [e.seq for e in full] == [1, 2, 3, 4]
+        self._sweep(tmp_path, path, read_events, full)
+
+    def test_trace_survives_any_byte_truncation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        with tracer.span("chunk", note="λ"):
+            with tracer.span("step"):
+                tracer.record("gspmv", 1e-3, m=8)
+        tracer.drain()
+        tracer.sink.close()
+        full = read_trace(path)
+        assert len(full) == 3
+        self._sweep(tmp_path, path, read_trace, full)
+
+    def test_missing_events_file_reads_empty(self, tmp_path):
+        events, skipped = read_events(
+            tmp_path / "absent.jsonl", with_stats=True
+        )
+        assert events == [] and skipped == 0
+
+
+class TestWithdrawnSelfMetric:
+    def test_restore_counts_and_records_withdrawals(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("g").set(1.0)
+        h = reg.histogram("h", buckets=[1.0, 10.0])
+        h.observe(0.5)
+        snap = reg.snapshot()
+        reg.counter("a").inc(2)  # 1 changed counter
+        reg.counter("b").inc()  # created since the snapshot: reset
+        reg.gauge("g").set(5.0)  # 1 changed gauge
+        h.observe(2.0)
+        h.observe(3.0)  # 2 histogram observations
+        assert reg.restore(snap) == 5
+        assert reg.counter_value(WITHDRAWN_KEY) == 5.0
+        assert reg.counter_value("a") == 3.0
+        assert reg.counter_value("b") == 0.0
+        assert reg.gauge("g").value == 1.0
+        assert h.count == 1 and h.sum == 0.5
+
+    def test_clean_restore_withdraws_nothing(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        assert reg.restore(snap) == 0
+        assert reg.counter_value(WITHDRAWN_KEY) == 0.0
+
+    def test_self_metric_is_exempt_from_restore(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        snap = reg.snapshot()  # predates any withdrawal
+        reg.counter("a").inc()
+        assert reg.restore(snap) == 1
+        reg.counter("a").inc()
+        # Restoring the pre-withdrawal snapshot must not roll the
+        # self-metric back to zero — it accumulates across rejections.
+        assert reg.restore(snap) == 1
+        assert reg.counter_value(WITHDRAWN_KEY) == 2.0
+
+    def test_withdrawn_reaches_the_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        reg.counter("a").inc(4)
+        reg.restore(snap)
+        samples = parse_prometheus_text(render_prometheus(reg))["samples"]
+        assert samples["telemetry_withdrawn"][0] == 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))
