@@ -122,6 +122,57 @@ def _add_engine_argument(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resource_arguments(sub: argparse.ArgumentParser) -> None:
+    """Resource-pressure knobs shared by every telemetry-writing
+    command (see ``repro.resources``)."""
+    sub.add_argument(
+        "--stream-budget",
+        default=None,
+        metavar="SIZE[:KEEP]",
+        help="rotation budget for the telemetry JSONL streams "
+        "(trace/events/metrics): max active-segment size plus sealed "
+        "segments kept, e.g. '4m:8'; '0' disables rotation "
+        "(default 16m:4)",
+    )
+    sub.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="secondary directory (ideally another filesystem) that "
+        "checkpoints fail over to when the primary write hits "
+        "ENOSPC/EDQUOT even after junior telemetry is evicted",
+    )
+    sub.add_argument(
+        "--mem-watermark-mb",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="warn (and count resources.memory_breaches) when resident "
+        "set size crosses this watermark",
+    )
+
+
+def _stream_budget(args):
+    """Resolve ``--stream-budget`` to the hub's ``stream_budget``
+    argument: the default sentinel when unset, else a parsed
+    :class:`~repro.resources.StreamBudget` (or ``None`` for '0')."""
+    raw = getattr(args, "stream_budget", None)
+    if raw is None:
+        return "default"
+    from repro.resources import StreamBudget
+
+    return StreamBudget.parse(raw)
+
+
+def _memory_guard(args):
+    raw = getattr(args, "mem_watermark_mb", None)
+    if raw is None:
+        return None
+    from repro.resources import MemoryGuard
+
+    return MemoryGuard(int(raw * (1 << 20)))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -177,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="save the final configuration (.npz)"
     )
     _add_engine_argument(sim)
+    _add_resource_arguments(sim)
     # Simulated process kill after a given global step (failure drills
     # and the kill-and-resume tests).
     sim.add_argument("--die-after", type=int, default=None, help=argparse.SUPPRESS)
@@ -208,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="save the final configuration (.npz)"
     )
     _add_engine_argument(res)
+    _add_resource_arguments(res)
     res.add_argument("--die-after", type=int, default=None, help=argparse.SUPPRESS)
 
     roof = sub.add_parser("roofline", help="GSPMV model for a matrix shape")
@@ -421,6 +474,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--json", action="store_true", help="emit the job table as JSON"
     )
+    _add_resource_arguments(serve)
+    serve.add_argument(
+        "--tenant-quota",
+        action="append",
+        default=None,
+        metavar="TENANT=SPEC",
+        help="hard per-tenant quota, e.g. 'acme=jobs=2,mem=256m,disk=64m' "
+        "(repeatable; keys: jobs = concurrent running, mem = resident "
+        "bytes of live jobs, disk = bytes under the tenant's job dirs)",
+    )
+    serve.add_argument(
+        "--compact-journal-kb",
+        type=int,
+        default=None,
+        metavar="KIB",
+        help="snapshot-compact the job journal when it exceeds this "
+        "size (default 1024; 0 disables compaction)",
+    )
 
     submit = sub.add_parser(
         "submit", help="queue one job spec for a service directory"
@@ -559,10 +630,14 @@ def _make_hub(args):
         return None
     from repro.telemetry import TelemetryHub
 
+    kwargs = {
+        "stream_budget": _stream_budget(args),
+        "spill_dir": getattr(args, "spill_dir", None),
+    }
     interval = getattr(args, "export_interval", None)
-    if interval is None:
-        return TelemetryHub(args.telemetry_dir)
-    return TelemetryHub(args.telemetry_dir, export_interval=interval)
+    if interval is not None:
+        kwargs["export_interval"] = interval
+    return TelemetryHub(args.telemetry_dir, **kwargs)
 
 
 def _watch_loop(render, *, interval: float, count: Optional[int]) -> int:
@@ -621,7 +696,11 @@ def _simulate_resilient(args) -> int:
     )
     manager = None
     if args.checkpoint_every or args.checkpoint_dir is not None:
-        manager = CheckpointManager(args.checkpoint_dir or "checkpoints")
+        manager = CheckpointManager(
+            args.checkpoint_dir or "checkpoints",
+            governor=None if hub is None else hub.governor,
+            spill_dir=args.spill_dir,
+        )
     monitor = (
         HealthMonitor()
         if (args.health_checks or args.reject_bad_steps)
@@ -634,6 +713,7 @@ def _simulate_resilient(args) -> int:
         injector=_kill_plan(args),
         monitor=monitor,
         reject_on_fatal=args.reject_bad_steps,
+        memory_guard=_memory_guard(args),
     )
     try:
         try:
@@ -675,15 +755,19 @@ def _cmd_resume(args) -> int:
         resume_driver,
     )
 
+    hub = _make_hub(args)
+    ckpt_kwargs = {
+        "governor": None if hub is None else hub.governor,
+        "spill_dir": args.spill_dir,
+    }
     target = Path(args.checkpoint)
     if target.is_dir():
-        manager = CheckpointManager(target)
+        manager = CheckpointManager(target, **ckpt_kwargs)
         state, meta, path = manager.load_latest()
     else:
-        manager = CheckpointManager(target.parent)
+        manager = CheckpointManager(target.parent, **ckpt_kwargs)
         state, meta = manager.load(target)
         path = target
-    hub = _make_hub(args)
     driver = resume_driver(state, telemetry=hub)
     sd = driver.sd if hasattr(driver, "sd") else driver
     print(
@@ -702,6 +786,7 @@ def _cmd_resume(args) -> int:
         manager=manager,
         checkpoint_every=args.checkpoint_every,
         injector=_kill_plan(args),
+        memory_guard=_memory_guard(args),
     )
     try:
         try:
@@ -1206,6 +1291,7 @@ def _cmd_serve(args) -> int:
         ManagerKilled,
         ServiceConfig,
         SLOPolicy,
+        TenantQuota,
     )
     from repro.telemetry.report import render_jobs_table
 
@@ -1219,6 +1305,31 @@ def _cmd_serve(args) -> int:
         if args.slo_target is None
         else SLOPolicy(latency_target_ticks=args.slo_target)
     )
+    quotas = {}
+    try:
+        for raw in args.tenant_quota or ():
+            tenant, sep, spec_text = raw.partition("=")
+            if not sep or not tenant:
+                raise ValueError(
+                    f"expected TENANT=jobs=N,mem=SIZE,disk=SIZE, got {raw!r}"
+                )
+            quotas[tenant] = TenantQuota.parse(spec_text)
+    except ValueError as exc:
+        print(f"error: --tenant-quota: {exc}", file=sys.stderr)
+        return 2
+    compact = (
+        None  # keep the ServiceConfig default (1 MiB)
+        if args.compact_journal_kb is None
+        else args.compact_journal_kb << 10
+    )
+    config_kwargs = {} if compact is None else {
+        "journal_compact_bytes": compact or None  # 0 disables
+    }
+    mem_watermark = (
+        None
+        if args.mem_watermark_mb is None
+        else int(args.mem_watermark_mb * (1 << 20))
+    )
     config = ServiceConfig(
         quantum=args.quantum,
         queue_limit=args.queue_limit,
@@ -1227,6 +1338,9 @@ def _cmd_serve(args) -> int:
         max_attempts=args.max_attempts,
         checkpoint_every=args.checkpoint_every,
         slo=slo,
+        quotas=quotas,
+        mem_watermark_bytes=mem_watermark,
+        **config_kwargs,
     )
     hub = _make_hub(args)
     if hub is not None:

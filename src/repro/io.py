@@ -21,12 +21,14 @@ from typing import Union
 
 import numpy as np
 
+from repro.resources.iofaults import check_io_faults
 from repro.sparse.bcrs import BCRSMatrix
 from repro.stokesian.particles import ParticleSystem
 
 __all__ = [
     "atomic_savez",
     "atomic_write_text",
+    "fsync_dir",
     "save_bcrs",
     "load_bcrs",
     "save_system",
@@ -34,6 +36,23 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+
+def fsync_dir(path: PathLike) -> None:
+    """fsync the directory containing ``path``.
+
+    ``os.replace`` makes the rename atomic but not durable: the new
+    directory entry lives in the parent's metadata, which the kernel is
+    free to hold in cache until the *directory* is fsynced.  Without
+    this, a power loss after a "successful" atomic write can roll the
+    destination back to its previous content (or to nothing).
+    """
+    parent = Path(path).parent or Path(".")
+    fd = os.open(parent, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def atomic_savez(
@@ -67,11 +86,14 @@ def atomic_savez(
     writer = np.savez_compressed if compress else np.savez
     try:
         with os.fdopen(fd, "wb") as fh:
+            check_io_faults(path, writer="atomic_savez")
             writer(fh, **arrays)
             fh.flush()
             if fsync:
                 os.fsync(fh.fileno())
         os.replace(tmp, path)
+        if fsync:
+            fsync_dir(path)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
@@ -90,11 +112,14 @@ def atomic_write_text(
     tmp = Path(tmp_name)
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            check_io_faults(path, writer="atomic_write_text")
             fh.write(text)
             fh.flush()
             if fsync:
                 os.fsync(fh.fileno())
         os.replace(tmp, path)
+        if fsync:
+            fsync_dir(path)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise

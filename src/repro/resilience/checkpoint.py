@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import queue
 import threading
 import time
@@ -56,6 +57,8 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+logger = logging.getLogger(__name__)
 
 FORMAT_VERSION = 1
 
@@ -171,10 +174,26 @@ class CheckpointManager:
         on disk (older ones are pruned after each successful save).
     prefix:
         Filename prefix; files are ``<prefix>-<step:09d>.npz``.
+    spill_dir:
+        Optional secondary directory (ideally a different filesystem).
+        When the primary write fails with :class:`OSError` even after
+        the governor's emergency release, the checkpoint fails over
+        here; retention and resume span both directories.
+    governor:
+        Optional :class:`~repro.resources.ResourceGovernor` consulted
+        on a failed write: junior-class artifacts (sealed telemetry
+        segments, flight bundles) are evicted to make room for the
+        checkpoint before the spill directory is tried.
     """
 
     def __init__(
-        self, directory: PathLike, *, keep: int = 3, prefix: str = "ckpt"
+        self,
+        directory: PathLike,
+        *,
+        keep: int = 3,
+        prefix: str = "ckpt",
+        spill_dir: Optional[PathLike] = None,
+        governor: Optional[Any] = None,
     ) -> None:
         if keep < 1:
             raise ValueError("keep must be >= 1")
@@ -184,6 +203,9 @@ class CheckpointManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = int(keep)
         self.prefix = prefix
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.governor = governor
+        self.spills = 0
         self._queue: Optional[queue.Queue] = None
         self._worker: Optional[threading.Thread] = None
         self._worker_error: Optional[BaseException] = None
@@ -198,12 +220,21 @@ class CheckpointManager:
         Only ``<prefix>-<step>.npz`` files count — per-rank shard files
         (``<prefix>-shard<rank>-<step>.npz``) live in the same
         directory but have their own listing (:meth:`shards_at`) and
-        retention (:meth:`_prune_shards`)."""
-        return sorted(
-            p
-            for p in self.directory.glob(f"{self.prefix}-*.npz")
-            if p.stem[len(self.prefix) + 1:].isdigit()
-        )
+        retention (:meth:`_prune_shards`).
+
+        Spilled checkpoints (written to ``spill_dir`` after a primary
+        ENOSPC) merge into the listing so retention and resume see one
+        timeline; a step present in both directories resolves to the
+        primary copy."""
+        by_name: Dict[str, Path] = {}
+        if self.spill_dir is not None and self.spill_dir.is_dir():
+            for p in self.spill_dir.glob(f"{self.prefix}-*.npz"):
+                if p.stem[len(self.prefix) + 1:].isdigit():
+                    by_name[p.name] = p
+        for p in self.directory.glob(f"{self.prefix}-*.npz"):
+            if p.stem[len(self.prefix) + 1:].isdigit():
+                by_name[p.name] = p
+        return [by_name[name] for name in sorted(by_name)]
 
     def latest(self) -> Optional[Path]:
         found = self.checkpoints()
@@ -229,22 +260,10 @@ class CheckpointManager:
         # percent of one step; deflate and fsync dominate the write at
         # that budget, and neither buys anything against the layer's
         # threat model (process death + checksum-verified load).
-        path = atomic_savez(
-            self.path_for(step), compress=False, fsync=False, **arrays
-        )
-        # Retention safety: never let a bad in-flight write evict the
-        # newest *verified* checkpoint.  Pruning runs only after the
-        # just-written file passes the same checksum gate a resume
-        # would apply; a write that lands torn is deleted and reported,
-        # leaving every older checkpoint in place.
         try:
-            self._verify(path)
-        except CheckpointCorruptionError:
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - already gone
-                pass
-            raise
+            path = self._write_verified(self.path_for(step), arrays)
+        except OSError as exc:
+            path = self._save_degraded(arrays, step, exc)
         self._prune()
         hub = _telemetry.active_hub
         if hub is not None:
@@ -257,6 +276,85 @@ class CheckpointManager:
                 time.perf_counter() - t0
             )
         return path
+
+    def _write_verified(
+        self, target: Path, arrays: Mapping[str, np.ndarray]
+    ) -> Path:
+        """Atomic write + checksum read-back of one archive at ``target``.
+
+        Retention safety: never let a bad in-flight write evict the
+        newest *verified* checkpoint.  Pruning runs only after the
+        just-written file passes the same checksum gate a resume
+        would apply; a write that lands torn is deleted and reported,
+        leaving every older checkpoint in place.
+        """
+        path = atomic_savez(target, compress=False, fsync=False, **arrays)
+        try:
+            self._verify(path)
+        except CheckpointCorruptionError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            raise
+        return path
+
+    def _save_degraded(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        step: int,
+        first_exc: OSError,
+    ) -> Path:
+        """The checkpoint degraded-mode ladder after a failed write.
+
+        Checkpoints are the senior durable class, so a failed write
+        escalates instead of shedding: (1) ask the governor to evict
+        junior artifacts (sealed telemetry segments, then flight
+        bundles) and retry the primary path once; (2) fail over to the
+        spill directory — same atomic write, same checksum read-back;
+        (3) only when every rung fails raise
+        :class:`~repro.resources.ResourceExhausted`, which the runner
+        surfaces as FATAL (losing checkpoint durability silently is
+        worse than stopping).
+        """
+        from repro.resources.governor import ResourceExhausted
+
+        logger.warning(
+            "checkpoint write for step %d failed (%s); entering degraded "
+            "ladder", step, first_exc,
+        )
+        if self.governor is not None:
+            blob = arrays.get(_BLOB_KEY)
+            need = (int(blob.nbytes) if blob is not None else 0) * 2 + (1 << 20)
+            self.governor.emergency_release(need)
+            try:
+                return self._write_verified(self.path_for(step), arrays)
+            except OSError:
+                pass
+        if self.spill_dir is not None:
+            try:
+                self.spill_dir.mkdir(parents=True, exist_ok=True)
+                path = self._write_verified(
+                    self.spill_dir / self.path_for(step).name, arrays
+                )
+            except OSError as exc:
+                raise ResourceExhausted(
+                    f"checkpoint for step {step} failed on both the primary "
+                    f"directory ({first_exc}) and the spill directory "
+                    f"({exc})"
+                ) from exc
+            self.spills += 1
+            logger.warning(
+                "checkpoint for step %d spilled to %s", step, path
+            )
+            hub = _telemetry.active_hub
+            if hub is not None:
+                hub.metrics.counter("checkpoint.spills").inc()
+            return path
+        raise ResourceExhausted(
+            f"checkpoint for step {step} failed ({first_exc}) and no spill "
+            "directory is configured"
+        ) from first_exc
 
     def save_async(self, state: Mapping[str, Any], *, step: int) -> Path:
         """Queue ``state`` for writing on the background writer thread.

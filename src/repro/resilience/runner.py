@@ -143,6 +143,13 @@ class ResilientRunner:
         Injectable wait callable for retry backoff (see
         :class:`~repro.resilience.policies.BackoffPolicy`); defaults to
         :func:`time.sleep`.
+    memory_guard:
+        Optional :class:`~repro.resources.governor.MemoryGuard`.  When
+        given, every healthy step polls it; a new RSS-watermark breach
+        is logged, surfaced as a WARN through the health monitor (when
+        attached), counted, and put on the event bus — the run itself
+        continues (shedding memory is the scheduler's job, not the
+        integrator's).
     """
 
     def __init__(
@@ -158,6 +165,7 @@ class ResilientRunner:
         monitor: Optional[HealthMonitor] = None,
         reject_on_fatal: bool = True,
         sleep: Optional[Any] = None,
+        memory_guard: Optional[Any] = None,
     ) -> None:
         self._distributed = hasattr(driver, "shard_states") and hasattr(
             driver, "recover"
@@ -193,6 +201,7 @@ class ResilientRunner:
             else FaultInjector(injector)
         )
         self.monitor = monitor
+        self.memory_guard = memory_guard
         self.recovery_policy = recovery
         self._streak = 0
         if self._distributed:
@@ -442,11 +451,45 @@ class ResilientRunner:
             raise SimulationKilled(
                 f"simulated kill after step {self.step_index}"
             )
+        if self.memory_guard is not None:
+            self._check_memory()
         hub = _telemetry.active_hub
         if hub is not None:
             # Wall-clock export cadence rides the step loop; the call is
             # a clock read and a compare when no export is due.
             hub.pulse()
+
+    def _check_memory(self) -> None:
+        """Report a new RSS-watermark breach (edge-triggered)."""
+        rss = self.memory_guard.check()
+        if rss is None:
+            return
+        watermark = self.memory_guard.watermark_bytes
+        logger.warning(
+            "resident memory %d bytes crossed the %d-byte watermark at "
+            "step %d", rss, watermark, self.step_index,
+        )
+        if self.monitor is not None:
+            from repro.health.monitor import Severity
+
+            self.monitor.observe_external(
+                check="memory.watermark",
+                severity=Severity.WARN,
+                message=(
+                    f"rss {rss} bytes over the {watermark}-byte watermark"
+                ),
+                step_index=self.step_index,
+            )
+        hub = _telemetry.active_hub
+        if hub is not None:
+            hub.metrics.counter("resources.memory_breaches").inc()
+            hub.emit_event(
+                "resources",
+                "memory_watermark",
+                rss_bytes=rss,
+                watermark_bytes=watermark,
+                step=self.step_index,
+            )
 
     def _save_checkpoint(self, report: RunReport) -> None:
         state = self.driver.get_state()

@@ -26,6 +26,7 @@ from repro.service.spec import (
     JobRecord,
     JobSpec,
     JobState,
+    TenantQuota,
     estimate_job_bytes,
 )
 from repro.service.worker import JobWorker
@@ -44,6 +45,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceInjector",
     "ServiceReport",
+    "TenantQuota",
     "WorkerCrashed",
     "estimate_job_bytes",
     "job_table",

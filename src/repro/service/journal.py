@@ -23,6 +23,20 @@ The ``service.journal`` fault site strikes mid-append: a ``"raise"``
 spec writes *half* the encoded line and kills the manager (torn
 write); a ``"zero"`` spec kills it before any bytes land (lost
 record).  Both leave the on-disk prefix consistent by construction.
+
+Resource pressure (PR 10): the journal is a **class-0 durable**
+artifact.  An append that fails with ``ENOSPC``/``EDQUOT``/``EIO``
+(real, or via the ``io.*`` fault sites) asks the
+:class:`~repro.resources.governor.ResourceGovernor` to evict junior
+artifacts, truncates any torn partial line back to the valid prefix,
+and retries exactly once before surfacing the error.  Unbounded growth
+is handled by :meth:`JobJournal.compact`: the live job table is
+serialized as a single CRC'd ``snapshot`` record into a sibling temp
+file, verified by a full re-scan, and atomically swapped in — the old
+history is destroyed only after the snapshot is durable, so a crash at
+*any* byte offset of the protocol recovers either the full old journal
+or the verified snapshot (hypothesis-tested in
+``tests/test_service_compaction.py``).
 """
 
 from __future__ import annotations
@@ -34,9 +48,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.resilience.faults import fire_fault
+from repro.resources.iofaults import check_io_faults
 from repro.service.errors import ManagerKilled
 
-__all__ = ["JobJournal", "JournalRecord"]
+__all__ = ["JobJournal", "JournalRecord", "SNAPSHOT_KIND"]
+
+#: Record type written by :meth:`JobJournal.compact` as sequence 1.
+SNAPSHOT_KIND = "snapshot"
 
 JournalRecord = Dict[str, Any]
 
@@ -74,10 +92,15 @@ class JobJournal:
     """Append-only, CRC-framed, crash-recoverable job log."""
 
     def __init__(
-        self, path: Union[str, Path], *, fsync: bool = False
+        self,
+        path: Union[str, Path],
+        *,
+        fsync: bool = False,
+        governor: Optional[Any] = None,
     ) -> None:
         self.path = Path(path)
         self.fsync = bool(fsync)
+        self.governor = governor
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = None
         self._seq = 0
@@ -149,12 +172,114 @@ class JobJournal:
                 f"manager killed mid-journal-append (seq {seq}, "
                 f"{'torn' if spec.kind == 'raise' else 'lost'} write)"
             )
-        fh.write(payload)
-        fh.flush()
+        try:
+            check_io_faults(self.path, writer="journal", seq=seq)
+            fh.write(payload)
+            fh.flush()
+        except OSError:
+            self._retry_append(payload)
+            fh = self._fh  # the retry reopened the handle
         if self.fsync:
             os.fsync(fh.fileno())
         self._seq = seq
         return seq
+
+    def _retry_append(self, payload: bytes) -> None:
+        """Recover a class-0 append from a full disk: release + retry.
+
+        The failed write may have landed a partial line, so the file is
+        first truncated back to its longest valid prefix (re-scanned;
+        this is a rare error path) before the single retry.  A second
+        failure propagates — the journal never degrades silently.
+        """
+        self.close()
+        if self.governor is not None:
+            self.governor.emergency_release(max(len(payload) * 4, 1 << 16))
+        _, valid = self.scan(self.path)
+        if self.path.exists() and valid < self.path.stat().st_size:
+            with open(self.path, "rb+") as fh:
+                fh.truncate(valid)
+        fh = self._handle()
+        check_io_faults(self.path, writer="journal_retry")
+        fh.write(payload)
+        fh.flush()
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Current on-disk size of the journal (0 when absent)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def compact(
+        self,
+        snapshot: JournalRecord,
+        *,
+        kill_after_bytes: Optional[int] = None,
+        kill_before_replace: bool = False,
+        kill_after_replace: bool = False,
+    ) -> int:
+        """Replace the whole history with one verified snapshot record.
+
+        Protocol (crash-safe at every byte):
+
+        1. write ``snapshot`` as sequence 1 into ``<journal>.compact``
+           in the same directory, flush + fsync;
+        2. **verify** by fully re-scanning the temp file (exactly one
+           record, zero torn bytes, payload round-trips);
+        3. ``os.replace`` it over the journal, fsync the directory;
+        4. resume appending at sequence 2.
+
+        A crash before step 3 leaves the old journal untouched (the
+        stale ``.compact`` temp is ignored by recovery and unlinked by
+        the next compaction); a crash after step 3 leaves the verified
+        snapshot.  Either way recovery rebuilds the same job table.
+
+        The ``kill_*`` hooks crash the manager at the named point (for
+        the hypothesis crash-equivalence tests).  Returns the new
+        journal size in bytes.
+        """
+        tmp = self.path.with_name(self.path.name + ".compact")
+        tmp.unlink(missing_ok=True)
+        payload = _encode(1, snapshot)
+        check_io_faults(tmp, writer="journal_compact")
+        with open(tmp, "wb") as fh:
+            if kill_after_bytes is not None and kill_after_bytes < len(
+                payload
+            ):
+                fh.write(payload[:kill_after_bytes])
+                fh.flush()
+                raise ManagerKilled(
+                    f"manager killed mid-compaction (snapshot torn at "
+                    f"byte {kill_after_bytes})"
+                )
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        records, valid = self.scan(tmp)
+        if (
+            len(records) != 1
+            or records[0] != snapshot
+            or valid != tmp.stat().st_size
+        ):
+            tmp.unlink(missing_ok=True)
+            raise OSError(f"compaction snapshot failed verification: {tmp}")
+        if kill_before_replace:
+            raise ManagerKilled(
+                "manager killed after snapshot verify, before swap"
+            )
+        self.close()
+        os.replace(tmp, self.path)
+        dir_fd = os.open(self.path.parent or Path("."), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        self._seq = 1
+        if kill_after_replace:
+            raise ManagerKilled("manager killed after compaction swap")
+        return self.size_bytes()
 
     def close(self) -> None:
         if self._fh is not None and not self._fh.closed:

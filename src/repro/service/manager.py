@@ -52,14 +52,16 @@ from repro.resilience.policies import (
     ResilienceExhausted,
     RetryPolicy,
 )
+from repro.resources.governor import MemoryGuard
 from repro.service.clock import ServiceClock
 from repro.service.errors import ManagerKilled
-from repro.service.journal import JobJournal, JournalRecord
+from repro.service.journal import SNAPSHOT_KIND, JobJournal, JournalRecord
 from repro.service.slo import SLOPolicy, SLOTracker
 from repro.service.spec import (
     JobRecord,
     JobSpec,
     JobState,
+    TenantQuota,
     estimate_job_bytes,
 )
 from repro.service.worker import JobWorker
@@ -115,6 +117,18 @@ class ServiceConfig:
     fsync_journal: bool = False
     slo: Optional[SLOPolicy] = field(default_factory=SLOPolicy)
     """Per-tenant SLO accounting; ``None`` disables the tracker."""
+    quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+    """Hard per-tenant caps (``tenant -> TenantQuota``).  Enforced as
+    submit-time vetoes, admission parking, and pending-job SHED when a
+    tenant's on-disk footprint crosses its cap; an empty dict (the
+    default) skips every quota code path."""
+    journal_compact_bytes: Optional[int] = 1 << 20
+    """Journal size above which :meth:`JobManager` compacts the history
+    into one snapshot record; ``None`` disables compaction."""
+    mem_watermark_bytes: Optional[int] = None
+    """Process-RSS watermark: on a breach the manager drops warm
+    preempted workers (they resume from checkpoints) and records a
+    WARN.  ``None`` disables the guard."""
 
     def __post_init__(self) -> None:
         if self.quantum < 0:
@@ -129,6 +143,16 @@ class ServiceConfig:
             raise ValueError("aging_rate must be non-negative")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be non-negative")
+        if (
+            self.journal_compact_bytes is not None
+            and self.journal_compact_bytes < 1024
+        ):
+            raise ValueError("journal_compact_bytes must be >= 1024")
+        if (
+            self.mem_watermark_bytes is not None
+            and self.mem_watermark_bytes < 1
+        ):
+            raise ValueError("mem_watermark_bytes must be positive")
 
 
 @dataclass
@@ -235,6 +259,15 @@ def replay_records(
         last_tick = max(last_tick, int(rec.get("tick", 0)))
         kind = rec.get("t")
         if kind == "recovered":
+            continue
+        if kind == SNAPSHOT_KIND:
+            # Compaction boundary: the record *is* the whole job table
+            # at that instant; later records apply on top of it.
+            jobs = {
+                int(doc["job_id"]): JobRecord.from_json(doc)
+                for doc in rec.get("jobs", [])
+            }
+            dispatches = max(dispatches, int(rec.get("dispatches", 0)))
             continue
         job_id = int(rec["job"])
         if kind == "submit":
@@ -358,9 +391,16 @@ class JobManager:
         self._workers: Dict[int, JobWorker] = {}
         self._dispatches = 0
         self.recovered_jobs = 0
+        self.governor = getattr(self.hub, "governor", None)
+        self.memguard = (
+            None
+            if self.config.mem_watermark_bytes is None
+            else MemoryGuard(self.config.mem_watermark_bytes)
+        )
         self.journal = JobJournal(
             self.directory / "journal.jsonl",
             fsync=self.config.fsync_journal,
+            governor=self.governor,
         )
         records = self.journal.recover()
         if records:
@@ -376,6 +416,9 @@ class JobManager:
                     "tick": self.clock.now,
                 }
             )
+            # Recovery replayed the whole history — the cheapest moment
+            # to fold it into one snapshot if it has grown past budget.
+            self._maybe_compact()
 
     # -- plumbing ------------------------------------------------------
     @contextlib.contextmanager
@@ -413,6 +456,8 @@ class JobManager:
     def _worker_for(self, job: JobRecord) -> JobWorker:
         worker = self._workers.get(job.job_id)
         if worker is None:
+            governor = self.governor
+            spill = getattr(governor, "spill_dir", None)
             worker = JobWorker(
                 job.spec,
                 self._job_dir(job.job_id),
@@ -421,6 +466,14 @@ class JobManager:
                 # Step-level retry backoff is *virtual* inside the
                 # service (accounted in the run report, never slept).
                 sleep=lambda _s: None,
+                governor=governor,
+                # Namespace the shared spill directory per job: two
+                # jobs' checkpoints carry the same prefix-step names.
+                spill_dir=(
+                    Path(spill) / "jobs" / str(job.job_id)
+                    if spill is not None
+                    else None
+                ),
             )
             self._workers[job.job_id] = worker
         return worker
@@ -433,6 +486,141 @@ class JobManager:
             estimate_job_bytes(j.spec)
             for j in self.jobs.values()
             if j.state in _LIVE
+        )
+
+    # -- resource governance -------------------------------------------
+    def _tenant_live(self, tenant: str) -> List[JobRecord]:
+        return [
+            j
+            for j in self.jobs.values()
+            if j.state in _LIVE and j.spec.tenant == tenant
+        ]
+
+    def _tenant_disk_bytes(self, tenant: str) -> int:
+        """On-disk footprint of one tenant's job directories."""
+        total = 0
+        for job in self.jobs.values():
+            if job.spec.tenant != tenant:
+                continue
+            root = self.directory / "jobs" / str(job.job_id)
+            if not root.exists():
+                continue
+            for entry in root.rglob("*"):
+                try:
+                    if entry.is_file():
+                        total += entry.stat().st_size
+                except OSError:
+                    continue
+        return total
+
+    def _quota_failed(self, job: JobRecord) -> None:
+        """Report a quota veto/shed into the tenant's SLO accounting."""
+        if self.slo is not None:
+            self.slo.observe(
+                job.spec.tenant,
+                latency_ticks=self.clock.now - job.submitted_tick,
+                failed=True,
+                job_id=job.job_id,
+            )
+
+    def _enforce_disk_quotas(self) -> None:
+        """SHED pending jobs of tenants over their disk cap.
+
+        Only never-admitted jobs are touched (the admission guarantee
+        holds); live jobs run on, and other tenants are unaffected.
+        """
+        sheds: Dict[int, str] = {}
+        shed_jobs: List[JobRecord] = []
+        for tenant, quota in self.config.quotas.items():
+            if quota.max_disk_bytes is None:
+                continue
+            used = self._tenant_disk_bytes(tenant)
+            if used <= quota.max_disk_bytes:
+                continue
+            for job in self.jobs.values():
+                if (
+                    job.spec.tenant == tenant
+                    and job.state is JobState.PENDING
+                ):
+                    sheds[job.job_id] = (
+                        f"tenant quota: disk {used} bytes over the "
+                        f"{quota.max_disk_bytes}-byte cap"
+                    )
+                    shed_jobs.append(job)
+        if sheds:
+            self._shed(sheds)
+            self._counter("service.quota_sheds").inc(len(sheds))
+            for job in shed_jobs:
+                self._quota_failed(job)
+
+    def _check_memory(self) -> None:
+        """RSS-watermark guard: drop warm preempted workers on breach."""
+        if self.memguard is None:
+            return
+        rss = self.memguard.check()
+        if rss is None:
+            return
+        dropped = 0
+        for job_id, worker in list(self._workers.items()):
+            job = self.jobs.get(job_id)
+            if job is not None and job.state is JobState.PREEMPTED:
+                worker.discard()  # resumes from its checkpoint
+                dropped += 1
+        self._counter("service.memory_breaches").inc()
+        self.hub.emit_event(
+            "resources",
+            "memory_watermark",
+            rss_bytes=rss,
+            watermark_bytes=self.config.mem_watermark_bytes,
+            warm_workers_dropped=dropped,
+            tick=self.clock.now,
+        )
+        if self.monitor is not None:
+            from repro.health.monitor import Severity
+
+            self.monitor.observe_external(
+                check="memory.watermark",
+                severity=Severity.WARN,
+                message=(
+                    f"rss {rss} bytes over the "
+                    f"{self.config.mem_watermark_bytes}-byte watermark "
+                    f"({dropped} warm workers dropped)"
+                ),
+            )
+
+    def _snapshot_record(self) -> JournalRecord:
+        return {
+            "t": SNAPSHOT_KIND,
+            "tick": self.clock.now,
+            "dispatches": self._dispatches,
+            "jobs": [
+                self.jobs[job_id].to_json() for job_id in sorted(self.jobs)
+            ],
+        }
+
+    def _maybe_compact(self) -> None:
+        """Fold the journal into one snapshot once it outgrows budget.
+
+        Compaction is strictly optional: an I/O failure here leaves the
+        old journal untouched and valid, so it is logged and skipped
+        rather than allowed to take the service down.
+        """
+        limit = self.config.journal_compact_bytes
+        if limit is None or self.journal.size_bytes() < limit:
+            return
+        before = self.journal.size_bytes()
+        try:
+            after = self.journal.compact(self._snapshot_record())
+        except OSError:
+            self._counter("service.compact_failures").inc()
+            return
+        self._counter("service.journal_compactions").inc()
+        self.hub.emit_event(
+            "service",
+            "journal_compact",
+            before_bytes=before,
+            after_bytes=after,
+            tick=self.clock.now,
         )
 
     # -- submission ----------------------------------------------------
@@ -470,6 +658,8 @@ class JobManager:
                 job.transition(JobState.REJECTED, reason=reason)
                 self._counter("service.jobs_rejected").inc()
                 self._event("reject", job, reason=reason)
+                if reason.startswith("tenant quota"):
+                    self._quota_failed(job)
         return job
 
     def _admission_veto(self, spec: JobSpec) -> Optional[str]:
@@ -489,6 +679,16 @@ class JobManager:
                 return (
                     f"job needs ~{need} bytes, over the "
                     f"{budget}-byte budget even alone"
+                )
+        quota = self.config.quotas.get(spec.tenant)
+        if quota is not None and quota.max_resident_bytes is not None:
+            need = estimate_job_bytes(spec)
+            if need > quota.max_resident_bytes:
+                self._counter("service.quota_vetoes").inc()
+                return (
+                    f"tenant quota: job needs ~{need} bytes, over the "
+                    f"tenant's {quota.max_resident_bytes}-byte memory "
+                    "cap even alone"
                 )
         return None
 
@@ -558,6 +758,27 @@ class JobManager:
             ):
                 job.reason = "waiting: memory budget"
                 continue
+            quota = cfg.quotas.get(job.spec.tenant)
+            if quota is not None:
+                live = self._tenant_live(job.spec.tenant)
+                if (
+                    quota.max_concurrent is not None
+                    and len(live) >= quota.max_concurrent
+                ):
+                    job.reason = (
+                        f"waiting: tenant quota ({len(live)}/"
+                        f"{quota.max_concurrent} jobs live)"
+                    )
+                    continue
+                if quota.max_resident_bytes is not None:
+                    tenant_bytes = sum(
+                        estimate_job_bytes(j.spec) for j in live
+                    )
+                    if tenant_bytes + need > quota.max_resident_bytes:
+                        job.reason = (
+                            "waiting: tenant quota (resident memory)"
+                        )
+                        continue
             self.journal.append(
                 {"t": "admit", "job": job.job_id, "tick": now}
             )
@@ -776,9 +997,13 @@ class JobManager:
             while True:
                 self.clock.advance()
                 self._tick_stats()
+                self._check_memory()
+                self._maybe_compact()
                 if max_ticks is not None and self.clock.now >= max_ticks:
                     break
                 self._shed_overloaded()
+                if self.config.quotas:
+                    self._enforce_disk_quotas()
                 self._admit_eligible()
                 job = self._pick()
                 if job is not None:
@@ -800,7 +1025,13 @@ class JobManager:
                     # submit), but never hang — shed explicitly.
                     self._shed(
                         {
-                            j.job_id: "unschedulable: memory budget"
+                            j.job_id: (
+                                j.reason.replace(
+                                    "waiting: ", "unschedulable: ", 1
+                                )
+                                if j.reason.startswith("waiting: ")
+                                else "unschedulable: memory budget"
+                            )
                             for j in self.jobs.values()
                             if j.state is JobState.PENDING
                         }
@@ -818,6 +1049,14 @@ class JobManager:
             self.hub.metrics.gauge("service.queue_depth", state=state).set(
                 float(counts.get(state, 0))
             )
+        for tenant in self.config.quotas:
+            live = self._tenant_live(tenant)
+            self.hub.metrics.gauge(
+                "service.tenant_live_jobs", tenant=tenant
+            ).set(float(len(live)))
+            self.hub.metrics.gauge(
+                "service.tenant_resident_bytes", tenant=tenant
+            ).set(float(sum(estimate_job_bytes(j.spec) for j in live)))
         self.hub.pulse(tick=self.clock.now)
 
     # -- reporting -----------------------------------------------------

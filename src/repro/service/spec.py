@@ -21,7 +21,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-__all__ = ["JobSpec", "JobState", "JobRecord", "estimate_job_bytes"]
+__all__ = [
+    "JobSpec",
+    "JobState",
+    "JobRecord",
+    "TenantQuota",
+    "estimate_job_bytes",
+]
 
 
 class JobState(enum.Enum):
@@ -195,3 +201,93 @@ class JobRecord:
     @property
     def remaining_steps(self) -> int:
         return max(0, self.spec.steps - self.steps_done)
+
+    # ------------------------------------------------------------------
+    # serialization (journal compaction snapshots)
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.to_json(),
+            "state": self.state.value,
+            "submitted_tick": self.submitted_tick,
+            "admitted_tick": self.admitted_tick,
+            "finished_tick": self.finished_tick,
+            "steps_done": self.steps_done,
+            "attempts": self.attempts,
+            "next_eligible_tick": self.next_eligible_tick,
+            "preemptions": self.preemptions,
+            "digest": self.digest,
+            "reason": self.reason,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "JobRecord":
+        known = {k: doc[k] for k in cls.__dataclass_fields__ if k in doc}
+        unknown = set(doc) - set(known)
+        if unknown:
+            raise ValueError(f"unknown JobRecord fields: {sorted(unknown)}")
+        known["spec"] = JobSpec.from_json(known["spec"])
+        known["state"] = JobState(known["state"])
+        return cls(**known)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Hard per-tenant resource caps, enforced by the manager.
+
+    Unlike the SLO layer (which *observes* and reports), a quota
+    *vetoes*: a tenant at its cap has new work rejected at submit time
+    or parked at admission ("waiting: tenant quota"), and a tenant
+    whose on-disk artifact footprint crosses ``max_disk_bytes`` has
+    pending jobs SHED — all with recorded reasons, and all without
+    touching other tenants' scheduling.  ``None`` means uncapped.
+    """
+
+    max_concurrent: Optional[int] = None
+    """Live (admitted/running/preempted) jobs at once."""
+    max_resident_bytes: Optional[int] = None
+    """Summed :func:`estimate_job_bytes` of the tenant's live jobs."""
+    max_disk_bytes: Optional[int] = None
+    """On-disk footprint of the tenant's job directories."""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_concurrent", "max_resident_bytes", "max_disk_bytes"
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 (or None)")
+
+    @classmethod
+    def parse(cls, text: str) -> "TenantQuota":
+        """Parse the CLI form ``jobs=N,mem=SIZE,disk=SIZE`` (any subset).
+
+        Sizes accept the ``k``/``m``/``g`` binary suffixes of
+        :func:`repro.resources.parse_size`.
+        """
+        from repro.resources.rotate import parse_size
+
+        kwargs: Dict[str, Any] = {}
+        for part in str(text).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"quota clause {part!r} is not key=value "
+                    "(expected jobs=N,mem=SIZE,disk=SIZE)"
+                )
+            key, value = (s.strip() for s in part.split("=", 1))
+            if key == "jobs":
+                kwargs["max_concurrent"] = int(value)
+            elif key == "mem":
+                kwargs["max_resident_bytes"] = parse_size(value)
+            elif key == "disk":
+                kwargs["max_disk_bytes"] = parse_size(value)
+            else:
+                raise ValueError(
+                    f"unknown quota key {key!r} (expected jobs/mem/disk)"
+                )
+        return cls(**kwargs)

@@ -62,9 +62,13 @@ class JobWorker:
         checkpoint_every: int = 4,
         retry: Optional[Any] = None,
         sleep: Optional[Any] = None,
+        governor: Optional[Any] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.spec = spec
-        self.checkpoints = CheckpointManager(Path(directory))
+        self.checkpoints = CheckpointManager(
+            Path(directory), governor=governor, spill_dir=spill_dir
+        )
         self.checkpoint_every = int(checkpoint_every)
         self._retry = retry
         self._sleep = sleep

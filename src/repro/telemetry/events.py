@@ -82,21 +82,21 @@ def read_events(
 ) -> Union[List[BusEvent], Tuple[List[BusEvent], int]]:
     """Parse ``events.jsonl``, tolerating a torn tail.
 
-    Mirrors the journal's longest-valid-prefix rule: parsing stops at
-    the first line that fails to decode (a crash mid-append tears at
-    most the final line) and the remainder is *counted*, not raised.
-    With ``with_stats=True`` returns ``(events, skipped_lines)``.
+    Spans every sealed segment of a rotated bus (oldest first) plus the
+    active file, and mirrors the journal's longest-valid-prefix rule:
+    in the newest segment parsing stops at the first line that fails to
+    decode (a crash mid-append tears at most the final line) and the
+    remainder is *counted*, not raised; sealed segments stay fully
+    readable.  With ``with_stats=True`` returns
+    ``(events, skipped_lines)``.
     """
-    events: List[BusEvent] = []
-    skipped = 0
-    raw = Path(path).read_bytes() if Path(path).exists() else b""
-    lines = [ln for ln in raw.split(b"\n") if ln.strip()]
-    for i, line in enumerate(lines):
-        try:
-            events.append(BusEvent.from_doc(json.loads(line.decode("utf-8"))))
-        except (ValueError, KeyError, UnicodeDecodeError):
-            skipped = len(lines) - i
-            break
+    from repro.resources.rotate import read_jsonl_stream
+
+    events, skipped = read_jsonl_stream(
+        path,
+        lambda line: BusEvent.from_doc(json.loads(line.decode("utf-8"))),
+        missing_ok=True,
+    )
     if with_stats:
         return events, skipped
     return events
@@ -114,6 +114,12 @@ class EventBus:
         Recent events retained in memory for ``FlightRecorder`` dumps.
     wall:
         Injectable wall clock (tests pin it).
+    budget:
+        Rotation budget for ``events.jsonl`` (see
+        :class:`repro.resources.StreamBudget`); ``None`` disables
+        rotation.
+    governor:
+        Optional resource governor notified of rotations/shedding.
     """
 
     def __init__(
@@ -122,14 +128,22 @@ class EventBus:
         *,
         ring: int = 2048,
         wall: Callable[[], float] = time.time,
+        budget: Optional[Any] = None,
+        governor: Optional[Any] = None,
     ) -> None:
         self.path = Path(path) if path is not None else None
         self.ring: "deque[BusEvent]" = deque(maxlen=int(ring))
         self.listeners: List[Callable[[BusEvent], None]] = []
         self.events_emitted = 0
         self._wall = wall
-        self._fh = None
+        self._writer = None
         self._seq: Optional[int] = None
+        if self.path is not None:
+            from repro.resources.rotate import RotatingJsonlWriter
+
+            self._writer = RotatingJsonlWriter(
+                self.path, budget=budget, governor=governor, stream="events"
+            )
 
     # ------------------------------------------------------------------
     def _next_seq(self) -> int:
@@ -168,18 +182,13 @@ class EventBus:
         self.events_emitted += 1
         for listener in self.listeners:
             listener(event)
-        if self.path is not None:
-            if self._fh is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._fh = self.path.open("a", encoding="utf-8")
-            self._fh.write(event.to_json() + "\n")
-            self._fh.flush()
+        if self._writer is not None:
+            self._writer.write_line(event.to_json())
         return event
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._writer is not None:
+            self._writer.close()
 
 
 class _NullBus:

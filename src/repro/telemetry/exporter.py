@@ -225,6 +225,8 @@ class MetricsExporter:
         tick_every: int = 0,
         clock: Callable[[], float] = time.monotonic,
         wall: Callable[[], float] = time.time,
+        budget: Optional[Any] = None,
+        governor: Optional[Any] = None,
     ) -> None:
         if interval < 0:
             raise ValueError("interval must be non-negative")
@@ -235,10 +237,21 @@ class MetricsExporter:
         self.interval = float(interval)
         self.tick_every = int(tick_every)
         self.exports = 0
+        self.exports_shed = 0
+        self.governor = governor
         self._clock = clock
         self._wall = wall
         self._last: Optional[float] = None
         self._last_tick: Optional[int] = None
+        self._shedding = False
+        from repro.resources.rotate import RotatingJsonlWriter
+
+        self._stream = RotatingJsonlWriter(
+            self.stream_path,
+            budget=budget,
+            governor=governor,
+            stream="metrics",
+        )
 
     @property
     def prom_path(self) -> Path:
@@ -283,18 +296,37 @@ class MetricsExporter:
         self.registry.counter("telemetry.exports").value = float(self.exports)
         self.directory.mkdir(parents=True, exist_ok=True)
         wall = self._wall()
-        atomic_write_text(
-            self.prom_path, render_prometheus(self.registry), fsync=False
-        )
-        atomic_write_text(
-            self.directory / "metrics.json",
-            self.registry.dump_json() + "\n",
-            fsync=False,
-        )
+        try:
+            atomic_write_text(
+                self.prom_path, render_prometheus(self.registry), fsync=False
+            )
+            atomic_write_text(
+                self.directory / "metrics.json",
+                self.registry.dump_json() + "\n",
+                fsync=False,
+            )
+        except OSError as exc:
+            # Telemetry is the junior class: an unwritable disk drops
+            # this export (counted) instead of raising into the run.
+            self.exports_shed += 1
+            self.registry.counter("telemetry.shed", stream="metrics").inc()
+            if not self._shedding:
+                self._shedding = True
+                if self.governor is not None:
+                    self.governor.note_stream_shed(
+                        "metrics", self.prom_path, exc
+                    )
+            return self.prom_path
+        if self._shedding:
+            self._shedding = False
+            if self.governor is not None:
+                self.governor.note_stream_recovered("metrics")
         line = json.dumps(
             {"export": self.exports, "ts": wall, **self.registry.as_dict()},
             sort_keys=True,
         )
-        with self.stream_path.open("a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+        self._stream.write_line(line)
         return self.prom_path
+
+    def close(self) -> None:
+        self._stream.close()

@@ -62,13 +62,37 @@ class TelemetryHub:
         buffer_size: int = 512,
         export_interval: float = 1.0,
         flight_ring: int = 2048,
+        stream_budget: Optional[Any] = "default",
+        spill_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.directory = Path(directory) if directory is not None else None
+        # Resource governance: every hub bound to a directory carries a
+        # governor, and every append-only stream it creates is budget-
+        # rotated by default.  ``stream_budget=None`` disables rotation.
+        if stream_budget == "default":
+            from repro.resources.rotate import DEFAULT_STREAM_BUDGET
+
+            stream_budget = DEFAULT_STREAM_BUDGET
+        self.stream_budget = stream_budget
+        if self.directory is not None:
+            from repro.resources.governor import ResourceGovernor
+
+            self.governor: Optional[ResourceGovernor] = ResourceGovernor(
+                self.directory,
+                stream_budget=stream_budget,
+                spill_dir=spill_dir,
+            )
+        else:
+            self.governor = None
         if tracer is not None:
             self.tracer = tracer
         elif self.directory is not None:
             self.tracer = Tracer(
-                JsonlSink(self.directory / TRACE_FILENAME),
+                JsonlSink(
+                    self.directory / TRACE_FILENAME,
+                    budget=stream_budget,
+                    governor=self.governor,
+                ),
                 buffer_size=buffer_size,
             )
         else:
@@ -85,7 +109,9 @@ class TelemetryHub:
         self.events = EventBus(
             self.directory / EVENTS_FILENAME
             if self.directory is not None
-            else None
+            else None,
+            budget=stream_budget,
+            governor=self.governor,
         )
         self.events.listeners.append(self.recorder.note_event)
         sink = self.tracer.sink
@@ -102,11 +128,20 @@ class TelemetryHub:
             self._sink = None
         self.exporter: Optional[MetricsExporter] = (
             MetricsExporter(
-                self.metrics, self.directory, interval=export_interval
+                self.metrics,
+                self.directory,
+                interval=export_interval,
+                budget=stream_budget,
+                governor=self.governor,
             )
             if self.directory is not None
             else None
         )
+        if self.governor is not None:
+            # Late binding: the governor could not take the hub in its
+            # constructor (it is created first), and the hub's own
+            # streams must exist before shed/rotation events can flow.
+            self.governor.bind_hub(self)
         # Hot-path caches: resolved counter tuples per kernel key, and
         # the one in-flight aggregate of consecutive same-key calls.
         self._kcache: dict = {}
@@ -219,9 +254,20 @@ class TelemetryHub:
             return None
         self._flush_pending()
         self.tracer.drain()  # the teed sink feeds the recorder's ring
-        return self.recorder.dump(
-            self.directory, reason=reason, metrics=self.metrics, extra=extra
-        )
+        try:
+            return self.recorder.dump(
+                self.directory,
+                reason=reason,
+                metrics=self.metrics,
+                extra=extra,
+            )
+        except OSError as exc:
+            # Flight bundles are class 1: droppable under pressure, but
+            # always noted — a post-mortem silently missing its bundle
+            # would otherwise look like a recorder bug.
+            if self.governor is not None:
+                self.governor.note_flight_shed(reason, exc)
+            return None
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
@@ -229,11 +275,18 @@ class TelemetryHub:
         self._flush_pending()
         self.tracer.drain()
         if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            path = self.directory / METRICS_FILENAME
-            tmp = path.with_suffix(".json.tmp")
-            tmp.write_text(self.metrics.dump_json() + "\n", encoding="utf-8")
-            tmp.replace(path)
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                path = self.directory / METRICS_FILENAME
+                tmp = path.with_suffix(".json.tmp")
+                tmp.write_text(
+                    self.metrics.dump_json() + "\n", encoding="utf-8"
+                )
+                tmp.replace(path)
+            except OSError:
+                # Junior class: a full disk costs this snapshot, not
+                # the run (the exporter counts its own sheds).
+                self.metrics.counter("telemetry.shed", stream="metrics").inc()
 
     def close(self, **attrs: Any) -> None:
         """Force-close any spans still open (aborted run), flush — with
@@ -243,6 +296,7 @@ class TelemetryHub:
         self.flush()
         if self.exporter is not None:
             self.exporter.maybe_export(force=True)
+            self.exporter.close()
         self.events.close()
         if isinstance(self._sink, JsonlSink):
             self._sink.close()
@@ -258,6 +312,7 @@ class _NullHub:
     events = NULL_BUS
     exporter = None
     recorder = None
+    governor = None
     enabled = False
 
     def record_gspmv(self, kind: str, duration: float, **kw: Any) -> None:

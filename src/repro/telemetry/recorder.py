@@ -42,11 +42,26 @@ def _slug(reason: str) -> str:
 
 
 class FlightRecorder:
-    """Bounded in-memory tail of the run, dumpable as a bundle."""
+    """Bounded in-memory tail of the run, dumpable as a bundle.
 
-    def __init__(self, *, span_ring: int = 2048, event_ring: int = 2048) -> None:
+    Bundles are class-1 artifacts: only the newest ``keep`` survive
+    (older bundles are pruned after each dump), and under disk pressure
+    the governor may evict them entirely to protect checkpoints and the
+    journal.
+    """
+
+    def __init__(
+        self,
+        *,
+        span_ring: int = 2048,
+        event_ring: int = 2048,
+        keep: int = 8,
+    ) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
         self.spans: "deque[SpanEvent]" = deque(maxlen=int(span_ring))
         self.events: "deque[BusEvent]" = deque(maxlen=int(event_ring))
+        self.keep = int(keep)
         self.dumps = 0
 
     # -- tee targets ---------------------------------------------------
@@ -69,9 +84,18 @@ class FlightRecorder:
 
         ``metrics`` is an optional :class:`MetricsRegistry` whose full
         snapshot rides along; ``extra`` merges into the manifest.
+
+        Raises :class:`OSError` when the disk cannot take the bundle
+        (including via the ``io.*`` fault sites) — the hub catches it
+        and records a ``flight_shed`` instead of crashing the crash
+        handler.
         """
+        from repro.resources.iofaults import check_io_faults
+
         self.dumps += 1
-        bundle = Path(directory) / "flight" / f"{self.dumps:03d}-{_slug(reason)}"
+        flight = Path(directory) / "flight"
+        bundle = flight / f"{self.dumps:03d}-{_slug(reason)}"
+        check_io_faults(bundle, writer="flight_dump")
         bundle.mkdir(parents=True, exist_ok=True)
         (bundle / "spans.jsonl").write_text(
             "".join(e.to_json() + "\n" for e in self.spans), encoding="utf-8"
@@ -96,4 +120,22 @@ class FlightRecorder:
             json.dumps(manifest, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
+        self._prune(flight, spare=bundle)
         return bundle
+
+    def _prune(self, flight: Path, *, spare: Path) -> None:
+        """Keep only the newest ``keep`` bundles (name-ordered: the dump
+        counter prefixes names, so lexical order is dump order)."""
+        bundles = sorted(d for d in flight.iterdir() if d.is_dir())
+        for old in bundles[: max(0, len(bundles) - self.keep)]:
+            if old == spare:
+                continue
+            for f in sorted(old.rglob("*"), reverse=True):
+                try:
+                    f.unlink() if f.is_file() else f.rmdir()
+                except OSError:
+                    pass
+            try:
+                old.rmdir()
+            except OSError:
+                pass

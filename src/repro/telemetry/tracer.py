@@ -176,27 +176,35 @@ NULL_TRACER = NullTracer()
 
 
 class JsonlSink:
-    """Appends span events to a ``.jsonl`` file, one object per line.
+    """Appends span events to a (rotated) ``.jsonl`` stream.
 
     Opened lazily and in append mode, so a resumed run extends the
-    trace of the run it continues instead of truncating it.
+    trace of the run it continues instead of truncating it.  Backed by
+    :class:`repro.resources.RotatingJsonlWriter`: the active file is
+    sealed and rotated at the ``budget``'s segment size (``None``
+    disables rotation), and an unwritable disk sheds lines to an
+    in-memory ring instead of raising into the simulation.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        budget: Optional[Any] = None,
+        governor: Optional[Any] = None,
+    ) -> None:
+        from repro.resources.rotate import RotatingJsonlWriter
+
         self.path = Path(path)
-        self._fh = None
+        self._writer = RotatingJsonlWriter(
+            self.path, budget=budget, governor=governor, stream="trace"
+        )
 
     def __call__(self, events: Sequence[SpanEvent]) -> None:
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("a", encoding="utf-8")
-        self._fh.write("".join(e.to_json() + "\n" for e in events))
-        self._fh.flush()
+        self._writer.write_lines(e.to_json() for e in events)
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._writer.close()
 
 
 def read_trace(
@@ -204,25 +212,21 @@ def read_trace(
 ) -> Union[List[SpanEvent], Tuple[List[SpanEvent], int]]:
     """Parse a JSONL trace file back into :class:`SpanEvent` objects.
 
-    Tolerates a torn tail (crash mid-append), mirroring the job
-    journal's longest-valid-prefix rule: parsing stops at the first
-    line that fails to decode and the remaining lines are *counted*
-    instead of raised.  With ``with_stats=True`` the return value is
-    ``(events, skipped_lines)``.
+    Spans every sealed segment of a rotated trace (oldest first) plus
+    the active file.  Tolerates a torn tail (crash mid-append),
+    mirroring the job journal's longest-valid-prefix rule: in the
+    *newest* segment parsing stops at the first line that fails to
+    decode and the remaining lines are *counted* instead of raised;
+    sealed segments stay fully readable.  With ``with_stats=True`` the
+    return value is ``(events, skipped_lines)``.
     """
-    events: List[SpanEvent] = []
-    skipped = 0
-    # Bytes, decoded per line: a byte-level truncation can tear a
-    # multi-byte character, which must count as a torn line, not raise.
-    lines = [
-        ln for ln in Path(path).read_bytes().split(b"\n") if ln.strip()
-    ]
-    for i, line in enumerate(lines):
-        try:
-            events.append(SpanEvent.from_json(line.decode("utf-8")))
-        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
-            skipped = len(lines) - i
-            break
+    from repro.resources.rotate import read_jsonl_stream
+
+    events, skipped = read_jsonl_stream(
+        path,
+        lambda line: SpanEvent.from_json(line.decode("utf-8")),
+        missing_ok=False,
+    )
     if with_stats:
         return events, skipped
     return events

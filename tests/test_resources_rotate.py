@@ -1,0 +1,272 @@
+"""Stream rotation: CRC seals, segment-spanning reads, torn tails.
+
+The load-bearing properties (DESIGN.md §17):
+
+* rotation never loses a line that was successfully appended — the
+  concatenation of sealed segments plus the active file reads back as
+  the full append order;
+* the longest-valid-prefix rule applies only to the *newest* segment
+  (the byte-sweep tests truncate there at every offset), while sealed
+  segments are either fully readable or count-and-skip per line;
+* the on-disk footprint stays bounded by the budget;
+* an unwritable disk sheds telemetry to a bounded ring — counted,
+  never raised.
+"""
+
+import json
+
+import pytest
+
+from repro.resilience.faults import FaultPlan, FaultSpec, arm, disarm
+from repro.resources import (
+    RotatingJsonlWriter,
+    StreamBudget,
+    parse_size,
+    read_jsonl_stream,
+    seal_valid,
+    sealed_segments,
+    stream_segments,
+)
+
+
+def _decode(line: bytes) -> dict:
+    return json.loads(line.decode("utf-8"))
+
+
+def _write(path, n, *, budget, **kw) -> RotatingJsonlWriter:
+    w = RotatingJsonlWriter(path, budget=budget, **kw)
+    for i in range(n):
+        w.write_line(json.dumps({"i": i, "pad": "x" * 40}))
+    w.close()
+    return w
+
+
+SMALL = StreamBudget(max_segment_bytes=1024, keep_segments=100)
+
+
+class TestParsing:
+    def test_parse_size(self):
+        assert parse_size("4096") == 4096
+        assert parse_size("64k") == 64 << 10
+        assert parse_size("16m") == 16 << 20
+        assert parse_size("2g") == 2 << 30
+        assert parse_size("1.5k") == 1536
+        assert parse_size("64kb") == 64 << 10
+
+    @pytest.mark.parametrize("bad", ["", "-4", "0", "xyz", "k"])
+    def test_parse_size_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_budget_parse(self):
+        b = StreamBudget.parse("4m:8")
+        assert b.max_segment_bytes == 4 << 20 and b.keep_segments == 8
+        assert StreamBudget.parse("512k").keep_segments == 4
+        for off in ("0", "off", "none", "unbounded"):
+            assert StreamBudget.parse(off) is None
+
+    def test_budget_floors(self):
+        with pytest.raises(ValueError):
+            StreamBudget(max_segment_bytes=10)
+        with pytest.raises(ValueError):
+            StreamBudget(keep_segments=0)
+
+
+class TestRotation:
+    def test_no_budget_never_rotates(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        w = _write(path, 200, budget=None)
+        assert w.rotations == 0
+        assert stream_segments(path) == [path]
+
+    def test_rotates_and_seals(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        w = _write(path, 200, budget=SMALL)
+        assert w.rotations > 2
+        sealed = sealed_segments(path)
+        assert len(sealed) == w.rotations
+        for seg in sealed:
+            assert seal_valid(seg)
+
+    def test_spanning_read_is_lossless(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        _write(path, 300, budget=SMALL)
+        items, skipped = read_jsonl_stream(path, _decode)
+        assert skipped == 0
+        assert [d["i"] for d in items] == list(range(300))
+
+    def test_prune_keeps_newest_k(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        budget = StreamBudget(max_segment_bytes=1024, keep_segments=3)
+        w = _write(path, 400, budget=budget)
+        sealed = sealed_segments(path)
+        assert len(sealed) == 3
+        # the survivors are the *newest* (highest-index) segments
+        indices = [int(p.name.split(".")[1]) for p in sealed]
+        assert indices == list(range(w.rotations - 2, w.rotations + 1))
+        # footprint bound: sealed + active <= (keep+1) * segment budget
+        # (each segment overshoots by less than one line + seal)
+        total = sum(p.stat().st_size for p in stream_segments(path))
+        assert total <= (budget.keep_segments + 1) * (
+            budget.max_segment_bytes + 256
+        )
+
+    def test_reader_survives_pruned_history(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        budget = StreamBudget(max_segment_bytes=1024, keep_segments=2)
+        _write(path, 400, budget=budget)
+        items, skipped = read_jsonl_stream(path, _decode)
+        assert skipped == 0
+        idx = [d["i"] for d in items]
+        # a contiguous suffix of the append order survives
+        assert idx == list(range(idx[0], 400))
+
+    def test_adopts_existing_file(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        _write(path, 5, budget=SMALL)
+        _write(path, 5, budget=SMALL)
+        items, _ = read_jsonl_stream(path, _decode)
+        assert [d["i"] for d in items] == list(range(5)) + list(range(5))
+
+    def test_missing_stream(self, tmp_path):
+        assert read_jsonl_stream(tmp_path / "no.jsonl", _decode) == ([], 0)
+        with pytest.raises(FileNotFoundError):
+            read_jsonl_stream(tmp_path / "no.jsonl", _decode, missing_ok=False)
+
+
+class TestTornTail:
+    """Byte-sweep: truncation at *every* offset of the newest segment
+    recovers the longest valid prefix; sealed history stays intact."""
+
+    def _rotated_stream(self, tmp_path, n=120):
+        path = tmp_path / "s.jsonl"
+        _write(path, n, budget=SMALL)
+        return path
+
+    def test_sweep_newest_segment(self, tmp_path):
+        path = self._rotated_stream(tmp_path)
+        sealed_items, _ = read_jsonl_stream(path, _decode)
+        active = path.read_bytes()
+        n_sealed = len(sealed_items) - sum(
+            1 for ln in active.split(b"\n") if ln.strip()
+        )
+        whole = [d["i"] for d in sealed_items]
+        offsets = active.split(b"\n")
+        # every line boundary, plus every byte of the last two lines
+        cuts = set()
+        pos = 0
+        for ln in offsets:
+            pos += len(ln) + 1
+            cuts.add(min(pos, len(active)))
+        tail_start = max(0, len(active) - 2 * (len(offsets[0]) + 1))
+        cuts.update(range(tail_start, len(active) + 1))
+        for cut in sorted(cuts):
+            body = active[:cut]
+            path.write_bytes(body)
+            items, skipped = read_jsonl_stream(path, _decode)
+            got = [d["i"] for d in items]
+            # always a prefix of the uncut stream...
+            assert got == whole[: len(got)]
+            # ...and never shorter than the sealed history
+            assert len(got) >= n_sealed
+            # every complete line before the cut is recovered; the
+            # trailing fragment counts as read only if it still parses
+            full = body.count(b"\n")
+            frag = body[body.rfind(b"\n") + 1 :]
+            frag_valid = False
+            if frag.strip():
+                try:
+                    json.loads(frag)
+                    frag_valid = True
+                except ValueError:
+                    pass
+            assert len(got) == n_sealed + full + (1 if frag_valid else 0)
+            assert skipped == (1 if frag.strip() and not frag_valid else 0)
+
+    def test_sweep_every_byte_small(self, tmp_path):
+        """Exhaustive sweep over a small unrotated stream."""
+        path = tmp_path / "s.jsonl"
+        w = RotatingJsonlWriter(path, budget=None)
+        for i in range(6):
+            w.write_line(json.dumps({"i": i}))
+        w.close()
+        raw = path.read_bytes()
+        for cut in range(len(raw) + 1):
+            body = raw[:cut]
+            path.write_bytes(body)
+            items, skipped = read_jsonl_stream(path, _decode)
+            got = [d["i"] for d in items]
+            assert got == list(range(len(got)))
+            frag = body[body.rfind(b"\n") + 1 :]
+            frag_valid = False
+            if frag.strip():
+                try:
+                    json.loads(frag)
+                    frag_valid = True
+                except ValueError:
+                    pass
+            expected = body.count(b"\n") + (1 if frag_valid else 0)
+            assert len(got) == expected
+            assert skipped == (1 if frag.strip() and not frag_valid else 0)
+
+    def test_corrupt_sealed_segment_skips_line_not_prefix(self, tmp_path):
+        path = self._rotated_stream(tmp_path)
+        victim = sealed_segments(path)[0]
+        lines = victim.read_bytes().split(b"\n")
+        lines[1] = b'{"broken'
+        victim.write_bytes(b"\n".join(lines))
+        assert not seal_valid(victim)
+        items, skipped = read_jsonl_stream(path, _decode)
+        assert skipped == 1
+        # everything except the one corrupted line survives
+        idx = [d["i"] for d in items]
+        assert len(idx) == 119 and sorted(set(idx)) == idx
+
+    def test_crash_between_seal_and_rename(self, tmp_path):
+        """A seal line at the end of the *active* file (crash before the
+        rename) is consumed silently, not decoded as data."""
+        path = tmp_path / "s.jsonl"
+        w = RotatingJsonlWriter(path, budget=None)
+        w.write_line(json.dumps({"i": 0}))
+        w.close()
+        with open(path, "ab") as fh:
+            fh.write(b'{"__seal__": {"crc": "00000000", "lines": 1}}\n')
+        items, skipped = read_jsonl_stream(path, _decode)
+        assert skipped == 0
+        assert [d["i"] for d in items] == [0]
+
+
+class TestShedding:
+    def test_enospc_sheds_to_ring(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        w = RotatingJsonlWriter(path, budget=SMALL, retry_every=4)
+        w.write_line(json.dumps({"i": 0}))
+        arm(FaultPlan(specs=[FaultSpec(site="io.enospc", times=3)]))
+        try:
+            for i in range(1, 4):
+                w.write_line(json.dumps({"i": i}))
+            assert w.shedding and w.shed_lines == 3
+            assert len(w.ring) == 3
+            # the probe cadence recovers the stream once the disk heals
+            for i in range(4, 20):
+                w.write_line(json.dumps({"i": i}))
+        finally:
+            disarm()
+        assert not w.shedding
+        w.close()
+        items, _ = read_jsonl_stream(path, _decode)
+        idx = [d["i"] for d in items]
+        # shed lines are lost by design; appended lines survive in order
+        assert idx[0] == 0 and idx == sorted(idx)
+        assert set(range(4)) - set(idx), "some lines must have shed"
+
+    def test_shed_never_raises_into_caller(self, tmp_path):
+        w = RotatingJsonlWriter(tmp_path / "s.jsonl", budget=SMALL)
+        arm(FaultPlan(specs=[FaultSpec(site="io.eio")]))
+        try:
+            for i in range(50):
+                w.write_line(json.dumps({"i": i}))
+        finally:
+            disarm()
+        assert w.shed_lines == 50
+        w.close()

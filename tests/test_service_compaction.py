@@ -1,0 +1,169 @@
+"""Journal compaction: snapshot equivalence and crash-safety.
+
+The crash-equivalence law: killing the compactor at *any* byte offset
+of the snapshot write — or right before / right after the atomic swap
+— recovers to exactly the same job table as never compacting at all.
+The hypothesis test drives the byte offset; the named tests pin the
+three protocol phases.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import (
+    JobJournal,
+    JobManager,
+    JobSpec,
+    JobState,
+    ManagerKilled,
+    ServiceConfig,
+    replay_records,
+)
+from repro.service.journal import SNAPSHOT_KIND
+
+
+def _spec(i, **kw):
+    kw.setdefault("n", 8)
+    kw.setdefault("steps", 4)
+    return JobSpec(name=f"job{i}", seed=i, **kw)
+
+
+def _job_table(path):
+    """job-id → (state, steps_done, digest) from a journal on disk."""
+    records, _ = JobJournal.scan(path)
+    jobs, _tick, _dispatches = replay_records(records)
+    return {
+        j.job_id: (j.state, j.steps_done, j.digest) for j in jobs.values()
+    }
+
+
+def _populated(tmp_path, n_jobs=3):
+    """A drained service directory with a journaled history."""
+    with JobManager(tmp_path, config=ServiceConfig(quantum=2)) as mgr:
+        for i in range(1, n_jobs + 1):
+            mgr.submit(_spec(i))
+        mgr.run()
+        snapshot = mgr._snapshot_record()
+    return tmp_path / "journal.jsonl", snapshot
+
+
+class TestCompaction:
+    def test_shrinks_and_preserves_table(self, tmp_path):
+        path, snapshot = _populated(tmp_path)
+        before_table = _job_table(path)
+        before_size = path.stat().st_size
+        with JobJournal(path) as journal:
+            journal.recover()
+            after_size = journal.compact(snapshot)
+        assert after_size < before_size
+        assert _job_table(path) == before_table
+        records, _ = JobJournal.scan(path)
+        assert len(records) == 1 and records[0]["t"] == SNAPSHOT_KIND
+
+    def test_appends_apply_on_top_of_snapshot(self, tmp_path):
+        path, snapshot = _populated(tmp_path)
+        with JobJournal(path) as journal:
+            journal.recover()
+            journal.compact(snapshot)
+            journal.append(
+                {"t": "submit", "job": 9, "spec": _spec(9).to_json(),
+                 "tick": 99}
+            )
+        table = _job_table(path)
+        assert table[9][0] is JobState.PENDING
+        assert len(table) == 4
+
+    def test_stale_tmp_ignored_by_recovery(self, tmp_path):
+        path, _ = _populated(tmp_path)
+        before = _job_table(path)
+        tmp = path.with_name(path.name + ".compact")
+        tmp.write_bytes(b'{"torn garbage')
+        assert _job_table(path) == before
+        with JobJournal(path) as journal:
+            journal.recover()  # recovery never reads the tmp
+        assert _job_table(path) == before
+
+    def test_manager_compacts_during_run(self, tmp_path):
+        cfg = ServiceConfig(quantum=2, journal_compact_bytes=1024)
+        with JobManager(tmp_path, config=cfg) as mgr:
+            for i in range(1, 5):
+                mgr.submit(_spec(i))
+            report = mgr.run()
+        assert report.completed == 4
+        path = tmp_path / "journal.jsonl"
+        records, _ = JobJournal.scan(path)
+        kinds = [r["t"] for r in records]
+        assert SNAPSHOT_KIND in kinds, "threshold must have tripped"
+        # a fresh manager recovers the full table across the boundary
+        with JobManager(tmp_path, config=cfg) as recovered:
+            assert {
+                j.job_id: j.state for j in recovered.jobs.values()
+            } == {i: JobState.DONE for i in range(1, 5)}
+
+    def test_compact_failure_keeps_old_journal(self, tmp_path):
+        from repro.resilience.faults import FaultPlan, FaultSpec, arm, disarm
+
+        path, snapshot = _populated(tmp_path)
+        before = path.read_bytes()
+        with JobJournal(path) as journal:
+            journal.recover()
+            arm(FaultPlan(specs=[FaultSpec(site="io.enospc", times=1)]))
+            try:
+                with pytest.raises(OSError):
+                    journal.compact(snapshot)
+            finally:
+                disarm()
+        assert path.read_bytes() == before
+
+
+class TestCrashEquivalence:
+    """Kill the compactor anywhere; recovery matches the uncompacted
+    table exactly."""
+
+    def test_kill_before_replace_keeps_history(self, tmp_path):
+        path, snapshot = _populated(tmp_path)
+        before_bytes = path.read_bytes()
+        with JobJournal(path) as journal:
+            journal.recover()
+            with pytest.raises(ManagerKilled):
+                journal.compact(snapshot, kill_before_replace=True)
+        assert path.read_bytes() == before_bytes
+
+    def test_kill_after_replace_keeps_snapshot(self, tmp_path):
+        path, snapshot = _populated(tmp_path)
+        before_table = _job_table(path)
+        with JobJournal(path) as journal:
+            journal.recover()
+            with pytest.raises(ManagerKilled):
+                journal.compact(snapshot, kill_after_replace=True)
+        records, _ = JobJournal.scan(path)
+        assert len(records) == 1
+        assert _job_table(path) == before_table
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_kill_at_every_byte(self, tmp_path_factory, data):
+        tmp_path = tmp_path_factory.mktemp("compact")
+        path, snapshot = _populated(tmp_path, n_jobs=2)
+        before_table = _job_table(path)
+        before_bytes = path.read_bytes()
+        from repro.service.journal import _encode
+
+        payload_len = len(_encode(1, snapshot))
+        cut = data.draw(
+            st.integers(min_value=0, max_value=payload_len - 1),
+            label="kill_after_bytes",
+        )
+        with JobJournal(path) as journal:
+            journal.recover()
+            with pytest.raises(ManagerKilled):
+                journal.compact(snapshot, kill_after_bytes=cut)
+        # the torn snapshot never replaced the journal
+        assert path.read_bytes() == before_bytes
+        assert _job_table(path) == before_table
+        # and the *next* compaction attempt succeeds over the stale tmp
+        with JobJournal(path) as journal:
+            journal.recover()
+            journal.compact(snapshot)
+        assert _job_table(path) == before_table

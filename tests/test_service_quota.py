@@ -1,0 +1,184 @@
+"""Per-tenant hard quotas: veto, parking, disk SHED, SLO accounting.
+
+The isolation law: a tenant exceeding its quota is vetoed/parked/SHED
+with a recorded reason, its failures land in *its* SLO burn accounting,
+and every other tenant's jobs complete unaffected.
+"""
+
+import pytest
+
+from repro.service import (
+    JobManager,
+    JobSpec,
+    JobState,
+    ServiceConfig,
+    TenantQuota,
+    estimate_job_bytes,
+)
+
+
+def _spec(i, tenant="default", **kw):
+    kw.setdefault("n", 8)
+    kw.setdefault("steps", 4)
+    return JobSpec(name=f"job{i}", seed=i, tenant=tenant, **kw)
+
+
+class TestParsing:
+    def test_parse_full(self):
+        q = TenantQuota.parse("jobs=2,mem=256m,disk=64k")
+        assert q.max_concurrent == 2
+        assert q.max_resident_bytes == 256 << 20
+        assert q.max_disk_bytes == 64 << 10
+
+    def test_parse_subset(self):
+        q = TenantQuota.parse("jobs=1")
+        assert q.max_concurrent == 1
+        assert q.max_resident_bytes is None and q.max_disk_bytes is None
+
+    @pytest.mark.parametrize("bad", ["jobs", "cpus=4", "jobs=0", "mem=-1k"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            TenantQuota.parse(bad)
+
+
+class TestMemoryVeto:
+    def test_oversized_job_rejected_at_submit(self, tmp_path):
+        tiny = estimate_job_bytes(_spec(0)) - 1
+        cfg = ServiceConfig(quotas={"acme": TenantQuota.parse(f"mem={tiny}")})
+        with JobManager(tmp_path, config=cfg) as mgr:
+            job = mgr.submit(_spec(1, tenant="acme"))
+            assert job.state is JobState.REJECTED
+            assert job.reason.startswith("tenant quota")
+            # the veto is the tenant's failure, in its burn accounting
+            assert mgr.slo.burn_rate("acme") > 0
+            assert mgr.slo.burn_rate("bob") == 0
+            # an unquotaed tenant sails through
+            ok = mgr.submit(_spec(2, tenant="bob"))
+            assert ok.state is JobState.PENDING
+            report = mgr.run()
+        assert report.completed == 1 and report.rejected == 1
+
+
+class TestConcurrencyParking:
+    def test_parked_jobs_wait_with_reason(self, tmp_path):
+        cfg = ServiceConfig(
+            quantum=2,
+            quotas={"acme": TenantQuota(max_concurrent=1)},
+        )
+        with JobManager(tmp_path, config=cfg) as mgr:
+            for i in range(1, 4):
+                mgr.submit(_spec(i, tenant="acme"))
+            mgr.submit(_spec(9, tenant="bob"))
+            # after one admission pass, only one acme job is live
+            mgr.clock.advance()
+            mgr._admit_eligible()
+            states = {j.job_id: j.state for j in mgr.jobs.values()}
+            live_acme = [
+                j
+                for j in mgr.jobs.values()
+                if j.spec.tenant == "acme" and j.state is JobState.ADMITTED
+            ]
+            assert len(live_acme) == 1
+            assert states[4] is JobState.ADMITTED  # bob is unaffected
+            parked = [
+                j
+                for j in mgr.jobs.values()
+                if j.state is JobState.PENDING and j.spec.tenant == "acme"
+            ]
+            assert parked and all(
+                j.reason.startswith("waiting: tenant quota") for j in parked
+            )
+            report = mgr.run()
+        # the quota throttles concurrency, never completion
+        assert report.completed == 4 and report.failed == 0
+
+    def test_resident_memory_parking(self, tmp_path):
+        one_job = estimate_job_bytes(_spec(0)) + 1  # room for exactly one
+        cfg = ServiceConfig(
+            quantum=2,
+            quotas={"acme": TenantQuota(max_resident_bytes=one_job)},
+        )
+        with JobManager(tmp_path, config=cfg) as mgr:
+            mgr.submit(_spec(1, tenant="acme"))
+            mgr.submit(_spec(2, tenant="acme"))
+            mgr.clock.advance()
+            mgr._admit_eligible()
+            states = [j.state for j in mgr.jobs.values()]
+            assert states.count(JobState.ADMITTED) == 1
+            assert states.count(JobState.PENDING) == 1
+            report = mgr.run()
+        assert report.completed == 2
+
+
+class TestDiskShed:
+    def test_over_disk_tenant_sheds_pending_only(self, tmp_path):
+        cfg = ServiceConfig(
+            quantum=2,
+            quotas={"acme": TenantQuota(max_disk_bytes=1024)},
+        )
+        with JobManager(tmp_path, config=cfg) as mgr:
+            a1 = mgr.submit(_spec(1, tenant="acme"))
+            mgr.submit(_spec(9, tenant="bob"))
+            # fake an over-quota on-disk footprint for acme's job dir
+            jobdir = tmp_path / "jobs" / str(a1.job_id) / "ckpt"
+            jobdir.mkdir(parents=True)
+            (jobdir / "blob.npz").write_bytes(b"x" * 4096)
+            mgr.clock.advance()
+            mgr._enforce_disk_quotas()
+            assert a1.state is JobState.SHED
+            assert a1.reason.startswith("tenant quota: disk")
+            assert mgr.slo.burn_rate("acme") > 0
+            report = mgr.run()
+        # bob drains clean despite acme's shed
+        assert report.completed == 1 and report.shed == 1
+        done = [j for j in mgr.jobs.values() if j.state is JobState.DONE]
+        assert [j.spec.tenant for j in done] == ["bob"]
+
+    def test_running_jobs_never_disk_shed(self, tmp_path):
+        """The admission guarantee: once admitted, disk pressure from
+        the tenant's own artifacts cannot kill the job."""
+        cfg = ServiceConfig(
+            quantum=1,
+            quotas={"acme": TenantQuota(max_disk_bytes=1)},
+        )
+        with JobManager(tmp_path, config=cfg) as mgr:
+            mgr.submit(_spec(1, tenant="acme", steps=3))
+            report = mgr.run()
+        # the job's own checkpoints blow the 1-byte cap immediately,
+        # but it was already admitted — it must complete
+        assert report.completed == 1 and report.failed == 0
+
+
+class TestRecoveryAndReporting:
+    def test_quota_states_survive_restart(self, tmp_path):
+        tiny = estimate_job_bytes(_spec(0)) - 1
+        cfg = ServiceConfig(quotas={"acme": TenantQuota.parse(f"mem={tiny}")})
+        with JobManager(tmp_path, config=cfg) as mgr:
+            mgr.submit(_spec(1, tenant="acme"))
+            mgr.submit(_spec(2, tenant="bob"))
+            mgr.run()
+        with JobManager(tmp_path, config=cfg) as recovered:
+            states = {
+                j.spec.name: j.state for j in recovered.jobs.values()
+            }
+        assert states == {
+            "job1": JobState.REJECTED,
+            "job2": JobState.DONE,
+        }
+
+    def test_quota_counters_exported(self, tmp_path):
+        from repro.telemetry import TelemetryHub
+
+        tiny = estimate_job_bytes(_spec(0)) - 1
+        cfg = ServiceConfig(quotas={"acme": TenantQuota.parse(f"mem={tiny}")})
+        hub = TelemetryHub(tmp_path / "tel")
+        try:
+            with JobManager(
+                tmp_path / "svc", config=cfg, telemetry=hub
+            ) as mgr:
+                mgr.submit(_spec(1, tenant="acme"))
+                mgr.run(max_ticks=2)
+            counters = hub.metrics.as_dict()["counters"]
+            assert counters.get("service.quota_vetoes") == 1
+        finally:
+            hub.close()
